@@ -1,0 +1,85 @@
+"""Ablations A2-A4 — kernel/system design choices (DESIGN.md section 6).
+
+- A2: slide-replication strategy — the paper's linear amounts vs the
+  doubling refinement, across vector lengths.
+- A3: L1 size sensitivity (the paper fixes 64 kB).
+- A4: Winograd interpolation-point selection vs fp32 accuracy
+  (reference [1] of the paper).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.kernels import slide_amounts
+from repro.nets import simulate_inference, vgg16_layers
+from repro.sim import SystemConfig
+from repro.winograd import NNPACK_POINTS_F6X3, compare_point_sets
+
+
+def test_a2_slide_strategy(benchmark):
+    """Instruction counts of the two replication strategies per quad."""
+
+    def measure():
+        table = {}
+        for vlen in (512, 1024, 2048, 4096, 8192):
+            vl = vlen // 32
+            table[vlen] = (
+                2 * len(slide_amounts(vl, log2=False)),  # vmv + vslideup
+                2 * len(slide_amounts(vl, log2=True)),
+            )
+        return table
+
+    table = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nA2 — quad-replication instructions per vfmacc:")
+    print(f"{'VLEN':>8}{'linear (paper)':>16}{'doubling':>10}")
+    for vlen, (lin, log) in table.items():
+        print(f"{vlen:>8}{lin:>16}{log:>10}")
+    record(benchmark, **{f"linear_{v}": t[0] for v, t in table.items()})
+    # Linear grows ~O(sqrt(vl)); doubling grows O(log vl): the gap
+    # widens with VL — one reason Winograd stops scaling beyond 2048.
+    assert table[8192][1] < table[8192][0]
+    assert table[512][0] <= 6
+
+
+@pytest.mark.parametrize("l1_kb", [16, 32, 64, 128])
+def test_a3_l1_size(benchmark, l1_kb):
+    """The paper fixes 64 kB of L1; how sensitive is the result?"""
+
+    def measure():
+        cfg = SystemConfig(vlen_bits=2048, l2_mb=1, l1_kb=l1_kb)
+        return simulate_inference("vgg", vgg16_layers()[:6], cfg).total
+
+    total = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nA3 — VGG16 head with {l1_kb} kB L1: "
+          f"{total.seconds * 1e3:.1f} ms, L1 miss {100 * total.l1_miss_rate:.1f}%")
+    record(benchmark, l1_kb=l1_kb, seconds=total.seconds,
+           l1_miss_rate=round(total.l1_miss_rate, 3))
+    assert total.cycles > 0
+
+
+def test_a4_point_selection(benchmark):
+    """F(6,3) interpolation points vs fp32 error (Alam et al. [1])."""
+    candidates = {
+        "nnpack (0,±1,±2,±1/2)": NNPACK_POINTS_F6X3,
+        "integers (0,±1,±2,±3)": tuple(
+            Fraction(x) for x in (0, 1, -1, 2, -2, 3, -3)
+        ),
+        "wide (0,±1,±3,±4)": tuple(
+            Fraction(x) for x in (0, 1, -1, 3, -3, 4, -4)
+        ),
+    }
+    def measure():
+        reports = compare_point_sets(
+            6, 3, list(candidates.values()), samples=150
+        )
+        return dict(zip(candidates, reports))
+
+    reports = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nA4 — F(6,3) fp32 accuracy by interpolation points:")
+    for name, rep in reports.items():
+        print(f"  {name:<26} mean rel err {rep.mean_rel_error:.2e}")
+        record(benchmark, **{name.split()[0]: rep.mean_rel_error})
+    errs = [r.mean_rel_error for r in reports.values()]
+    assert errs[0] == min(errs)  # NNPACK's points are the best set

@@ -1,0 +1,49 @@
+"""Ablation A8 — the energy argument for long vectors, quantified.
+
+The paper's introduction claims long vectors improve "energy efficiency
+by reducing the number of instructions ... reducing the energy consumed
+by the processor's front end".  With the event-energy model of
+:mod:`repro.sim.energy` applied to the VGG16 inference:
+
+- front-end energy indeed falls steeply with vector length (the claim);
+- but *total* energy can rise, because the slideup replication chains
+  add datapath lane-operations as VL grows — so the proposed ``vrep4``
+  instruction (ablation A5) is an energy feature too, not just a
+  performance one.
+"""
+
+from benchmarks.conftest import record
+from repro.kernels import NATIVE, SLIDEUP
+from repro.nets import simulate_inference, vgg16_layers
+from repro.sim import SystemConfig, estimate_energy
+
+
+def _energy(vlen: int, variant: str):
+    cfg = SystemConfig(vlen_bits=vlen, l2_mb=1)
+    st = simulate_inference("vgg", vgg16_layers(), cfg, variant=variant).total
+    return estimate_energy(st)
+
+
+def test_a8_energy_vs_vlen(benchmark):
+    def measure():
+        return {
+            (vlen, var): _energy(vlen, var)
+            for vlen in (512, 2048, 4096)
+            for var in (SLIDEUP, NATIVE)
+        }
+
+    table = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nA8 — VGG16 inference energy (event model):")
+    print(f"{'VLEN':>8}{'variant':>10}{'total J':>10}{'front-end J':>13}"
+          f"{'FE share':>10}")
+    for (vlen, var), e in table.items():
+        print(f"{vlen:>8}{var:>10}{e.total:>10.2f}{e.front_end:>13.3f}"
+              f"{100 * e.front_end_share:>9.1f}%")
+        record(benchmark, **{f"{var}_{vlen}_total_j": round(e.total, 3)})
+
+    # The paper's claim: front-end energy falls with vector length.
+    fe = [table[(v, SLIDEUP)].front_end for v in (512, 2048, 4096)]
+    assert fe[0] > fe[1] > fe[2]
+    assert fe[0] / fe[2] > 2.0
+    # The extension's bonus: with vrep4 the long-VL total improves too.
+    assert table[(4096, NATIVE)].total < table[(4096, SLIDEUP)].total

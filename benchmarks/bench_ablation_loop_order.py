@@ -1,0 +1,68 @@
+"""Ablation A9 — tuple-multiplication loop order: the deviation's root cause.
+
+EXPERIMENTS.md traces the reproduction's one systematic deviation
+(L2 miss-rate level/trend vs the paper's Tables 1/2) to loop order: our
+default tuple multiplication is *filter-stationary* (filters stay hot,
+the transformed input streams), while the paper's measured 80%+ miss
+rates imply a *tile-stationary* schedule that re-streams the filter
+tensor.  Both orders are implemented; this ablation runs them on the
+same layer, confirms bit-identical results, and measures the trade:
+tile-stationary produces the paper-like (lower-hit) L2 profile at the
+cost of cycles.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record
+from repro.kernels import (
+    WinogradBuffers,
+    WinogradGeometry,
+    filter_transform,
+    input_transform,
+    tuple_multiplication,
+)
+from repro.kernels.tuple_mult import FILTER_STATIONARY, TILE_STATIONARY
+from repro.rvv import Memory, RvvMachine, Tracer
+from repro.sim import Simulator, SystemConfig
+
+
+def _run(order: str):
+    geom = WinogradGeometry(c_in=24, h=32, w=32, c_out=24, pad=1,
+                            vlen_elems=16)
+    m = RvvMachine(512, memory=Memory(1 << 27), tracer=Tracer(capture=True))
+    bufs = WinogradBuffers.allocate(m, geom)
+    rng = np.random.default_rng(0)
+    bufs.load_input(m, geom, rng.standard_normal((24, 32, 32)).astype(np.float32))
+    bufs.load_weights(m, geom,
+                      rng.standard_normal((24, 24, 3, 3)).astype(np.float32))
+    filter_transform(m, geom, bufs)
+    input_transform(m, geom, bufs)
+    m.tracer.reset()
+    tuple_multiplication(m, geom, bufs, loop_order=order)
+    result = m.memory.read_f32(bufs.m, geom.m_size)
+    stats = Simulator(SystemConfig(l2_mb=1)).run_trace(m.tracer)
+    return result, stats
+
+
+def test_a9_loop_order(benchmark):
+    (rf, sf), (rt, st) = benchmark.pedantic(
+        lambda: (_run(FILTER_STATIONARY), _run(TILE_STATIONARY)),
+        rounds=1, iterations=1,
+    )
+    np.testing.assert_array_equal(rf, rt)  # same mathematics
+    print("\nA9 — tuple-multiplication loop order (512-bit, 1 MB L2):")
+    for name, s in (("filter-stationary (default)", sf),
+                    ("tile-stationary (paper-like)", st)):
+        print(f"  {name:<30} cycles={s.cycles:>10.0f} "
+              f"L2 accesses={s.hierarchy.l2.accesses:>7} "
+              f"L2 miss rate={100 * s.l2_miss_rate:5.1f}%")
+    record(benchmark,
+           filter_cycles=sf.cycles, tile_cycles=st.cycles,
+           filter_l2_mr=round(sf.l2_miss_rate, 3),
+           tile_l2_mr=round(st.l2_miss_rate, 3))
+    # The trade EXPERIMENTS.md describes: the tile-stationary order
+    # pushes far more traffic to the L2 (its filter re-streaming turns
+    # L1-captured reuse into L2 traffic) and costs cycles; the
+    # filter-stationary default wins time, which is why we ship it.
+    assert st.hierarchy.l2.accesses > 2 * sf.hierarchy.l2.accesses
+    assert st.cycles >= sf.cycles

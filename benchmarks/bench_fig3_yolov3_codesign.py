@@ -1,0 +1,37 @@
+"""Experiment F3 — Figure 3: YOLOv3 runtime over the VLEN x L2 grid.
+
+Paper findings: ~1.76x speedup from 512- to 4096-bit vectors at 1 MB;
+a further 1.5x (512/1024-bit), 1.54x (2048) and 1.6x (4096) from
+growing the L2 from 1 MB to 256 MB — ~2.6x combined.
+"""
+
+from benchmarks.conftest import record
+from repro.codesign import PAPER_HEADLINES, Comparison, comparison_table, runtime_figure
+
+
+def test_fig3_yolov3_codesign(benchmark, yolo_sweep):
+    sweep = benchmark.pedantic(lambda: yolo_sweep, rounds=1, iterations=1)
+    print()
+    print(runtime_figure(sweep, "Figure 3 — YOLOv3 (first 20 layers, hybrid)"))
+    vl_speedup = sweep.speedup(4096, 1)
+    l2_speedup = sweep.seconds(4096, 1) / sweep.seconds(4096, 256)
+    total = sweep.speedup(4096, 256)
+    comps = [
+        Comparison("VL speedup 512->4096 bits @ 1 MB",
+                   PAPER_HEADLINES["yolo_vl_speedup_512_to_4096"], vl_speedup),
+        Comparison("L2 speedup 1->256 MB @ 4096-bit",
+                   PAPER_HEADLINES["yolo_l2_speedup_1_to_256mb"], l2_speedup),
+        Comparison("combined best vs base", 2.6, total),
+    ]
+    print(comparison_table(comps, "paper-vs-measured:"))
+    record(benchmark, vl_speedup=round(vl_speedup, 2),
+           l2_speedup=round(l2_speedup, 2), combined=round(total, 2))
+    # Shape: both knobs help, and they compose.
+    assert vl_speedup > 1.3
+    assert l2_speedup > 1.2
+    assert total > max(vl_speedup, l2_speedup)
+    # Monotonicity along each axis from the base point.
+    times_vl = [sweep.seconds(v, 1) for v in sweep.vlens]
+    assert all(a >= b for a, b in zip(times_vl, times_vl[1:]))
+    times_l2 = [sweep.seconds(4096, l) for l in sweep.l2_mbs]
+    assert all(a >= b for a, b in zip(times_l2, times_l2[1:]))

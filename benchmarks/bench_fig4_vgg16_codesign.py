@@ -1,0 +1,39 @@
+"""Experiment F4 — Figure 4: VGG16 runtime over the VLEN x L2 grid.
+
+Paper findings: ~1.4x speedup from 512- to 4096-bit vectors with no
+significant gain beyond 2048 bits; ~1.3x from growing the L2 to 64 MB,
+with no significant gain beyond.
+"""
+
+from benchmarks.conftest import record
+from repro.codesign import PAPER_HEADLINES, Comparison, comparison_table, runtime_figure
+
+
+def test_fig4_vgg16_codesign(benchmark, vgg_sweep):
+    sweep = benchmark.pedantic(lambda: vgg_sweep, rounds=1, iterations=1)
+    print()
+    print(runtime_figure(sweep, "Figure 4 — VGG16 (Winograd)"))
+    vl_2048 = sweep.speedup(2048, 1)
+    vl_beyond = sweep.seconds(2048, 1) / sweep.seconds(4096, 1)
+    l2_64 = sweep.seconds(512, 1) / sweep.seconds(512, 64)
+    l2_beyond = sweep.seconds(512, 64) / sweep.seconds(512, 256)
+    comps = [
+        Comparison("VL speedup 512->2048 bits @ 1 MB",
+                   PAPER_HEADLINES["vgg_vl_speedup_512_to_2048"], vl_2048),
+        Comparison("VL gain 2048->4096 (paper: none)", 1.0, vl_beyond),
+        Comparison("L2 speedup 1->64 MB @ 512-bit",
+                   PAPER_HEADLINES["vgg_l2_speedup_1_to_64mb"], l2_64),
+        Comparison("L2 gain 64->256 MB (paper: none)", 1.0, l2_beyond),
+    ]
+    print(comparison_table(comps, "paper-vs-measured:"))
+    record(benchmark, vl_speedup_2048=round(vl_2048, 2),
+           vl_gain_beyond_2048=round(vl_beyond, 2),
+           l2_speedup_64=round(l2_64, 2),
+           l2_gain_beyond_64=round(l2_beyond, 2))
+    # Shape: vector length helps through 2048 bits, then the gain
+    # flattens (slide-replication chains grow with VL); L2 helps to
+    # 64 MB and flattens beyond.
+    assert vl_2048 > 1.25
+    assert vl_beyond < vl_2048 ** 0.5  # diminishing returns
+    assert l2_64 > 1.05
+    assert l2_beyond < l2_64

@@ -1,0 +1,38 @@
+"""Experiment F5 — Figure 5: roofline, first 10 VGG16 layers, Winograd.
+
+Paper: on the 512-bit / 1 MB configuration (64 GFLOP/s peak, 13 GB/s),
+all ten layers are memory-bound and sit far below the bandwidth
+ceiling ("scope for further improvement ... cache-aware optimizations").
+"""
+
+from benchmarks.conftest import record
+from repro.conv import ConvAlgorithm
+from repro.nets import vgg16_conv_layers
+from repro.roofline import render_roofline, roofline_points
+from repro.sim import SystemConfig
+
+
+def _measure():
+    return roofline_points(
+        vgg16_conv_layers()[:10], SystemConfig(), ConvAlgorithm.WINOGRAD
+    )
+
+
+def test_fig5_roofline_winograd(benchmark):
+    points = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print()
+    print(render_roofline(points, "Figure 5 — VGG16 Winograd @ 512-bit/1 MB"))
+    mem_bound = sum(1 for p in points if p.memory_bound)
+    record(
+        benchmark,
+        memory_bound_layers=mem_bound,
+        paper_memory_bound_layers=10,
+        mean_efficiency=round(
+            sum(p.efficiency for p in points) / len(points), 3
+        ),
+    )
+    # Shape: the majority (and every early layer) memory-bound; every
+    # layer far below its ceiling.
+    assert mem_bound >= 6
+    assert all(p.memory_bound for p in points[:4])
+    assert all(p.efficiency < 0.6 for p in points)

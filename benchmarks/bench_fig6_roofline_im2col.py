@@ -1,0 +1,38 @@
+"""Experiment F6 — Figure 6: roofline, first 10 VGG16 layers, im2col+GEMM.
+
+Paper: only 3 of 10 layers are memory-bound; the rest are compute-bound
+(im2col+GEMM does ~5x more arithmetic per DRAM byte than Winograd),
+and achieved performance stays well below the compute ceiling.
+"""
+
+from benchmarks.conftest import record
+from repro.conv import ConvAlgorithm
+from repro.nets import vgg16_conv_layers
+from repro.roofline import render_roofline, roofline_points
+from repro.sim import SystemConfig
+
+
+def _measure():
+    return roofline_points(
+        vgg16_conv_layers()[:10], SystemConfig(), ConvAlgorithm.IM2COL_GEMM
+    )
+
+
+def test_fig6_roofline_im2col(benchmark):
+    points = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print()
+    print(render_roofline(points, "Figure 6 — VGG16 im2col+GEMM @ 512-bit/1 MB"))
+    mem_bound = sum(1 for p in points if p.memory_bound)
+    record(
+        benchmark,
+        memory_bound_layers=mem_bound,
+        paper_memory_bound_layers=3,
+    )
+    # Shape: mostly compute-bound (paper: 7/10), far below the peak.
+    assert mem_bound <= 4
+    assert all(p.efficiency < 0.8 for p in points)
+    # Cross-figure check: im2col's AI beats Winograd's layer-for-layer.
+    wino = roofline_points(
+        vgg16_conv_layers()[:10], SystemConfig(), ConvAlgorithm.WINOGRAD
+    )
+    assert sum(1 for w, g in zip(wino, points) if g.ai > w.ai) >= 8

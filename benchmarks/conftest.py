@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md).  The pytest-benchmark timings measure
+the harness itself; the *reproduced quantities* (simulated cycles, miss
+rates, speedups) are printed and attached to ``benchmark.extra_info``
+so they land in the saved benchmark JSON.
+
+The two network sweeps are session-scoped: Figure 3 and Table 1 share
+the YOLOv3 grid, Figure 4 and Table 2 the VGG16 grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codesign import codesign_sweep
+from repro.nets import vgg16_layers, yolov3_layers
+
+
+@pytest.fixture(scope="session")
+def yolo_sweep():
+    """YOLOv3 (first 20 layers, hybrid) over the paper's full grid."""
+    return codesign_sweep("yolov3-20L", yolov3_layers())
+
+
+@pytest.fixture(scope="session")
+def vgg_sweep():
+    """VGG16 (hybrid = Winograd everywhere eligible) over the grid."""
+    return codesign_sweep("vgg16", vgg16_layers())
+
+
+def record(benchmark, **info) -> None:
+    """Attach reproduced quantities to the benchmark record."""
+    for k, v in info.items():
+        benchmark.extra_info[k] = v

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""The paper's Section 3 kernel-level findings, reproduced end to end.
+
+1. Tuple multiplication: the slideup workaround (Algorithm 2) vs the
+   indexed-load implementation (Algorithm 1) — the paper measures the
+   slideup variant ~2.3x faster.
+2. The 4-vector transpose: indexed (Algorithm 3) vs strided
+   (Algorithm 4) — the paper finds no significant difference.
+3. Register pressure: the transform kernels' open-coded instruction
+   sequences stay inside the 32-register architectural file (the
+   paper's vector-pointer programmability complaint).
+
+Run:  python examples/kernel_microbench.py
+"""
+
+import numpy as np
+
+from repro.kernels import (
+    INDEXED,
+    SLIDEUP,
+    SLIDEUP_LOG,
+    WinogradBuffers,
+    WinogradGeometry,
+    filter_transform,
+    input_transform,
+    transpose4_indexed,
+    transpose4_strided,
+    tuple_multiplication,
+)
+from repro.rvv import Memory, RvvMachine, Tracer
+from repro.sim import Simulator, SystemConfig
+
+
+def tuple_mult_cycles(variant: str, vlen: int = 512) -> float:
+    geom = WinogradGeometry(c_in=16, h=26, w=26, c_out=16, pad=1,
+                            vlen_elems=vlen // 32)
+    m = RvvMachine(vlen, memory=Memory(1 << 27), tracer=Tracer(capture=True))
+    bufs = WinogradBuffers.allocate(m, geom)
+    rng = np.random.default_rng(0)
+    bufs.load_input(m, geom, rng.standard_normal((16, 26, 26)).astype(np.float32))
+    bufs.load_weights(m, geom,
+                      rng.standard_normal((16, 16, 3, 3)).astype(np.float32))
+    filter_transform(m, geom, bufs)
+    input_transform(m, geom, bufs)
+    m.tracer.reset()
+    tuple_multiplication(m, geom, bufs, variant=variant)
+    return Simulator(SystemConfig(vlen_bits=vlen)).run_trace(m.tracer).cycles
+
+
+def transpose_cycles(variant: str, vlen: int = 512, reps: int = 100) -> float:
+    m = RvvMachine(vlen, memory=Memory(1 << 24), tracer=Tracer(capture=True))
+    vl = m.setvl(vlen // 32)
+    buf = m.memory.alloc_f32(8 * vl)
+    with m.alloc.scoped(9) as regs:
+        src, dst, idx = regs[:4], regs[4:8], regs[8]
+        for r in range(4):
+            m.write_f32(src[r], np.arange(vl, dtype=np.float32))
+        m.tracer.reset()
+        for _ in range(reps):
+            if variant == "indexed":
+                transpose4_indexed(m, src, dst, buf, idx)
+            else:
+                transpose4_strided(m, src, dst, buf)
+    return Simulator(SystemConfig(vlen_bits=vlen)).run_trace(m.tracer).cycles
+
+
+def main() -> None:
+    print("1. Tuple multiplication — quad replication workarounds")
+    print(f"{'VLEN':>8}{'indexed':>12}{'slideup':>12}{'slideup-log2':>14}"
+          f"{'idx/slide':>11}")
+    for vlen in (512, 1024, 2048, 4096):
+        c = {v: tuple_mult_cycles(v, vlen)
+             for v in (INDEXED, SLIDEUP, SLIDEUP_LOG)}
+        print(f"{vlen:>8}{c[INDEXED]:>12.0f}{c[SLIDEUP]:>12.0f}"
+              f"{c[SLIDEUP_LOG]:>14.0f}{c[INDEXED] / c[SLIDEUP]:>10.2f}x")
+    print("   (paper: slideup ~2.3x faster than indexed at its setup)")
+
+    print("\n2. Transpose — Algorithm 3 (indexed) vs Algorithm 4 (strided)")
+    print(f"{'VLEN':>8}{'indexed':>12}{'strided':>12}{'ratio':>9}")
+    for vlen in (512, 1024, 2048):
+        ci = transpose_cycles("indexed", vlen)
+        cs = transpose_cycles("strided", vlen)
+        print(f"{vlen:>8}{ci:>12.0f}{cs:>12.0f}{ci / cs:>8.2f}x")
+    print("   (paper: no significant difference — both bounce through memory)")
+
+    print("\n3. Register pressure of the full pipeline")
+    m = RvvMachine(512, memory=Memory(1 << 26))
+    from repro.kernels import winograd_conv2d_sim
+
+    winograd_conv2d_sim(
+        m,
+        np.zeros((8, 14, 14), dtype=np.float32),
+        np.zeros((8, 8, 3, 3), dtype=np.float32),
+        pad=1,
+    )
+    print(f"   high-water mark: {m.alloc.high_water} of 32 architectural "
+          f"vector registers (no spilling)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""RISC-VV vs ARM-SVE: the paper's cross-ISA validation (Section 5).
+
+The kernels in this package are single-source across the two ISAs —
+the vector-length-agnostic style the paper advocates.  The SVE machine
+executes the same Winograd pipeline with SVE's vocabulary: ``whilelt``
+predicates instead of ``vsetvl``, gathers instead of (missing) strided
+memory operations, ``EXT`` instead of ``vslideup``.  The paper finds
+"similar performance and performance trends on both".
+
+Run:  python examples/sve_comparison.py
+"""
+
+import numpy as np
+
+from repro.isa import OpClass
+from repro.kernels import winograd_conv2d_sim
+from repro.rvv import Memory, RvvMachine, Tracer
+from repro.sim import Simulator, SystemConfig
+from repro.sve import SveMachine
+
+
+def run(machine_cls, vlen: int):
+    m = machine_cls(vlen, memory=Memory(1 << 27), tracer=Tracer(capture=True))
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal((12, 26, 26)).astype(np.float32)
+    w = rng.standard_normal((12, 12, 3, 3)).astype(np.float32)
+    out = winograd_conv2d_sim(m, x, w, pad=1)
+    stats = Simulator(SystemConfig(vlen_bits=vlen)).run_trace(m.tracer)
+    return out, m.tracer, stats
+
+
+def main() -> None:
+    print("Winograd convolution (12ch -> 12ch, 26x26), both ISAs:\n")
+    results = {}
+    for vlen in (512, 1024, 2048):
+        rvv_out, rvv_tr, rvv = run(RvvMachine, vlen)
+        sve_out, sve_tr, sve = run(SveMachine, vlen)
+        assert np.array_equal(rvv_out, sve_out), "results must be identical"
+        results[vlen] = (rvv, sve)
+        print(f"VLEN {vlen:>5}: RVV {rvv.cycles:>10.0f} cycles | "
+              f"SVE {sve.cycles:>10.0f} cycles | "
+              f"SVE/RVV = {sve.cycles / rvv.cycles:.2f}x  (results identical)")
+
+    r512 = results[512]
+    r2048 = results[2048]
+    print(f"\nVL-scaling trend 512->2048: "
+          f"RVV {r512[0].cycles / r2048[0].cycles:.2f}x, "
+          f"SVE {r512[1].cycles / r2048[1].cycles:.2f}x "
+          f"(the paper: identical trends)")
+
+    # Where the ISAs differ: the instruction mix.
+    _, rvv_tr, _ = run(RvvMachine, 512)
+    _, sve_tr, _ = run(SveMachine, 512)
+    print("\nInstruction-mix differences at 512-bit (per full pipeline):")
+    keys = [
+        (OpClass.VSETVL, "vsetvl (RVV strip-mining)"),
+        (OpClass.VMASK, "whilelt (SVE predication)"),
+        (OpClass.VLOAD_STRIDED, "strided loads (RVV only)"),
+        (OpClass.VLOAD_INDEXED, "gathers (SVE substitutes strided)"),
+        (OpClass.VSLIDE, "slides / EXT"),
+    ]
+    print(f"{'class':<36}{'RVV':>10}{'SVE':>10}")
+    for op, label in keys:
+        print(f"{label:<36}"
+              f"{rvv_tr.by_class.get(op).instrs if op in rvv_tr.by_class else 0:>10}"
+              f"{sve_tr.by_class.get(op).instrs if op in sve_tr.by_class else 0:>10}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's VGG16 co-design study (Figure 4 + Table 2).
+
+Sweeps the two hardware knobs of the paper's gem5 exploration — vector
+length (512-4096 bits) and L2 capacity (1-256 MB) — over a full VGG16
+inference at the paper's 768x576 input, prints the runtime grid, the
+Table 2 miss-rate comparison, and the paper's headline conclusions:
+
+- Winograd benefits from vector lengths up to 2048 bits (~1.4x) but
+  not beyond;
+- Winograd scales with L2 up to 64 MB (~1.3x) but needs no more;
+- Winograd beats im2col+GEMM (~1.2x at 2048-bit / 1 MB).
+
+Run:  python examples/vgg16_codesign.py          (full grid, ~2-4 min)
+      python examples/vgg16_codesign.py --quick  (reduced grid)
+"""
+
+import argparse
+
+from repro.codesign import (
+    PAPER_HEADLINES,
+    PAPER_TABLE2_VGG,
+    Comparison,
+    codesign_sweep,
+    comparison_table,
+    miss_rate_report,
+    runtime_figure,
+)
+from repro.nets import simulate_inference, vgg16_layers
+from repro.sim import SystemConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced grid (2 VLENs x 2 L2 sizes)")
+    args = parser.parse_args()
+
+    layers = vgg16_layers()
+    if args.quick:
+        vlens, l2s = (512, 2048), (1, 64)
+    else:
+        vlens, l2s = (512, 1024, 2048, 4096), (1, 16, 64, 128, 256)
+
+    print(f"Sweeping VGG16 over VLEN {vlens} x L2 {l2s} MB ...")
+    sweep = codesign_sweep("vgg16", layers, vlens=vlens, l2_mbs=l2s)
+
+    print()
+    print(runtime_figure(sweep, "Figure 4 — VGG16 runtime over the grid"))
+    print()
+    print(miss_rate_report(sweep, PAPER_TABLE2_VGG, l2_mb=1,
+                           title="Table 2 — VGG16 L2 miss rate at 1 MB"))
+
+    # Headline comparisons.
+    comps = []
+    if 2048 in vlens:
+        comps.append(Comparison(
+            "VL speedup 512->2048 bits @ 1 MB",
+            PAPER_HEADLINES["vgg_vl_speedup_512_to_2048"],
+            sweep.speedup(2048, 1),
+        ))
+    if 64 in l2s:
+        comps.append(Comparison(
+            "L2 speedup 1->64 MB @ 512-bit",
+            PAPER_HEADLINES["vgg_l2_speedup_1_to_64mb"],
+            sweep.seconds(512, 1) / sweep.seconds(512, 64),
+        ))
+    cfg = SystemConfig(vlen_bits=2048, l2_mb=1)
+    wino = simulate_inference("vgg-wino", layers, cfg, hybrid=True)
+    gemm = simulate_inference("vgg-gemm", layers, cfg, hybrid=False)
+    comps.append(Comparison(
+        "Winograd vs im2col+GEMM @ 2048-bit/1 MB",
+        PAPER_HEADLINES["vgg_winograd_vs_gemm"],
+        gemm.cycles / wino.cycles,
+    ))
+    print()
+    print(comparison_table(comps, "headline conclusions (paper vs measured):"))
+    best_v, best_l = sweep.best()
+    print(f"\nfastest configuration on the grid: {best_v}-bit / {best_l} MB "
+          f"({1e3 * sweep.seconds(best_v, best_l):.0f} ms per inference)")
+
+
+if __name__ == "__main__":
+    main()

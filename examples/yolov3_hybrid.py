@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's YOLOv3 hybrid-approach study (Fig. 3, Table 1).
+
+The first 20 layers of YOLOv3 mix layer shapes, so only 5 of the 15
+convolutions can use Winograd (3 are strided, 6 are 1x1, the first has
+just 3 input channels); the paper's *hybrid approach* runs those with
+the optimized Winograd kernels and everything else with im2col+GEMM,
+gaining ~8% over the pure-GEMM baseline at 2048-bit/1 MB, ~1.76x from
+growing the vector length to 4096 bits, and up to ~1.6x more from a
+256 MB L2.
+
+Run:  python examples/yolov3_hybrid.py [--quick]
+"""
+
+import argparse
+
+from repro.codesign import (
+    PAPER_HEADLINES,
+    PAPER_TABLE1_YOLO,
+    Comparison,
+    codesign_sweep,
+    comparison_table,
+    miss_rate_report,
+    runtime_figure,
+)
+from repro.conv import ConvLayerSpec
+from repro.nets import (
+    simulate_inference,
+    winograd_layer_count,
+    yolov3_layers,
+)
+from repro.sim import SystemConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+
+    layers = yolov3_layers()
+    convs = [l for l in layers if isinstance(l, ConvLayerSpec)]
+    print("YOLOv3, first 20 layers at 768x576 (as the paper):")
+    print(f"  convolutional layers : {len(convs)}   (paper: 15)")
+    print(f"  stride-2 layers      : {sum(1 for c in convs if c.stride == 2)}"
+          f"   (paper: 3)")
+    print(f"  1x1 layers           : {sum(1 for c in convs if c.ksize == 1)}"
+          f"   (paper: 6)")
+    print(f"  Winograd-eligible    : {winograd_layer_count(layers)}   (paper: 5)")
+
+    # The hybrid headline at the paper's comparison point.
+    cfg = SystemConfig(vlen_bits=2048, l2_mb=1)
+    hybrid = simulate_inference("hybrid", layers, cfg, hybrid=True)
+    pure = simulate_inference("pure-gemm", layers, cfg, hybrid=False)
+    print()
+    print(comparison_table(
+        [Comparison("hybrid vs pure im2col+GEMM @ 2048-bit/1 MB",
+                    PAPER_HEADLINES["yolo_hybrid_vs_gemm"],
+                    pure.cycles / hybrid.cycles)],
+        "the hybrid approach:",
+    ))
+
+    # The co-design sweep.
+    if args.quick:
+        vlens, l2s = (512, 4096), (1, 256)
+    else:
+        vlens, l2s = (512, 1024, 2048, 4096), (1, 16, 64, 128, 256)
+    print(f"\nSweeping VLEN {vlens} x L2 {l2s} MB ...")
+    sweep = codesign_sweep("yolov3-20L", layers, vlens=vlens, l2_mbs=l2s)
+    print()
+    print(runtime_figure(sweep, "Figure 3 — YOLOv3 runtime over the grid"))
+    print()
+    print(miss_rate_report(sweep, PAPER_TABLE1_YOLO, l2_mb=1,
+                           title="Table 1 — YOLOv3 L2 miss rate at 1 MB"))
+    comps = [
+        Comparison("VL speedup 512->4096 @ 1 MB",
+                   PAPER_HEADLINES["yolo_vl_speedup_512_to_4096"],
+                   sweep.speedup(4096, 1)),
+        Comparison("L2 speedup 1->256 MB @ 4096-bit",
+                   PAPER_HEADLINES["yolo_l2_speedup_1_to_256mb"],
+                   sweep.seconds(4096, 1) / sweep.seconds(4096, max(l2s))),
+        Comparison("combined", 2.6, sweep.speedup(4096, max(l2s))),
+    ]
+    print()
+    print(comparison_table(comps, "headline conclusions (paper vs measured):"))
+
+
+if __name__ == "__main__":
+    main()

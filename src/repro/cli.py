@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A small driver exposing the package's main entry points without writing
+Python — the role Spike's and gem5's command lines play in the paper's
+workflow:
+
+- ``conv``     run one convolutional layer functionally + through the
+               timing model and print its statistics;
+- ``sweep``    run a network over the co-design grid (Figures 3/4,
+               Tables 1/2);
+- ``roofline`` print the Figure 5/6 rooflines;
+- ``info``     describe a system configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.codesign import (
+    PAPER_TABLE1_YOLO,
+    PAPER_TABLE2_VGG,
+    codesign_sweep,
+    miss_rate_report,
+    runtime_figure,
+)
+from repro.conv import ConvAlgorithm, direct_conv2d
+from repro.kernels import im2col_gemm_conv2d_sim, winograd_conv2d_sim
+from repro.nets import vgg16_conv_layers, vgg16_layers, yolov3_layers
+from repro.roofline import render_roofline, roofline_points
+from repro.rvv import Memory, RvvMachine, Tracer
+from repro.sim import Simulator, SystemConfig
+
+
+def _add_system_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--vlen", type=int, default=512,
+                   help="vector length in bits (default 512)")
+    p.add_argument("--l2-mb", type=int, default=1,
+                   help="L2 capacity in MB (default 1)")
+    p.add_argument("--l1-kb", type=int, default=64)
+
+
+def _config(args) -> SystemConfig:
+    return SystemConfig(vlen_bits=args.vlen, l2_mb=args.l2_mb, l1_kb=args.l1_kb)
+
+
+def cmd_conv(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal((args.channels, args.size, args.size)).astype(np.float32)
+    w = rng.standard_normal(
+        (args.filters, args.channels, args.ksize, args.ksize)
+    ).astype(np.float32)
+    machine = RvvMachine(args.vlen, memory=Memory(1 << 28),
+                         tracer=Tracer(capture=True))
+    if args.algorithm == "winograd":
+        if args.ksize != 3:
+            print("winograd requires --ksize 3", file=sys.stderr)
+            return 2
+        out = winograd_conv2d_sim(machine, x, w, pad=1)
+        ref = direct_conv2d(x.astype(np.float64), w.astype(np.float64), pad=1)
+    else:
+        out = im2col_gemm_conv2d_sim(machine, x, w, stride=args.stride,
+                                     pad=args.ksize // 2)
+        ref = direct_conv2d(x.astype(np.float64), w.astype(np.float64),
+                            stride=args.stride, pad=args.ksize // 2)
+    err = float(np.max(np.abs(out - ref)))
+    print(f"functional check vs direct convolution: max abs err {err:.2e}")
+    stats = Simulator(_config(args)).run_trace(machine.tracer, label="cli conv")
+    print(stats.report())
+    return 0 if err < 1e-2 else 1
+
+
+def _network(name: str):
+    if name == "vgg16":
+        return vgg16_layers()
+    if name == "yolov3":
+        return yolov3_layers()
+    raise SystemExit(f"unknown network {name!r} (choose vgg16 or yolov3)")
+
+
+def cmd_sweep(args) -> int:
+    layers = _network(args.network)
+    vlens = tuple(int(v) for v in args.vlens.split(","))
+    l2s = tuple(int(v) for v in args.l2_sizes.split(","))
+    sweep = codesign_sweep(args.network, layers, vlens=vlens, l2_mbs=l2s,
+                           hybrid=not args.pure_gemm)
+    if args.json:
+        import json
+
+        payload = {
+            f"{v}b/{l}MB": sweep.at(v, l).total.to_dict()
+            for v in vlens for l in l2s
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(runtime_figure(sweep))
+    if 1 in l2s:
+        table = (PAPER_TABLE1_YOLO if args.network == "yolov3"
+                 else PAPER_TABLE2_VGG)
+        print()
+        print(miss_rate_report(sweep, table, l2_mb=1))
+    return 0
+
+
+def cmd_roofline(args) -> int:
+    layers = vgg16_conv_layers()[: args.layers]
+    algo = (ConvAlgorithm.WINOGRAD if args.algorithm == "winograd"
+            else ConvAlgorithm.IM2COL_GEMM)
+    pts = roofline_points(layers, _config(args), algo)
+    print(render_roofline(pts, f"VGG16 first {args.layers} layers, {args.algorithm}"))
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    from repro.rvv import listing, load_trace, summarize_basic_blocks
+
+    tracer = load_trace(args.trace)
+    if args.summary:
+        print(summarize_basic_blocks(tracer))
+    else:
+        print(listing(tracer, start=args.start, count=args.count))
+    return 0
+
+
+def cmd_info(args) -> int:
+    cfg = _config(args)
+    print(cfg.describe())
+    print(f"lanes (fp32)      : {cfg.lanes}")
+    print(f"peak GFLOP/s      : {cfg.peak_gflops:.1f}")
+    print(f"DRAM bandwidth    : {cfg.dram_gbs} GB/s")
+    print(f"roofline ridge AI : {cfg.peak_gflops / cfg.dram_gbs:.2f} flop/B")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("conv", help="run one convolution end to end")
+    _add_system_args(p)
+    p.add_argument("--algorithm", choices=["winograd", "im2col"],
+                   default="winograd")
+    p.add_argument("--channels", type=int, default=8)
+    p.add_argument("--filters", type=int, default=8)
+    p.add_argument("--size", type=int, default=20)
+    p.add_argument("--ksize", type=int, default=3)
+    p.add_argument("--stride", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_conv)
+
+    p = sub.add_parser("sweep", help="co-design sweep over VLEN x L2")
+    p.add_argument("network", choices=["vgg16", "yolov3"])
+    p.add_argument("--vlens", default="512,1024,2048,4096",
+                   help="comma-separated vector lengths in bits")
+    p.add_argument("--l2-sizes", default="1,16,64,128,256",
+                   help="comma-separated L2 sizes in MB")
+    p.add_argument("--pure-gemm", action="store_true",
+                   help="baseline policy: im2col+GEMM everywhere")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable results")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("roofline", help="Figure 5/6 rooflines")
+    _add_system_args(p)
+    p.add_argument("--algorithm", choices=["winograd", "im2col"],
+                   default="winograd")
+    p.add_argument("--layers", type=int, default=10)
+    p.set_defaults(func=cmd_roofline)
+
+    p = sub.add_parser("disasm", help="list a saved instruction trace")
+    p.add_argument("trace", help="trace file written by save_trace")
+    p.add_argument("--start", type=int, default=0)
+    p.add_argument("--count", type=int, default=50)
+    p.add_argument("--summary", action="store_true",
+                   help="collapse runs of identical instruction classes")
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("info", help="describe a system configuration")
+    _add_system_args(p)
+    p.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

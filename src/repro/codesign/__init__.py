@@ -1,0 +1,31 @@
+"""The co-design study: vector-length x L2-size sweeps and reporting."""
+
+from repro.codesign.report import (
+    PAPER_HEADLINES,
+    PAPER_TABLE1_YOLO,
+    PAPER_TABLE2_VGG,
+    Comparison,
+    comparison_table,
+    miss_rate_report,
+    runtime_figure,
+)
+from repro.codesign.sweep import (
+    PAPER_L2_MBS,
+    PAPER_VLENS,
+    SweepResult,
+    codesign_sweep,
+)
+
+__all__ = [
+    "codesign_sweep",
+    "SweepResult",
+    "PAPER_VLENS",
+    "PAPER_L2_MBS",
+    "Comparison",
+    "comparison_table",
+    "miss_rate_report",
+    "runtime_figure",
+    "PAPER_TABLE1_YOLO",
+    "PAPER_TABLE2_VGG",
+    "PAPER_HEADLINES",
+]

@@ -1,0 +1,112 @@
+"""The co-design parameter sweep (Figures 3/4, Tables 1/2).
+
+The paper tunes two hardware parameters on its simulated RISC-VV
+processor: the vector length (512 — 4096 bits, the range the gem5 fork
+supports) and the L2 cache size (1 — 256 MB).  :func:`codesign_sweep`
+runs a network over the full grid and :class:`SweepResult` answers the
+paper's questions: runtime per point, speedups relative to the
+512-bit / 1 MB baseline, and L2 miss-rate tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.kernels.tuple_mult import SLIDEUP
+from repro.model.layer_model import NetworkResult
+from repro.nets.inference import simulate_inference
+from repro.nets.layers import LayerSpec
+from repro.sim.system import SystemConfig
+
+#: The paper's sweep grids.
+PAPER_VLENS = (512, 1024, 2048, 4096)
+PAPER_L2_MBS = (1, 16, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Results of one network over the (VLEN x L2) grid."""
+
+    name: str
+    vlens: tuple[int, ...]
+    l2_mbs: tuple[int, ...]
+    results: dict[tuple[int, int], NetworkResult]
+
+    def at(self, vlen: int, l2_mb: int) -> NetworkResult:
+        try:
+            return self.results[(vlen, l2_mb)]
+        except KeyError:
+            raise ConfigError(
+                f"({vlen} bits, {l2_mb} MB) was not part of the sweep"
+            ) from None
+
+    def seconds(self, vlen: int, l2_mb: int) -> float:
+        return self.at(vlen, l2_mb).total.seconds
+
+    def speedup(
+        self, vlen: int, l2_mb: int,
+        base_vlen: int | None = None, base_l2_mb: int | None = None,
+    ) -> float:
+        """Speedup of a point relative to a baseline (default: the
+        smallest configuration of the sweep)."""
+        bv = base_vlen if base_vlen is not None else self.vlens[0]
+        bl = base_l2_mb if base_l2_mb is not None else self.l2_mbs[0]
+        return self.seconds(bv, bl) / self.seconds(vlen, l2_mb)
+
+    def miss_rate_table(self, l2_mb: int) -> dict[int, float]:
+        """L2 miss rate per vector length at one L2 size (Tables 1/2)."""
+        return {
+            v: self.at(v, l2_mb).total.l2_miss_rate for v in self.vlens
+        }
+
+    def runtime_grid(self) -> dict[int, dict[int, float]]:
+        """Seconds, keyed [vlen][l2_mb] (the Figure 3/4 series)."""
+        return {
+            v: {l: self.seconds(v, l) for l in self.l2_mbs}
+            for v in self.vlens
+        }
+
+    def best(self) -> tuple[int, int]:
+        """The fastest configuration of the grid."""
+        return min(
+            self.results, key=lambda k: self.results[k].total.seconds
+        )
+
+
+def codesign_sweep(
+    name: str,
+    layers: list[LayerSpec],
+    vlens: Sequence[int] = PAPER_VLENS,
+    l2_mbs: Sequence[int] = PAPER_L2_MBS,
+    hybrid: bool = True,
+    variant: str = SLIDEUP,
+    base_config: SystemConfig | None = None,
+) -> SweepResult:
+    """Run a network across the co-design grid.
+
+    Args:
+        name: report label.
+        layers: the network (from :mod:`repro.nets`).
+        vlens: vector lengths in bits.
+        l2_mbs: L2 capacities in MB.
+        hybrid: algorithm policy (see
+            :func:`repro.nets.inference.simulate_inference`).
+        variant: tuple-multiplication variant.
+        base_config: template for all other parameters (frequency,
+            L1, latency constants); defaults to the paper's setup.
+    """
+    if not vlens or not l2_mbs:
+        raise ConfigError("sweep grids must be non-empty")
+    base = base_config if base_config is not None else SystemConfig()
+    results: dict[tuple[int, int], NetworkResult] = {}
+    for v in vlens:
+        for l in l2_mbs:
+            cfg = base.with_(vlen_bits=v, l2_mb=l)
+            results[(v, l)] = simulate_inference(
+                name, layers, cfg, hybrid=hybrid, variant=variant
+            )
+    return SweepResult(
+        name=name, vlens=tuple(vlens), l2_mbs=tuple(l2_mbs), results=results
+    )

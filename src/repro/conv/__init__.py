@@ -1,0 +1,34 @@
+"""Reference convolution algorithms and the layer-level policy.
+
+- :func:`direct_conv2d` — ground-truth cross-correlation;
+- :func:`im2col` / :func:`im2col_gemm_conv2d` — the Darknet-style
+  generic algorithm;
+- :class:`~repro.winograd.tiles.WinogradConv2d` (re-exported) — the
+  NNPACK-style F(6x6, 3x3) pipeline;
+- :class:`ConvLayerSpec` / :func:`choose_algorithm` / :func:`run_layer`
+  — layer geometry and the paper's hybrid algorithm policy.
+"""
+
+from repro.conv.im2col_gemm import gemm, im2col, im2col_gemm_conv2d
+from repro.conv.layer import (
+    ConvAlgorithm,
+    ConvLayerSpec,
+    choose_algorithm,
+    run_layer,
+)
+from repro.conv.reference import conv_out_size, direct_conv2d, pad_input
+from repro.winograd.tiles import WinogradConv2d
+
+__all__ = [
+    "direct_conv2d",
+    "conv_out_size",
+    "pad_input",
+    "im2col",
+    "gemm",
+    "im2col_gemm_conv2d",
+    "WinogradConv2d",
+    "ConvAlgorithm",
+    "ConvLayerSpec",
+    "choose_algorithm",
+    "run_layer",
+]

@@ -1,0 +1,77 @@
+"""im2col + GEMM convolution (NumPy reference semantics).
+
+The generically-applicable convolution algorithm the paper uses for
+every layer Winograd cannot handle (kernel size != 3x3 or stride > 1),
+taken from the Darknet framework: ``im2col`` unfolds input patches into
+a column matrix, then a single GEMM with the flattened filter bank
+produces the output.
+
+The column-matrix layout matches Darknet's ``im2col_cpu``: the matrix is
+``(C*kh*kw) x (h_out*w_out)``, rows ordered channel-major then filter
+row/column, columns ordered output row-major.  The vectorized kernels of
+:mod:`repro.kernels.im2col` and :mod:`repro.kernels.gemm` produce and
+consume exactly this layout, which is what makes trace validation
+byte-exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.conv.reference import conv_out_size, pad_input
+from repro.errors import ConfigError
+
+
+def im2col(
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Unfold (C, H, W) into the Darknet column matrix.
+
+    Returns:
+        Array of shape (C*kh*kw, h_out*w_out).
+    """
+    if x.ndim != 3:
+        raise ConfigError("im2col expects a (C,H,W) tensor")
+    c, h, w = x.shape
+    h_out = conv_out_size(h, kh, stride, pad)
+    w_out = conv_out_size(w, kw, stride, pad)
+    xp = pad_input(x, pad)
+    windows = np.lib.stride_tricks.sliding_window_view(xp, (kh, kw), axis=(1, 2))
+    windows = windows[:, ::stride, ::stride][:, :h_out, :w_out]
+    # (C, h_out, w_out, kh, kw) -> (C, kh, kw, h_out*w_out) -> rows
+    cols = windows.transpose(0, 3, 4, 1, 2).reshape(c * kh * kw, h_out * w_out)
+    return np.ascontiguousarray(cols)
+
+
+def gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Plain reference GEMM, C = A @ B.
+
+    Kept as a named function so the algorithm-level code reads like the
+    Darknet call chain (``im2col`` then ``gemm``) and so tests can patch
+    or instrument the GEMM stage in isolation.
+    """
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ConfigError(f"GEMM shape mismatch: {a.shape} x {b.shape}")
+    return a @ b
+
+
+def im2col_gemm_conv2d(
+    x: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Full im2col+GEMM convolution of (C,H,W) with (K,C,kh,kw)."""
+    k, c, kh, kw = weights.shape
+    if x.shape[0] != c:
+        raise ConfigError(f"channel mismatch: input {x.shape[0]} vs filters {c}")
+    h_out = conv_out_size(x.shape[1], kh, stride, pad)
+    w_out = conv_out_size(x.shape[2], kw, stride, pad)
+    cols = im2col(x, kh, kw, stride, pad)
+    a = weights.reshape(k, c * kh * kw)
+    out = gemm(a, cols)
+    return out.reshape(k, h_out, w_out)

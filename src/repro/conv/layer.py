@@ -1,0 +1,137 @@
+"""Convolution layer specification and the paper's algorithm policy.
+
+The paper's *hybrid approach* (Section 5): use the optimized Winograd
+implementation for convolutional layers with 3x3 kernels and stride 1,
+and the optimized im2col+GEMM implementation everywhere else (1x1
+kernels, strided layers, and the 3-channel first layer, which cannot
+fill a vector with inter-tile channel parallelism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.conv.im2col_gemm import im2col_gemm_conv2d
+from repro.conv.reference import conv_out_size, direct_conv2d
+from repro.errors import ConfigError
+from repro.winograd.tiles import WinogradConv2d
+
+
+class ConvAlgorithm(str, Enum):
+    """Which implementation executes a convolutional layer."""
+
+    WINOGRAD = "winograd"
+    IM2COL_GEMM = "im2col_gemm"
+    DIRECT = "direct"
+
+
+@dataclass(frozen=True)
+class ConvLayerSpec:
+    """Geometry of one convolutional layer.
+
+    Attributes mirror a Darknet ``[convolutional]`` section: input
+    (C, H, W), output channels K, square kernel of size ``ksize``,
+    stride and symmetric padding.
+    """
+
+    name: str
+    c_in: int
+    h_in: int
+    w_in: int
+    c_out: int
+    ksize: int
+    stride: int = 1
+    pad: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.c_in, self.h_in, self.w_in, self.c_out, self.ksize) < 1:
+            raise ConfigError(f"non-positive dimension in layer {self.name}: {self}")
+        if self.stride < 1 or self.pad < 0:
+            raise ConfigError(f"bad stride/pad in layer {self.name}: {self}")
+
+    @property
+    def h_out(self) -> int:
+        return conv_out_size(self.h_in, self.ksize, self.stride, self.pad)
+
+    @property
+    def w_out(self) -> int:
+        return conv_out_size(self.w_in, self.ksize, self.stride, self.pad)
+
+    @property
+    def flops(self) -> int:
+        """Direct-algorithm FLOPs (2 per MAC), the paper's normalization."""
+        return (
+            2 * self.c_out * self.h_out * self.w_out
+            * self.c_in * self.ksize * self.ksize
+        )
+
+    @property
+    def weight_count(self) -> int:
+        return self.c_out * self.c_in * self.ksize * self.ksize
+
+    @property
+    def winograd_eligible(self) -> bool:
+        """The paper's rule: 3x3 kernel, stride 1, enough channels.
+
+        YOLOv3's first layer runs only 3 input channels, which the paper
+        excludes because inter-tile parallelization cannot fill even a
+        512-bit vector (4 channels) with it.
+        """
+        return self.ksize == 3 and self.stride == 1 and self.c_in >= 4
+
+
+def choose_algorithm(
+    spec: ConvLayerSpec, hybrid: bool = True, direct_1x1: bool = False
+) -> ConvAlgorithm:
+    """The paper's layer-to-algorithm policy.
+
+    Args:
+        spec: layer geometry.
+        hybrid: when True (the paper's hybrid approach), Winograd-eligible
+            layers use Winograd; when False, every layer uses
+            im2col+GEMM (the paper's baseline configuration).
+        direct_1x1: extension beyond the paper — route 1x1 layers to the
+            direct kernel (skipping the im2col copy) instead of
+            im2col+GEMM; see ``bench_ablation_direct_1x1.py``.
+    """
+    if hybrid and spec.winograd_eligible:
+        return ConvAlgorithm.WINOGRAD
+    if direct_1x1 and spec.ksize == 1 and spec.pad == 0:
+        return ConvAlgorithm.DIRECT
+    return ConvAlgorithm.IM2COL_GEMM
+
+
+def run_layer(
+    spec: ConvLayerSpec,
+    x: np.ndarray,
+    weights: np.ndarray,
+    algorithm: ConvAlgorithm | None = None,
+) -> np.ndarray:
+    """Execute one layer with the chosen (or policy-selected) algorithm.
+
+    This is the NumPy reference path used for validation; the simulated
+    performance path lives in :mod:`repro.model` / :mod:`repro.nets`.
+    """
+    if x.shape != (spec.c_in, spec.h_in, spec.w_in):
+        raise ConfigError(
+            f"layer {spec.name}: input shape {x.shape} does not match spec "
+            f"{(spec.c_in, spec.h_in, spec.w_in)}"
+        )
+    if weights.shape != (spec.c_out, spec.c_in, spec.ksize, spec.ksize):
+        raise ConfigError(
+            f"layer {spec.name}: weight shape {weights.shape} does not match spec"
+        )
+    algo = algorithm if algorithm is not None else choose_algorithm(spec)
+    if algo is ConvAlgorithm.WINOGRAD:
+        if not (spec.ksize == 3 and spec.stride == 1):
+            raise ConfigError(
+                f"layer {spec.name}: Winograd requires 3x3 stride-1, got "
+                f"{spec.ksize}x{spec.ksize} stride {spec.stride}"
+            )
+        return WinogradConv2d()(x, weights, pad=spec.pad)
+    if algo is ConvAlgorithm.IM2COL_GEMM:
+        return im2col_gemm_conv2d(x, weights, stride=spec.stride, pad=spec.pad)
+    return direct_conv2d(x, weights, stride=spec.stride, pad=spec.pad)

@@ -1,0 +1,69 @@
+"""Direct convolution — the numerical ground truth.
+
+Darknet convolutional layers compute cross-correlation with optional
+zero padding and stride.  :func:`direct_conv2d` implements exactly that
+over (C, H, W) tensors and is what every other algorithm in the package
+(im2col+GEMM, Winograd, and the vectorized kernels) is validated
+against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def conv_out_size(size: int, k: int, stride: int, pad: int) -> int:
+    """Output spatial size of a convolution dimension (Darknet rule)."""
+    out = (size + 2 * pad - k) // stride + 1
+    if out <= 0:
+        raise ConfigError(
+            f"non-positive output size for input={size}, k={k}, "
+            f"stride={stride}, pad={pad}"
+        )
+    return out
+
+
+def pad_input(x: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad the two spatial dimensions of a (C, H, W) tensor."""
+    if pad == 0:
+        return x
+    if pad < 0:
+        raise ConfigError(f"padding must be non-negative, got {pad}")
+    return np.pad(x, ((0, 0), (pad, pad), (pad, pad)))
+
+
+def direct_conv2d(
+    x: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Cross-correlation of (C, H, W) input with (K, C, kh, kw) filters.
+
+    Args:
+        x: input tensor, shape (C, H, W).
+        weights: filter bank, shape (K, C, kh, kw).
+        stride: spatial stride (same in both dimensions, as Darknet).
+        pad: symmetric zero padding.
+
+    Returns:
+        Output tensor of shape (K, h_out, w_out) in the input dtype's
+        promoted precision.
+    """
+    if x.ndim != 3 or weights.ndim != 4:
+        raise ConfigError("expected x as (C,H,W) and weights as (K,C,kh,kw)")
+    c, h, w = x.shape
+    k, cw, kh, kw = weights.shape
+    if c != cw:
+        raise ConfigError(f"channel mismatch: input {c} vs filters {cw}")
+    if stride < 1:
+        raise ConfigError(f"stride must be >= 1, got {stride}")
+    xp = pad_input(x, pad)
+    h_out = conv_out_size(h, kh, stride, pad)
+    w_out = conv_out_size(w, kw, stride, pad)
+    # windows: (C, h_out, w_out, kh, kw) strided view — no copies.
+    windows = np.lib.stride_tricks.sliding_window_view(xp, (kh, kw), axis=(1, 2))
+    windows = windows[:, ::stride, ::stride][:, :h_out, :w_out]
+    return np.einsum("chwij,kcij->khw", windows, weights, optimize=True)

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulator stack derives from :class:`ReproError`
+so callers can catch the whole family with one handler while tests can
+assert on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of range or internally inconsistent."""
+
+
+class MemoryError_(ReproError):
+    """An access fell outside an allocation or the simulated address space.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`, which means something entirely different.
+    """
+
+
+class AllocationError(MemoryError_):
+    """The simulated heap cannot satisfy an allocation request."""
+
+
+class AlignmentError(MemoryError_):
+    """An address or stride violates an alignment requirement."""
+
+
+class VectorStateError(ReproError):
+    """A vector operation was attempted with invalid machine state.
+
+    Examples: operating before any ``vsetvl``, using an SEW the machine
+    does not implement, or using a register group that violates LMUL
+    alignment rules.
+    """
+
+
+class RegisterSpillError(ReproError):
+    """A kernel requested more live vector registers than the file holds.
+
+    The paper (Section 3) discusses register spilling pressure caused by
+    RVV's lack of vector-typed pointers; the functional simulator surfaces
+    the condition as a hard error so kernels are forced to stay within the
+    architectural register file, exactly like hand-written intrinsics code.
+    """
+
+
+class IllegalInstructionError(ReproError):
+    """An intrinsic was invoked with operands the ISA forbids.
+
+    For example ``vslideup`` with overlapping source and destination
+    register groups, which RVV 1.0 reserves.
+    """
+
+
+class TraceValidationError(ReproError):
+    """An analytical instruction-stream model disagrees with a trace."""
+
+
+class SimulationError(ReproError):
+    """The timing simulator reached an inconsistent internal state."""

@@ -1,0 +1,111 @@
+"""RVV 1.0 `vtype` encoding and the ``vsetvl`` vector-length rule.
+
+The RISC-V "V" extension v1.0 configures vector execution through the
+``vtype`` CSR, which carries the selected element width (SEW) and the
+register-group multiplier (LMUL), and through the ``vl`` CSR, set by the
+``vsetvl`` family of instructions from the application vector length
+(AVL).  This module implements those rules exactly as the specification
+defines them for the subset the paper's kernels exercise:
+
+- SEW in {8, 16, 32, 64} bits (the convolutions use fp32, SEW=32);
+- integer LMUL in {1, 2, 4, 8} (fractional LMUL is not needed by any of
+  the kernels and is rejected explicitly);
+- ``VLMAX = VLEN * LMUL / SEW`` and ``vl = min(AVL, VLMAX)``.
+
+The paper evaluates hardware vector lengths (VLEN) of 512 to 4096 bits
+on gem5 and up to 16384 bits on other tools; we accept any power of two
+from 128 to 16384.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, VectorStateError
+
+#: Element widths implemented by the simulated machine, in bits.
+SEW_BITS = (8, 16, 32, 64)
+
+#: Hardware vector lengths accepted by the simulated machine, in bits.
+#: RVV requires VLEN to be a power of two; the paper's tools span
+#: 512 (a typical first implementation) to 16384 (Vehave's maximum).
+VLEN_CHOICES = tuple(128 << i for i in range(8))  # 128 .. 16384
+
+#: Register-group multipliers implemented (integer LMUL only).
+LMUL_CHOICES = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class VType:
+    """The dynamic vector-type state selected by ``vsetvl``.
+
+    Attributes:
+        sew: selected element width in bits.
+        lmul: register group multiplier.
+    """
+
+    sew: int = 32
+    lmul: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sew not in SEW_BITS:
+            raise VectorStateError(
+                f"SEW={self.sew} is not implemented; choose one of {SEW_BITS}"
+            )
+        if self.lmul not in LMUL_CHOICES:
+            raise VectorStateError(
+                f"LMUL={self.lmul} is not implemented; choose one of {LMUL_CHOICES}"
+            )
+
+    @property
+    def sew_bytes(self) -> int:
+        """Element width in bytes."""
+        return self.sew // 8
+
+
+def validate_vlen(vlen_bits: int) -> int:
+    """Check that a hardware vector length is one the machine supports.
+
+    Returns the value unchanged so it can be used inline in constructors.
+    """
+    if vlen_bits not in VLEN_CHOICES:
+        raise ConfigError(
+            f"VLEN={vlen_bits} bits is not supported; choose one of {VLEN_CHOICES}"
+        )
+    return vlen_bits
+
+
+def vlmax(vlen_bits: int, sew: int, lmul: int = 1) -> int:
+    """``VLMAX`` — the architectural maximum vector length in elements.
+
+    ``VLMAX = VLEN * LMUL / SEW`` per the RVV 1.0 specification.
+    """
+    vt = VType(sew=sew, lmul=lmul)
+    validate_vlen(vlen_bits)
+    return (vlen_bits * vt.lmul) // vt.sew
+
+
+def vsetvl(avl: int, vlen_bits: int, sew: int, lmul: int = 1) -> int:
+    """Compute the granted vector length for an application vector length.
+
+    Implements the mandatory ``vl`` setting rule of RVV 1.0:
+    ``vl = min(AVL, VLMAX)``.  (The spec permits implementations to grant
+    ``ceil(AVL/2) <= vl < AVL`` when ``AVL < 2*VLMAX`` to balance loop
+    tails, but all tools the paper uses grant the simple minimum, and so
+    do we.)
+
+    Args:
+        avl: application vector length requested by the strip-mined loop.
+        vlen_bits: hardware vector length of the machine.
+        sew: selected element width in bits.
+        lmul: register-group multiplier.
+
+    Returns:
+        The granted vector length ``vl`` in elements.
+
+    Raises:
+        VectorStateError: if ``avl`` is negative or sew/lmul are invalid.
+    """
+    if avl < 0:
+        raise VectorStateError(f"AVL must be non-negative, got {avl}")
+    return min(avl, vlmax(vlen_bits, sew, lmul))

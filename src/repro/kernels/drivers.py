@@ -1,0 +1,104 @@
+"""End-to-end convolution drivers on the functional vector machines.
+
+These run the complete vectorized pipelines (data staging -> kernels ->
+result readback) on an :class:`~repro.rvv.RvvMachine` or
+:class:`~repro.sve.SveMachine`, returning NumPy results that the test
+suite validates bit-for-bit-tolerance against the reference algorithms
+of :mod:`repro.conv`.  They are the "Spike validation" stage of the
+paper's methodology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kernels.buffers import (
+    GemmBuffers,
+    Im2colBuffers,
+    WinogradBuffers,
+)
+from repro.kernels.common import GemmGeometry, Im2colGeometry, WinogradGeometry
+from repro.kernels.gemm import gemm_kernel
+from repro.kernels.im2col import im2col_kernel
+from repro.kernels.transforms import (
+    filter_transform,
+    input_transform,
+    output_transform,
+)
+from repro.kernels.tuple_mult import SLIDEUP, tuple_multiplication
+from repro.rvv.machine import VectorEngine
+
+
+def winograd_conv2d_sim(
+    machine: VectorEngine,
+    x: np.ndarray,
+    weights: np.ndarray,
+    pad: int = 1,
+    variant: str = SLIDEUP,
+) -> np.ndarray:
+    """Full Winograd convolution executed on the vector machine.
+
+    Args:
+        machine: an RVV or SVE functional machine.
+        x: input (C, H, W), float32.
+        weights: filters (K, C, 3, 3), float32.
+        pad: 0 or 1.
+        variant: tuple-multiplication variant (see
+            :mod:`repro.kernels.tuple_mult`).
+
+    Returns:
+        Output (K, h_out, w_out) as float32.
+    """
+    if x.ndim != 3 or weights.ndim != 4 or weights.shape[2:] != (3, 3):
+        raise ConfigError("expected (C,H,W) input and (K,C,3,3) filters")
+    c, h, w = x.shape
+    k = weights.shape[0]
+    if weights.shape[1] != c:
+        raise ConfigError(f"channel mismatch: {c} vs {weights.shape[1]}")
+    geom = WinogradGeometry(
+        c_in=c, h=h, w=w, c_out=k, pad=pad,
+        vlen_elems=machine.vlen_bits // 32,
+    )
+    bufs = WinogradBuffers.allocate(machine, geom)
+    bufs.load_input(machine, geom, np.asarray(x, dtype=np.float32))
+    bufs.load_weights(machine, geom, np.asarray(weights, dtype=np.float32))
+    filter_transform(machine, geom, bufs)
+    input_transform(machine, geom, bufs)
+    tuple_multiplication(machine, geom, bufs, variant=variant)
+    output_transform(machine, geom, bufs)
+    return bufs.read_output(machine, geom)
+
+
+def im2col_gemm_conv2d_sim(
+    machine: VectorEngine,
+    x: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Full im2col+GEMM convolution executed on the vector machine."""
+    if x.ndim != 3 or weights.ndim != 4:
+        raise ConfigError("expected (C,H,W) input and (K,C,kh,kw) filters")
+    c, h, w = x.shape
+    k, cw, kh, kw = weights.shape
+    if cw != c or kh != kw:
+        raise ConfigError("channel mismatch or non-square kernel")
+    ig = Im2colGeometry(c_in=c, h=h, w=w, ksize=kh, stride=stride, pad=pad)
+    ibufs = Im2colBuffers.allocate(machine, ig)
+    ibufs.load_input(machine, ig, np.asarray(x, dtype=np.float32))
+    im2col_kernel(machine, ig, ibufs)
+
+    gg = GemmGeometry(
+        m=k, kd=ig.rows, n=ig.cols, vlen_elems=machine.vlen_bits // 32,
+    )
+    gbufs = GemmBuffers(
+        a=machine.memory.alloc_f32(gg.a_size),
+        b=ibufs.cols,  # GEMM reads the column matrix in place
+        c=machine.memory.alloc_f32(gg.c_size),
+    )
+    machine.memory.write_f32(
+        gbufs.a, np.asarray(weights, dtype=np.float32).reshape(k, -1)
+    )
+    gemm_kernel(machine, gg, gbufs)
+    return gbufs.read_c(machine, gg).reshape(k, ig.h_out, ig.w_out)

@@ -1,0 +1,53 @@
+"""VLA im2col kernel — Darknet's input unfolding, vectorized.
+
+Each row of the column matrix corresponds to one (channel, filter-row,
+filter-column) triple; filling it copies one shifted/strided view of
+the input plane.  Stride-1 layers copy with unit-stride loads; strided
+layers use strided loads (element stride = ``stride * 4`` bytes), one
+output row at a time, strip-mined over the output width.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.buffers import Im2colBuffers
+from repro.kernels.common import Im2colGeometry
+from repro.rvv.machine import VectorEngine
+
+
+def im2col_kernel(
+    machine: VectorEngine,
+    geom: Im2colGeometry,
+    bufs: Im2colBuffers,
+) -> None:
+    """Unfold the padded input into the Darknet column matrix.
+
+    Loop structure (mirrored exactly by
+    :func:`repro.model.im2col_model.im2col_nests`):
+
+    for each row (c, ki, kj) of the column matrix:
+      for each output row oy:
+        strip-mine output columns: (unit or strided) load + unit store
+    """
+    s = geom.stride
+    with machine.alloc.scoped(1) as (v,):
+        for c in range(geom.c_in):
+            for ki in range(geom.ksize):
+                for kj in range(geom.ksize):
+                    row = (c * geom.ksize + ki) * geom.ksize + kj
+                    for oy in range(geom.h_out):
+                        iy = oy * s + ki
+                        done = 0
+                        while done < geom.w_out:
+                            vl = machine.setvl(geom.w_out - done)
+                            src = bufs.x + 4 * geom.x_offset(
+                                c, iy, (done * s) + kj
+                            )
+                            if s == 1:
+                                machine.vle32(v, src)
+                            else:
+                                machine.vlse32(v, src, 4 * s)
+                            dst = bufs.cols + 4 * (
+                                row * geom.cols + oy * geom.w_out + done
+                            )
+                            machine.vse32(v, dst)
+                            done += vl

@@ -1,0 +1,111 @@
+"""Streaming micro-kernels: memcpy/axpy/dot with LMUL register grouping.
+
+The paper's introduction motivates long vectors by the front-end energy
+and instruction-count savings ("reducing the number of instructions
+required to complete a task, thereby reducing the energy consumed by
+the processor's front end").  RVV offers a second lever for the same
+effect: **LMUL register grouping**, which gangs 2/4/8 architectural
+registers into one operand so a fixed-VLEN machine executes
+strip-mined loops with proportionally fewer dynamic instructions.
+
+These micro-kernels make that lever measurable: each is a canonical
+strip-mined loop parameterized by LMUL, exercised in
+``bench_ablation_lmul.py`` and validated functionally in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.rvv.machine import VectorEngine
+
+
+def _check_lmul(machine: VectorEngine, lmul: int) -> None:
+    if lmul not in (1, 2, 4, 8):
+        raise ConfigError(f"LMUL must be 1, 2, 4 or 8, got {lmul}")
+
+
+def memcpy_kernel(
+    machine: VectorEngine, dst: int, src: int, n: int, lmul: int = 1
+) -> None:
+    """Copy ``n`` fp32 elements with LMUL-grouped vectors."""
+    _check_lmul(machine, lmul)
+    with machine.alloc.scoped(1, lmul=lmul) as (v,):
+        done = 0
+        while done < n:
+            vl = machine.setvl(n - done, lmul=lmul)
+            machine.vle32(v, src + 4 * done)
+            machine.vse32(v, dst + 4 * done)
+            done += vl
+
+
+def axpy_kernel(
+    machine: VectorEngine, alpha: float, x: int, y: int, n: int, lmul: int = 1
+) -> None:
+    """``y += alpha * x`` over ``n`` fp32 elements."""
+    _check_lmul(machine, lmul)
+    with machine.alloc.scoped(2, lmul=lmul) as (vx, vy):
+        done = 0
+        while done < n:
+            vl = machine.setvl(n - done, lmul=lmul)
+            machine.vle32(vx, x + 4 * done)
+            machine.vle32(vy, y + 4 * done)
+            machine.vfmacc_vf(vy, alpha, vx)
+            machine.vse32(vy, y + 4 * done)
+            done += vl
+
+
+def dot_kernel(
+    machine: VectorEngine, x: int, y: int, n: int, lmul: int = 1
+) -> float:
+    """Dot product of two fp32 vectors (per-strip reductions summed)."""
+    _check_lmul(machine, lmul)
+    total = 0.0
+    with machine.alloc.scoped(3, lmul=lmul) as (vx, vy, vp):
+        done = 0
+        while done < n:
+            vl = machine.setvl(n - done, lmul=lmul)
+            machine.vle32(vx, x + 4 * done)
+            machine.vle32(vy, y + 4 * done)
+            machine.vfmul_vv(vp, vx, vy)
+            total += machine.vfredusum(vp)
+            done += vl
+    return total
+
+
+def run_streaming(
+    kernel: str,
+    machine: VectorEngine,
+    n: int,
+    lmul: int = 1,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Allocate, run and read back one of the streaming kernels.
+
+    Returns ``(result, expected)`` NumPy arrays for validation; for
+    ``dot`` both are length-1 arrays.
+    """
+    rng = np.random.default_rng(seed)
+    xv = rng.standard_normal(n).astype(np.float32)
+    yv = rng.standard_normal(n).astype(np.float32)
+    x = machine.memory.alloc_f32(n)
+    y = machine.memory.alloc_f32(n)
+    machine.memory.write_f32(x, xv)
+    machine.memory.write_f32(y, yv)
+    if kernel == "memcpy":
+        memcpy_kernel(machine, y, x, n, lmul=lmul)
+        return machine.memory.read_f32(y, n), xv
+    if kernel == "axpy":
+        axpy_kernel(machine, 2.5, x, y, n, lmul=lmul)
+        return (
+            machine.memory.read_f32(y, n),
+            yv + np.float32(2.5) * xv,
+        )
+    if kernel == "dot":
+        got = dot_kernel(machine, x, y, n, lmul=lmul)
+        return (
+            np.array([got], dtype=np.float64),
+            np.array([np.dot(xv.astype(np.float64), yv.astype(np.float64))]),
+        )
+    raise ConfigError(f"unknown streaming kernel {kernel!r}")

@@ -1,0 +1,135 @@
+"""The 4-vector transpose workarounds — the paper's Algorithms 3 and 4.
+
+RVV 1.0 has no vector transpose instruction (the EPI toolchain ships
+custom ones, but they are not in the standard "V" extension), so
+transposing data held in four vector registers — needed when the
+Winograd transforms interleave channel groups — must bounce through
+memory.  The paper evaluates two implementations with small code
+snippets and finds them equal in performance, "as they both cannot
+avoid memory accesses".
+
+Semantics.  Figure 2 of the paper shows the 4x4 case: registers
+V0..V3 become registers holding [V0[e], V1[e], V2[e], V3[e]].  The
+vector-length-agnostic generalization implemented here is the 4-way
+element interleave, the operation channel-group interleaving actually
+needs on long vectors:
+
+    out_g[4m + r] = V_r[g * vl/4 + m],   g, r in 0..3,  m in 0..vl/4
+
+which for vl = 4 degenerates exactly to Figure 2's transpose.
+
+- **Algorithm 3 (indexed)**: four contiguous stores dump V0..V3 into a
+  buffer; for each output an index vector is built/loaded and an
+  indexed (gather) load assembles the interleaved lanes.
+- **Algorithm 4 (strided)**: four strided stores (stride 16 bytes =
+  4 floats, base offset 4r) write the buffer *already interleaved*, so
+  each output is one contiguous load.
+
+Instruction shapes per call (the quantities benchmark K2 compares):
+Algorithm 3: 4 unit stores + 4 index loads + 4 indexed loads;
+Algorithm 4: 4 strided stores + 4 unit loads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kernels.common import QUAD
+from repro.rvv.machine import VectorEngine
+
+
+def interleave4_reference(vecs: np.ndarray) -> np.ndarray:
+    """NumPy reference of the 4-way interleave.
+
+    Args:
+        vecs: array (4, vl), vl a multiple of 4.
+
+    Returns:
+        Array (4, vl): out[g, 4m + r] = vecs[r, g*vl/4 + m].
+    """
+    if vecs.ndim != 2 or vecs.shape[0] != QUAD or vecs.shape[1] % QUAD:
+        raise ConfigError(f"expected (4, 4n) array, got {vecs.shape}")
+    vl = vecs.shape[1]
+    # (r, g, m) -> (g, m, r)
+    return (
+        vecs.reshape(QUAD, QUAD, vl // QUAD)
+        .transpose(1, 2, 0)
+        .reshape(QUAD, vl)
+        .copy()
+    )
+
+
+def transpose4_indexed(
+    machine: VectorEngine,
+    regs: list[int],
+    out_regs: list[int],
+    buffer_addr: int,
+    idx_reg: int,
+) -> None:
+    """Algorithm 3: contiguous stores, index build, gather loads.
+
+    ``buffer_addr`` must hold at least ``4 * vl`` floats.  ``idx_reg``
+    is clobbered.  ``regs`` and ``out_regs`` must not overlap.
+    """
+    vl = machine.vl
+    if vl % QUAD:
+        raise ConfigError(f"transpose needs vl divisible by 4, got {vl}")
+    if set(regs) & set(out_regs):
+        raise ConfigError("transpose source and destination registers overlap")
+    # Dump: buffer[r*vl + i] = V_r[i].
+    for r in range(QUAD):
+        machine.vse32(regs[r], buffer_addr + 4 * vl * r)
+    # Gather: out_g lane (4m + r) <- buffer[r*vl + g*vl/4 + m].
+    lanes = np.arange(vl, dtype=np.uint32)
+    m_idx = lanes // QUAD
+    r_idx = lanes % QUAD
+    for g in range(QUAD):
+        offsets = 4 * (r_idx * vl + g * (vl // QUAD) + m_idx)
+        machine.load_index_u32(idx_reg, offsets)
+        machine.vluxei32(out_regs[g], buffer_addr, idx_reg)
+
+
+def transpose4_native(
+    machine: VectorEngine,
+    regs: list[int],
+    out_regs: list[int],
+) -> None:
+    """The paper's proposed vector-transpose instruction, used natively.
+
+    Requires :class:`repro.rvv.proposed.RvvPlusMachine`: one ``vtrn4``
+    (four register permutes) replaces both memory-workaround variants —
+    "eliminating the need for memory operations", as the paper puts it.
+    """
+    if not getattr(machine, "HAS_PROPOSED_EXTENSIONS", False):
+        raise ConfigError(
+            "transpose4_native needs the proposed vtrn4 instruction "
+            "(run on RvvPlusMachine)"
+        )
+    if set(regs) & set(out_regs):
+        raise ConfigError("transpose source and destination registers overlap")
+    machine.vtrn4_vv(tuple(out_regs), tuple(regs))
+
+
+def transpose4_strided(
+    machine: VectorEngine,
+    regs: list[int],
+    out_regs: list[int],
+    buffer_addr: int,
+) -> None:
+    """Algorithm 4: stride-16 stores, contiguous loads.
+
+    Register r stores with an element stride of 16 bytes starting at
+    byte offset 4r, laying the buffer out pre-interleaved:
+    ``buffer[4i + r] = V_r[i]``.  Output g then unit-loads from element
+    offset ``g * vl``.  Same preconditions as the indexed variant.
+    """
+    vl = machine.vl
+    if vl % QUAD:
+        raise ConfigError(f"transpose needs vl divisible by 4, got {vl}")
+    if set(regs) & set(out_regs):
+        raise ConfigError("transpose source and destination registers overlap")
+    for r in range(QUAD):
+        machine.vsse32(regs[r], buffer_addr + 4 * r, QUAD * 4)
+    for g in range(QUAD):
+        machine.vle32(out_regs[g], buffer_addr + 4 * vl * g)

@@ -1,0 +1,251 @@
+"""Tuple multiplication — the paper's Algorithm 1 and Algorithm 2.
+
+The Winograd tuple multiplication contracts the transformed input
+``V_p[c][t]`` with the transformed filters ``U_p[c][k]`` over the input
+channels, independently for each of the 64 tuple positions ``p``:
+
+    M_p[t, k] = sum_c V_p[c, t] * U_p[c, k]
+
+The microkernel covers one *tile block* of 64 tiles with 16 quad
+accumulators and one *k-panel* of ``vl/4`` output channels per vector:
+accumulator lane ``l = 4*(k - k0) + e`` of quad ``q`` holds
+``M_p[64*tb + 4q + e, k]``.  Per input channel the kernel issues **one
+unit-stride load of the compact filter panel** (the plain filter matrix
+of the paper's Algorithm 1) followed by one ``vrgather`` spreading each
+value across its quad's four lanes, and, per quad, **one replication of
+a four-element block of V** followed by a ``vfmacc`` — the instruction
+shape of the paper's pseudocode.
+
+The quad replication is where the paper's two variants differ:
+
+- :data:`INDEXED` (Algorithm 1): an indexed (gather) load with the
+  periodic byte-offset pattern 0,4,8,12, 0,4,8,12, ... materialized in
+  an index register once per kernel invocation.
+- :data:`SLIDEUP` (Algorithm 2): a unit-stride load of the quad, then
+  ``vslideup`` steps (with the register copies RVV 1.0's no-overlap
+  rule forces) replicating it across the vector.  ``SLIDEUP`` uses the
+  paper's linear slide amounts 4, 8, ..., vl/2; :data:`SLIDEUP_LOG`
+  is the doubling-amount refinement (an ablation in DESIGN.md).
+
+The paper measures the slideup variant ~2.3x faster because indexed
+loads cost one memory access per element; benchmark K1 reproduces that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kernels.buffers import WinogradBuffers
+from repro.kernels.common import QUAD, TILES_PER_BLOCK, WinogradGeometry
+from repro.rvv.machine import VectorEngine
+
+#: Variant names.
+INDEXED = "indexed"
+SLIDEUP = "slideup"
+SLIDEUP_LOG = "slideup_log"
+#: Uses the proposed ``vrep4`` instruction (requires
+#: :class:`repro.rvv.proposed.RvvPlusMachine`): one register permute
+#: replaces the whole slide chain — the paper's "opportunity".
+NATIVE = "native"
+
+VARIANTS = (INDEXED, SLIDEUP, SLIDEUP_LOG, NATIVE)
+
+#: Quads per tile block: 16 accumulators.
+QUADS_PER_BLOCK = TILES_PER_BLOCK // QUAD
+
+
+def quad_index_pattern(vl: int) -> np.ndarray:
+    """The Algorithm 1 index pattern: byte offsets 0,4,8,12 repeated."""
+    return np.tile(np.arange(QUAD, dtype=np.uint32) * 4, -(-vl // QUAD))[:vl]
+
+
+def expand_index_pattern(vl: int) -> np.ndarray:
+    """``vrgather`` lane indices expanding a compact filter panel.
+
+    Lane ``4m + e`` reads source lane ``m``, spreading each loaded
+    filter value across the four tile rows of a quad.
+    """
+    return (np.arange(vl, dtype=np.uint32) // QUAD).astype(np.uint32)
+
+
+def slide_amounts(vl: int, log2: bool = False) -> list[int]:
+    """Slide offsets replicating a leading quad across ``vl`` lanes.
+
+    Linear (the paper's Algorithm 2 loop): amounts 4, 8, 12, ... — the
+    correctly-replicated prefix grows by the slide amount each step
+    (4 -> 8 -> 16 -> 28 -> 44 -> ...), so the loop stops once the
+    prefix covers ``vl`` (at amount ~vl/2 for power-of-two lengths,
+    matching the paper's ``4*ind <= gvl/2`` bound).
+    Doubling: amounts 4, 8, 16, ... (prefix doubles per step).
+    """
+    if vl <= QUAD:
+        return []
+    out: list[int] = []
+    prefix = QUAD
+    if log2:
+        while prefix < vl:
+            out.append(prefix)
+            prefix *= 2
+        return out
+    amt = QUAD
+    while prefix < vl:
+        out.append(amt)
+        prefix += amt
+        amt += QUAD
+    return out
+
+
+def _replicate_quad_slideup(
+    machine: VectorEngine, a: int, b: int, amounts: list[int]
+) -> int:
+    """Replicate the quad in ``a``'s leading lanes using slide-ups.
+
+    RVV 1.0 reserves overlapping source/destination for ``vslideup``,
+    and the destination's lanes below the offset are preserved, so each
+    step is a register copy plus a slide, ping-ponging between ``a``
+    and ``b``.  Returns the register holding the replicated quad.
+    """
+    cur, other = a, b
+    for amt in amounts:
+        machine.vmv_v_v(other, cur)
+        machine.vslideup_vx(other, cur, amt)
+        cur, other = other, cur
+    return cur
+
+
+#: Loop orders (see the docstring below and EXPERIMENTS.md).
+FILTER_STATIONARY = "filter_stationary"
+TILE_STATIONARY = "tile_stationary"
+
+LOOP_ORDERS = (FILTER_STATIONARY, TILE_STATIONARY)
+
+
+def tuple_multiplication(
+    machine: VectorEngine,
+    geom: WinogradGeometry,
+    bufs: WinogradBuffers,
+    variant: str = SLIDEUP,
+    loop_order: str = FILTER_STATIONARY,
+) -> None:
+    """Compute M = V (*) U for all tuple positions.
+
+    Loop structure (mirrored exactly by
+    :func:`repro.model.winograd_model.tuple_mult_model`); the loop
+    order is filter-stationary — per (tuple position, k-panel) the
+    compact filter slab stays cache-hot while the tile blocks stream —
+    so the transformed filters are read essentially once per layer.
+    The transformed input V is re-read once per k-panel at a reuse
+    distance of roughly its per-tuple-position plane, and the tuple
+    products M are re-read by the output transform an entire tensor
+    later: those two distances (MBs to tens of MBs for the deep
+    layers) are the working sets whose capture drives the L2-size
+    scaling of the paper's Figures 3 and 4.
+
+    for p in 64 tuple positions:
+      for kp in k-panels (vl = panel lanes):
+        1x expansion-index load (+ quad-index load for INDEXED)
+        for tb in tile blocks:
+          16x accumulator init
+          for c in input channels:
+            1x unit load of the compact filter panel U[p][c][k0..]
+            1x vrgather expanding it four-fold across quad lanes
+            for q in 16 quads:
+              quad replication of V[p][tb][c][4q..4q+3]  (variant)
+              1x vfmacc
+          16x unit store into M
+
+    The alternative ``tile_stationary`` order swaps the loops to
+    (tile block, k-panel, p, c): the filter tensor is then re-streamed
+    once per tile block — worse at small caches but with the higher,
+    paper-like L2 miss rates; ablation A9 quantifies the trade-off.
+    """
+    if variant not in VARIANTS:
+        raise ConfigError(f"unknown tuple-multiplication variant {variant!r}")
+    if loop_order not in LOOP_ORDERS:
+        raise ConfigError(f"unknown loop order {loop_order!r}")
+    if variant == NATIVE and not getattr(
+        machine, "HAS_PROPOSED_EXTENSIONS", False
+    ):
+        raise ConfigError(
+            "the 'native' variant needs the proposed vrep4 instruction "
+            "(run on RvvPlusMachine)"
+        )
+    idx_reg = machine.alloc.alloc()
+    exp_reg = machine.alloc.alloc()
+    acc = machine.alloc.alloc_many(QUADS_PER_BLOCK)
+    b_reg = machine.alloc.alloc()
+    bx_reg = machine.alloc.alloc()
+    a_reg = machine.alloc.alloc()
+    a2_reg = machine.alloc.alloc()
+    def schedule():
+        """(p, kp, new_panel, tb) in the selected loop order.
+
+        ``new_panel`` marks (p, kp) transitions, where the kernel must
+        re-issue vsetvl and reload its index vectors.
+        """
+        if loop_order == FILTER_STATIONARY:
+            for p_ in range(64):
+                for kp_ in range(geom.k_panels):
+                    for i, tb_ in enumerate(range(geom.tile_blocks)):
+                        yield p_, kp_, i == 0, tb_
+        else:  # TILE_STATIONARY: the tile block is outermost
+            for tb_ in range(geom.tile_blocks):
+                for kp_ in range(geom.k_panels):
+                    for i, p_ in enumerate(range(64)):
+                        yield p_, kp_, i == 0, tb_
+
+    try:
+        for p, kp, new_panel, tb in schedule():
+            if new_panel:
+                vl = min(
+                    geom.vlen_elems,
+                    QUAD * geom.c_out - kp * geom.vlen_elems,
+                )
+                k0 = kp * (geom.vlen_elems // QUAD)
+                machine.setvl(vl)
+                machine.load_index_u32(exp_reg, expand_index_pattern(vl))
+                if variant == INDEXED:
+                    # Algorithm 1 lines 5-12: build and load the
+                    # index vector (per panel: vl can change).
+                    machine.load_index_u32(idx_reg, quad_index_pattern(vl))
+                    amounts = []
+                elif variant == NATIVE:
+                    amounts = []
+                else:
+                    amounts = slide_amounts(
+                        vl, log2=(variant == SLIDEUP_LOG)
+                    )
+            for q in range(QUADS_PER_BLOCK):
+                machine.vfmv_v_f(acc[q], 0.0)
+            for c in range(geom.c_in):
+                machine.vle32(b_reg, bufs.u + 4 * geom.u_offset(p, c, k0))
+                machine.vrgather_vv(bx_reg, b_reg, exp_reg)
+                for q in range(QUADS_PER_BLOCK):
+                    a_addr = bufs.v + 4 * geom.v_offset(p, tb, c, QUAD * q)
+                    if variant == INDEXED:
+                        machine.vluxei32(a_reg, a_addr, idx_reg)
+                        rep = a_reg
+                    elif variant == NATIVE:
+                        machine.vle32(a_reg, a_addr)
+                        machine.vrep4_vi(a2_reg, a_reg, 0)
+                        rep = a2_reg
+                    else:
+                        machine.vle32(a_reg, a_addr)
+                        rep = _replicate_quad_slideup(
+                            machine, a_reg, a2_reg, amounts
+                        )
+                    machine.vfmacc_vv(acc[q], rep, bx_reg)
+            for q in range(QUADS_PER_BLOCK):
+                machine.vse32(
+                    acc[q], bufs.m + 4 * geom.m_offset(p, kp, tb, q)
+                )
+    finally:
+        machine.alloc.free(idx_reg)
+        machine.alloc.free(exp_reg)
+        for r in acc:
+            machine.alloc.free(r)
+        machine.alloc.free(b_reg)
+        machine.alloc.free(bx_reg)
+        machine.alloc.free(a_reg)
+        machine.alloc.free(a2_reg)

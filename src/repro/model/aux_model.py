@@ -1,0 +1,66 @@
+"""Cost models for the non-convolutional layers (shortcut, maxpool).
+
+Both are single-pass streaming operations; their cost matters only in
+that the paper's 20-layer YOLOv3 prefix includes five shortcuts, and
+omitting them entirely would overstate the convolution share.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.isa import OpClass
+from repro.kernels.common import ceil_div
+from repro.model.traffic import COLD, PhaseModel
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.nets
+    from repro.nets.layers import MaxPoolSpec, ShortcutSpec
+
+
+def shortcut_model(spec: "ShortcutSpec", vlen_elems: int) -> PhaseModel:
+    """Residual add: stream two tensors in, one out, one vfadd per strip."""
+    ph = PhaseModel(f"shortcut[{spec.name}]")
+    n = spec.elems
+    strips = ceil_div(n, vlen_elems)
+    mean_vl = n / strips
+    ph.add_instr(OpClass.VSETVL, strips, int(mean_vl))
+    ph.add_instr(OpClass.VLOAD_UNIT, 2 * strips, int(mean_vl))
+    ph.add_instr(OpClass.VFARITH, strips, int(mean_vl))
+    ph.add_instr(OpClass.VSTORE_UNIT, strips, int(mean_vl))
+    plane_lines = n * 4.0 / 64
+    # Inputs were produced two layers ago (> any L1) and the skip input
+    # an entire residual block ago; both stream for realistic sizes.
+    ph.add_traffic("shortcut in", 2 * plane_lines, 3 * plane_lines * 64)
+    ph.add_traffic("shortcut out", plane_lines, COLD, is_store=True,
+                   region=n * 4.0)
+    return ph
+
+
+def maxpool_model(spec: "MaxPoolSpec", vlen_elems: int) -> PhaseModel:
+    """Darknet maxpool: size*size strided reads per output, one store.
+
+    Vectorized across the output row; each of the size^2 window taps is
+    one strided load per output strip.
+    """
+    ph = PhaseModel(f"maxpool[{spec.name}]")
+    taps = spec.size * spec.size
+    out_row = spec.w_out
+    strips = ceil_div(out_row, vlen_elems)
+    mean_vl = out_row / strips
+    rows = spec.c * spec.h_out
+    ph.add_instr(OpClass.VSETVL, rows * strips, int(mean_vl))
+    ph.add_instr(OpClass.VLOAD_STRIDED, rows * strips * taps, int(mean_vl))
+    ph.add_instr(OpClass.VFARITH, rows * strips * (taps - 1), int(mean_vl))  # max
+    ph.add_instr(OpClass.VSTORE_UNIT, rows * strips, int(mean_vl))
+    in_lines = spec.c * spec.h * spec.w * 4.0 / 64
+    out_lines = spec.out_elems * 4.0 / 64
+    ph.add_traffic("maxpool in", in_lines, COLD)
+    # Window taps re-touch the same input lines within the row burst.
+    extra = rows * strips * taps * max(
+        1.0, mean_vl * 4.0 * spec.stride / 64
+    ) - in_lines
+    if extra > 0:
+        ph.add_traffic("maxpool re-touch", extra, out_row * 4.0 * 8)
+    ph.add_traffic("maxpool out", out_lines, COLD, is_store=True,
+                   region=spec.out_elems * 4.0)
+    return ph

@@ -1,0 +1,327 @@
+"""Closed-form instruction/traffic model of the Winograd pipeline.
+
+Each function mirrors the loop structure of the corresponding kernel in
+:mod:`repro.kernels` *exactly* for instruction accounting (the test
+suite diffs these counts against functional traces), and derives cache
+traffic classes from the kernel's loop volumes as described in
+:mod:`repro.model.traffic`.
+
+Reuse-distance derivations (per phase) are documented inline; the key
+volumes:
+
+- ``D_it``   — working set of one input-transform tile iteration;
+- ``D_c``    — tuple-mult per-channel inner volume;
+- ``D_tb``   — tuple-mult per-tile-block volume (filter-panel reuse);
+- ``D_kp``   — tuple-mult per-k-panel volume (V-plane reuse: this is
+  the distance whose capture by a multi-MB L2 produces the paper's
+  Figure 3/4 cache scaling);
+- ``D_ot``   — output-transform tile working set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import OpClass
+from repro.kernels.common import (
+    QUAD,
+    TILES_PER_BLOCK,
+    WinogradGeometry,
+    transform_op_class_counts,
+)
+from repro.kernels.tuple_mult import (
+    INDEXED,
+    NATIVE,
+    SLIDEUP,
+    SLIDEUP_LOG,
+    slide_amounts,
+)
+from repro.model.traffic import COLD, PhaseModel, lines_per_access
+from repro.winograd.cook_toom import WinogradTransforms, f6x3_transforms
+
+_OPCLASS_OF = {
+    "vmove": OpClass.VMOVE,
+    "vfarith": OpClass.VFARITH,
+    "vfma": OpClass.VFMA,
+}
+
+
+def _add_transform_apps(
+    ph: PhaseModel, mat_counts: dict[str, int], apps: int, elems: int
+) -> None:
+    """Account ``apps`` applications of a 1D transform at ``elems`` lanes."""
+    for kind, n in mat_counts.items():
+        if n:
+            ph.add_instr(_OPCLASS_OF[kind], n * apps, elems)
+
+
+def _totals(geom: WinogradGeometry) -> dict[str, float]:
+    """Whole-tensor byte sizes (reuse distances of cross-phase touches)."""
+    return {
+        "x": geom.x_size * 4.0,
+        "v": geom.v_size * 4.0,
+        "u": geom.u_size * 4.0,
+        "m": geom.m_size * 4.0,
+        "y": geom.y_size * 4.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Phase 1: filter transform
+# ----------------------------------------------------------------------
+def filter_transform_model(
+    geom: WinogradGeometry, tf: WinogradTransforms | None = None
+) -> PhaseModel:
+    tf = tf if tf is not None else f6x3_transforms()
+    g_counts = transform_op_class_counts(tf.G(np.float32))
+    ph = PhaseModel("filter_transform")
+    nk_full = geom.k_panel_lanes // QUAD
+    for kp in range(geom.k_panels):
+        k0 = kp * (geom.vlen_elems // QUAD)
+        nk = min(nk_full, geom.c_out - k0)
+        per = geom.c_in  # iterations of the c loop
+        ph.add_instr(OpClass.VSETVL, per, nk)
+        ph.add_instr(OpClass.VLOAD_STRIDED, 9 * per, nk)
+        _add_transform_apps(ph, g_counts, 11 * per, nk)  # 3 col + 8 row
+        ph.add_instr(OpClass.VSTORE_UNIT, 24 * per, nk)  # col-pass scratch
+        ph.add_instr(OpClass.VLOAD_UNIT, 24 * per, nk)  # row-pass scratch
+        ph.add_instr(OpClass.VSTORE_UNIT, 64 * per, nk)  # compact U stores
+
+        # Traffic.  One (kp, c) iteration touches: 9 strided weight loads
+        # (36 B per output channel -> ~1 line per channel, re-touched 9x),
+        # a 24-vector scratch, and 64 unit stores into the compact U.
+        w_lines = nk * 1.0
+        scr_lines = 24 * lines_per_access(nk, 4)
+        u_st_lines = 64 * lines_per_access(nk, 4)
+        d_iter = (w_lines + 2 * scr_lines + u_st_lines) * 64
+        ph.add_traffic("W cold", w_lines * 1.0 * per, COLD)
+        ph.add_traffic("W re-touch", (9 * nk - w_lines) * per, d_iter)
+        ph.add_traffic("FT scratch st", scr_lines * per, d_iter, is_store=True,
+                       region=64.0 * geom.vlen_elems * 4)
+        ph.add_traffic("FT scratch ld", scr_lines * per, d_iter)
+        u_region = geom.u_size * 4.0
+        # Each store writes nk*4 bytes; stores of neighbouring tuple
+        # positions share lines, so the distinct (cold) portion is the
+        # payload volume and the rest re-touches within the iteration.
+        u_cold = 64 * nk * 4.0 / 64.0
+        ph.add_traffic("U cold st", u_cold * per, COLD, is_store=True,
+                       region=u_region)
+        ph.add_traffic("U st re-touch", max(u_st_lines - u_cold, 0.0) * per,
+                       d_iter, is_store=True, region=u_region)
+    return ph
+
+
+# ----------------------------------------------------------------------
+# Phase 2: input transform
+# ----------------------------------------------------------------------
+def input_transform_model(
+    geom: WinogradGeometry, tf: WinogradTransforms | None = None
+) -> PhaseModel:
+    tf = tf if tf is not None else f6x3_transforms()
+    bt_counts = transform_op_class_counts(tf.BT(np.float32))
+    ph = PhaseModel("input_transform")
+    t_count = geom.num_tiles
+    for cb in range(geom.channel_blocks):
+        c0 = cb * geom.vlen_elems
+        nc = min(geom.vlen_elems, geom.c_in - c0)
+        ph.add_instr(OpClass.VSETVL, t_count, nc)
+        ph.add_instr(OpClass.VLOAD_STRIDED, 64 * t_count, nc)  # X loads
+        _add_transform_apps(ph, bt_counts, 16 * t_count, nc)  # 8 col + 8 row
+        ph.add_instr(OpClass.VSTORE_UNIT, 64 * t_count, nc)  # scratch
+        ph.add_instr(OpClass.VLOAD_UNIT, 64 * t_count, nc)  # scratch
+        ph.add_instr(OpClass.VSTORE_STRIDED, 64 * t_count, nc)  # V stores
+
+        # Traffic.  Per (tile, channel): 8 rows x 32 B ~= 8 line-touches
+        # of distinct X lines (the 64 strided loads re-touch each ~8x
+        # within the tile burst); the 6-element horizontal tile advance
+        # makes ~3 lines/channel new, ~3 shared with the previous tile
+        # and ~2 rows shared with the previous tile row.  The dominant
+        # per-iteration working set is the V store side: the 64 p-plane
+        # stores touch 64*nc distinct lines per tile (each line is
+        # finished over 16 consecutive tiles), so one tile iteration
+        # touches ~(8 + 8 + 64)*nc lines — which overflows a 64 kB L1
+        # once nc grows past ~13 channels: the long-VL L1 thrashing the
+        # co-design study observes.
+        totals = _totals(geom)
+        d_intra = (8 + 8) * nc * 64.0  # X burst + scratch
+        d_iter = (8 + 8 + 64) * nc * 64.0  # one full tile iteration
+        x_acc = 64.0 * nc * t_count
+        x_new = 3.0 * nc * t_count
+        x_horiz = 3.0 * nc * t_count
+        x_vert = 2.0 * nc * t_count
+        ph.add_traffic("X cold", x_new, COLD)
+        ph.add_traffic("X horiz reuse", x_horiz, d_iter)
+        ph.add_traffic("X vert reuse", x_vert, geom.grid.tiles_w * d_iter)
+        ph.add_traffic("X intra re-touch", x_acc - x_new - x_horiz - x_vert, d_intra)
+        scr = 64 * lines_per_access(nc, 4) * t_count  # = 4 nc per tile
+        scr_region = 64.0 * geom.vlen_elems * 4
+        ph.add_traffic("IT scratch st", scr, d_intra, is_store=True, region=scr_region)
+        ph.add_traffic("IT scratch ld", scr, d_intra)
+        # V: 64 strided stores x nc lines; each 64-B line holds 16
+        # consecutive tile slots -> 1/16 of touches open a new line,
+        # the rest re-touch at the full iteration distance.
+        v_acc = 64.0 * nc * t_count
+        ph.add_traffic("V cold st", v_acc / 16, COLD, is_store=True,
+                       region=totals["v"])
+        ph.add_traffic("V re-touch st", 15 * v_acc / 16, d_iter, is_store=True,
+                       region=totals["v"])
+    return ph
+
+
+# ----------------------------------------------------------------------
+# Phase 3: tuple multiplication
+# ----------------------------------------------------------------------
+def tuple_mult_model(
+    geom: WinogradGeometry, variant: str = SLIDEUP
+) -> PhaseModel:
+    ph = PhaseModel(f"tuple_mult[{variant}]")
+    totals = _totals(geom)
+    tb_count = geom.tile_blocks
+    c = geom.c_in
+    quads = TILES_PER_BLOCK // QUAD  # 16
+
+    # Loop order (p, kp, tb, c): filter-stationary — see the kernel's
+    # docstring.  Key reuse distances:
+    #   D_c  — one channel iteration (compact B panel + V block);
+    #   D_tb — one tile-block iteration (the filter slab's reuse);
+    #   D_kp — one k-panel pass = TB * D_tb: the V plane of tuple
+    #          position p is re-read at this distance on every k-panel
+    #          after the first — the multi-MB working set an L2 in the
+    #          paper's 16-256 MB sweep range captures.
+    for kp in range(geom.k_panels):
+        vl = min(geom.vlen_elems, QUAD * geom.c_out - kp * geom.vlen_elems)
+        n_pk = 1  # per (p, kp); 64 p values
+        ph.add_instr(OpClass.VSETVL, 64 * n_pk, vl)
+        ph.add_instr(OpClass.VLOAD_UNIT, 64 * n_pk, vl)  # expansion index
+        if variant == INDEXED:
+            ph.add_instr(OpClass.VLOAD_UNIT, 64 * n_pk, vl)  # quad index
+        n_tb = 64 * tb_count  # (p, kp, tb) triples for this kp
+        ph.add_instr(OpClass.VMOVE, quads * n_tb, vl)  # accumulator init
+        ph.add_instr(OpClass.VLOAD_UNIT, c * n_tb, vl)  # B panel loads
+        ph.add_instr(OpClass.VPERMUTE, c * n_tb, vl)  # vrgather expansion
+        n_inner = quads * c * n_tb
+        if variant == INDEXED:
+            ph.add_instr(OpClass.VLOAD_INDEXED, n_inner, vl)
+        elif variant == NATIVE:
+            ph.add_instr(OpClass.VLOAD_UNIT, n_inner, vl)
+            ph.add_instr(OpClass.VPERMUTE, n_inner, vl)  # vrep4
+        else:
+            amounts = slide_amounts(vl, log2=(variant == SLIDEUP_LOG))
+            ph.add_instr(OpClass.VLOAD_UNIT, n_inner, vl)
+            ph.add_instr(OpClass.VMOVE, len(amounts) * n_inner, vl)
+            ph.add_instr(OpClass.VSLIDE, len(amounts) * n_inner, vl)
+        ph.add_instr(OpClass.VFMA, n_inner, vl)
+        ph.add_instr(OpClass.VSTORE_UNIT, quads * n_tb, vl)  # M stores
+
+        # Traffic volumes (bytes).
+        b_lines = lines_per_access(vl, 4)  # panel-load line touches
+        b_new_lines = vl * 4 / 4.0 / 64.0  # fresh compact values per load
+        d_c = vl * 4 / 4.0 + TILES_PER_BLOCK * 4  # compact B + V block
+        d_tb = c * d_c + quads * vl * 4  # one tile block (+ M stores)
+        d_kp = tb_count * d_tb  # one k-panel pass (V-plane reuse)
+
+        # U (B panel) reads: cold on the first tile block of its
+        # (p, kp) — the filter transform wrote it an input-transform
+        # ago — then re-read every tile block at the small distance
+        # D_tb (the filter-stationary payoff: these hit).  Each load
+        # touches vl lanes but only vl/4 fresh values; the overlap
+        # re-touches the following channels' rows at a tiny distance.
+        u_first = c * b_new_lines * 64.0
+        ph.add_traffic("U first read", u_first, totals["u"] + totals["v"])
+        ph.add_traffic(
+            "U tb reuse", (tb_count - 1) * c * b_new_lines * 64.0, d_tb
+        )
+        ph.add_traffic(
+            "U load overlap",
+            tb_count * c * max(b_lines - b_new_lines, 0.0) * 64.0,
+            d_c * 8,
+        )
+
+        # V reads: 4 distinct lines per (tb, p, c) block; first touched
+        # at k-panel 0 (distance ~ the whole V tensor since the input
+        # transform wrote it), re-read on every later k-panel at D_kp.
+        v_first_dist = totals["v"] if kp == 0 else d_kp
+        v_first = 4.0 * c * n_tb
+        if variant == INDEXED:
+            # Each gather touches the one line holding its 16-B quad.
+            v_acc = float(quads) * c * n_tb
+        else:
+            # Each slideup-variant load reads a full vl-lane vector from
+            # the quad's (16q mod 64)-aligned offset: vl*4/64 lines plus
+            # an extra line for the three in four unaligned offsets.
+            aload_lines = (
+                vl * 4 / 64.0 + 0.75 if vl >= 16 else 1.0
+            )
+            v_acc = float(quads) * aload_lines * c * n_tb
+        ph.add_traffic("V first read", v_first, v_first_dist)
+        ph.add_traffic("V re-touch", max(v_acc - v_first, 0.0), d_c)
+
+        # M stores: streaming, cold.
+        ph.add_traffic(
+            "M cold st", quads * b_lines * n_tb, COLD, is_store=True,
+            region=totals["m"],
+        )
+        if variant == INDEXED:
+            ph.add_traffic("index vec ld", 64.0 * n_pk, d_kp)
+    return ph
+
+
+# ----------------------------------------------------------------------
+# Phase 4: output transform
+# ----------------------------------------------------------------------
+def output_transform_model(
+    geom: WinogradGeometry, tf: WinogradTransforms | None = None
+) -> PhaseModel:
+    tf = tf if tf is not None else f6x3_transforms()
+    at_counts = transform_op_class_counts(tf.AT(np.float32))
+    ph = PhaseModel("output_transform")
+    totals = _totals(geom)
+    t_count = geom.num_tiles
+    nk_full = geom.k_panel_lanes // QUAD
+    for kp in range(geom.k_panels):
+        k0 = kp * (geom.vlen_elems // QUAD)
+        nk = min(nk_full, geom.c_out - k0)
+        ph.add_instr(OpClass.VSETVL, t_count, nk)
+        ph.add_instr(OpClass.VLOAD_STRIDED, 64 * t_count, nk)  # M loads
+        _add_transform_apps(ph, at_counts, 14 * t_count, nk)  # 8 col + 6 row
+        ph.add_instr(OpClass.VSTORE_UNIT, 48 * t_count, nk)  # scratch
+        ph.add_instr(OpClass.VLOAD_UNIT, 48 * t_count, nk)  # scratch
+        ph.add_instr(OpClass.VSTORE_STRIDED, 36 * t_count, nk)  # Y stores
+
+        # Traffic.  M loads: stride-16 over nk lanes -> nk/4 lines per
+        # load; four consecutive tiles share one quad's M lines.
+        d_ot = (16 * nk + 48 + 6 * nk) * 64.0  # M + scratch + Y lines
+        m_acc = 64 * lines_per_access(nk, 16) * t_count
+        m_first = 4.0 * nk * t_count
+        ph.add_traffic("M first read", m_first, totals["m"])
+        ph.add_traffic("M re-touch", max(m_acc - m_first, 0.0), 4 * d_ot)
+        scr = 48 * lines_per_access(nk, 4) * t_count
+        scr_region = 64.0 * geom.vlen_elems * 4
+        ph.add_traffic("OT scratch st", scr, d_ot, is_store=True,
+                       region=scr_region)
+        ph.add_traffic("OT scratch ld", scr, d_ot)
+        # Y: 36 strided stores x nk lines; a 6x6 fp32 tile is 144 new
+        # bytes (2.25 lines) per output channel, the rest shared with
+        # the horizontally previous tile or re-touches.
+        y_acc = 36.0 * nk * t_count
+        y_new = 2.25 * nk * t_count
+        ph.add_traffic("Y cold st", y_new, COLD, is_store=True,
+                       region=totals["y"])
+        ph.add_traffic("Y re-touch st", y_acc - y_new, d_ot, is_store=True,
+                       region=totals["y"])
+    return ph
+
+
+# ----------------------------------------------------------------------
+def winograd_layer_model(
+    geom: WinogradGeometry,
+    variant: str = SLIDEUP,
+    tf: WinogradTransforms | None = None,
+) -> list[PhaseModel]:
+    """The full four-phase Winograd pipeline model for one layer."""
+    return [
+        filter_transform_model(geom, tf),
+        input_transform_model(geom, tf),
+        tuple_mult_model(geom, variant),
+        output_transform_model(geom, tf),
+    ]

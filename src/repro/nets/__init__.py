@@ -1,0 +1,25 @@
+"""Network models: Darknet cfg parsing, VGG16 and YOLOv3 geometry,
+and the inference-simulation driver."""
+
+from repro.nets.darknet_cfg import build_layers, conv_layers, parse_cfg
+from repro.nets.inference import simulate_inference, winograd_layer_count
+from repro.nets.layers import LayerSpec, MaxPoolSpec, ShortcutSpec
+from repro.nets.vgg16 import VGG16_CFG, vgg16_conv_layers, vgg16_layers
+from repro.nets.yolov3 import YOLOV3_CFG_HEAD, yolov3_conv_layers, yolov3_layers
+
+__all__ = [
+    "parse_cfg",
+    "build_layers",
+    "conv_layers",
+    "LayerSpec",
+    "ShortcutSpec",
+    "MaxPoolSpec",
+    "VGG16_CFG",
+    "vgg16_layers",
+    "vgg16_conv_layers",
+    "YOLOV3_CFG_HEAD",
+    "yolov3_layers",
+    "yolov3_conv_layers",
+    "simulate_inference",
+    "winograd_layer_count",
+]

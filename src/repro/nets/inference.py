@@ -1,0 +1,72 @@
+"""Network-level inference simulation (the paper's gem5 runs).
+
+Composes the per-layer analytical models over a whole network prefix —
+convolutions via the hybrid (or pure-GEMM baseline) policy, shortcuts
+and pools via their streaming models — and reports per-layer plus
+total statistics, like gem5's end-of-simulation stats dump.
+"""
+
+from __future__ import annotations
+
+from repro.conv.layer import ConvAlgorithm, ConvLayerSpec, choose_algorithm
+from repro.errors import ConfigError
+from repro.kernels.tuple_mult import SLIDEUP
+from repro.model.aux_model import maxpool_model, shortcut_model
+from repro.model.layer_model import NetworkResult, layer_phases
+from repro.model.traffic import stats_from_model
+from repro.nets.layers import LayerSpec, MaxPoolSpec, ShortcutSpec
+from repro.sim.stats import SimStats
+from repro.sim.system import SystemConfig
+
+
+def simulate_inference(
+    name: str,
+    layers: list[LayerSpec],
+    config: SystemConfig,
+    hybrid: bool = True,
+    variant: str = SLIDEUP,
+) -> NetworkResult:
+    """Simulate one inference pass over a network prefix.
+
+    Args:
+        name: report label (e.g. "yolov3-20L").
+        layers: layer specs from :mod:`repro.nets`.
+        config: the simulated system configuration.
+        hybrid: the paper's hybrid policy (Winograd where eligible) vs
+            the pure im2col+GEMM baseline.
+        variant: tuple-multiplication variant for Winograd layers.
+
+    Returns:
+        A :class:`~repro.model.layer_model.NetworkResult`.
+    """
+    if not layers:
+        raise ConfigError("network has no layers")
+    per_layer: list[SimStats] = []
+    total = SimStats(freq_ghz=config.freq_ghz, label=f"{name} total")
+    for layer in layers:
+        if isinstance(layer, ConvLayerSpec):
+            algo = choose_algorithm(layer, hybrid=hybrid)
+            phases = layer_phases(layer, config, algorithm=algo, variant=variant)
+            label = f"{layer.name}[{algo.value}]"
+        elif isinstance(layer, ShortcutSpec):
+            phases = [shortcut_model(layer, config.lanes)]
+            label = f"{layer.name}[shortcut]"
+        elif isinstance(layer, MaxPoolSpec):
+            phases = [maxpool_model(layer, config.lanes)]
+            label = f"{layer.name}[maxpool]"
+        else:
+            raise ConfigError(f"unknown layer type {type(layer).__name__}")
+        stats = stats_from_model(phases, config, label=label)
+        per_layer.append(stats)
+        total.merge(stats)
+    return NetworkResult(name=name, per_layer=tuple(per_layer), total=total)
+
+
+def winograd_layer_count(layers: list[LayerSpec]) -> int:
+    """How many layers the hybrid policy sends to Winograd."""
+    return sum(
+        1
+        for l in layers
+        if isinstance(l, ConvLayerSpec)
+        and choose_algorithm(l) is ConvAlgorithm.WINOGRAD
+    )

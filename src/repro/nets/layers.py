@@ -1,0 +1,70 @@
+"""Non-convolutional layer specifications of the Darknet networks.
+
+The paper simulates the first 20 layers of YOLOv3, of which 15 are
+convolutional and 5 are residual shortcuts; VGG16's Darknet definition
+interleaves max-pooling layers.  Shortcuts and pools are cheap
+streaming operations, but they are part of the simulated network, so
+they get honest (if simple) cost models in
+:mod:`repro.model.aux_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.conv.layer import ConvLayerSpec
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ShortcutSpec:
+    """Residual addition of two equally-shaped activation tensors."""
+
+    name: str
+    c: int
+    h: int
+    w: int
+
+    def __post_init__(self) -> None:
+        if min(self.c, self.h, self.w) < 1:
+            raise ConfigError(f"non-positive dimension in shortcut {self.name}")
+
+    @property
+    def elems(self) -> int:
+        return self.c * self.h * self.w
+
+    @property
+    def flops(self) -> int:
+        return self.elems  # one add per element
+
+
+@dataclass(frozen=True)
+class MaxPoolSpec:
+    """Darknet max-pooling layer."""
+
+    name: str
+    c: int
+    h: int
+    w: int
+    size: int = 2
+    stride: int = 2
+
+    def __post_init__(self) -> None:
+        if min(self.c, self.h, self.w, self.size, self.stride) < 1:
+            raise ConfigError(f"bad maxpool spec {self.name}")
+
+    @property
+    def h_out(self) -> int:
+        return self.h // self.stride
+
+    @property
+    def w_out(self) -> int:
+        return self.w // self.stride
+
+    @property
+    def out_elems(self) -> int:
+        return self.c * self.h_out * self.w_out
+
+
+#: Any layer the network simulator understands.
+LayerSpec = ConvLayerSpec | ShortcutSpec | MaxPoolSpec

@@ -1,0 +1,17 @@
+"""Roofline analysis (Figures 5 and 6 of the paper)."""
+
+from repro.roofline.model import (
+    RooflineCeilings,
+    RooflinePoint,
+    ceilings_for,
+    render_roofline,
+    roofline_points,
+)
+
+__all__ = [
+    "RooflineCeilings",
+    "RooflinePoint",
+    "ceilings_for",
+    "roofline_points",
+    "render_roofline",
+]

@@ -1,0 +1,130 @@
+"""Roofline analysis (the paper's Section 6).
+
+The paper builds a roofline for the first 10 convolutional layers of
+VGG16 — once implemented with Winograd (Figure 5: all layers
+memory-bound) and once with im2col+GEMM (Figure 6: only 3 of 10
+memory-bound) — on the 512-bit / 1 MB configuration with a peak of
+64 GFLOP/s and 13 GB/s of DRAM bandwidth, computing arithmetic
+intensity "based on the DRAM bytes".
+
+:func:`roofline_points` reproduces exactly that: each layer is run
+through the analytical simulator; AI = executed FLOPs / simulated DRAM
+bytes, achieved GFLOP/s = executed FLOPs / simulated runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.conv.layer import ConvAlgorithm, ConvLayerSpec
+from repro.errors import ConfigError
+from repro.kernels.tuple_mult import SLIDEUP
+from repro.model.layer_model import simulate_layer
+from repro.sim.system import SystemConfig
+
+
+@dataclass(frozen=True)
+class RooflineCeilings:
+    """The two ceilings of the roofline plot."""
+
+    peak_gflops: float
+    dram_gbs: float
+
+    @property
+    def ridge_ai(self) -> float:
+        """Arithmetic intensity at which the ceilings intersect."""
+        return self.peak_gflops / self.dram_gbs
+
+    def attainable(self, ai: float) -> float:
+        """Attainable GFLOP/s at a given arithmetic intensity."""
+        if ai < 0:
+            raise ConfigError(f"arithmetic intensity must be >= 0, got {ai}")
+        return min(self.peak_gflops, ai * self.dram_gbs)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One layer's position on the roofline plot."""
+
+    name: str
+    ai: float  # FLOPs per DRAM byte
+    gflops: float  # achieved
+    flops: int
+    dram_bytes: int
+    ceilings: RooflineCeilings
+
+    @property
+    def memory_bound(self) -> bool:
+        """Left of the ridge: the memory ceiling caps this layer."""
+        return self.ai < self.ceilings.ridge_ai
+
+    @property
+    def attainable_gflops(self) -> float:
+        return self.ceilings.attainable(self.ai)
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved / attainable — the paper notes its kernels sit well
+        below the ceilings ("scope for further improvement")."""
+        att = self.attainable_gflops
+        return self.gflops / att if att else 0.0
+
+
+def ceilings_for(config: SystemConfig) -> RooflineCeilings:
+    return RooflineCeilings(
+        peak_gflops=config.peak_gflops, dram_gbs=config.dram_gbs
+    )
+
+
+def roofline_points(
+    layers: list[ConvLayerSpec],
+    config: SystemConfig,
+    algorithm: ConvAlgorithm,
+    variant: str = SLIDEUP,
+) -> list[RooflinePoint]:
+    """Roofline points for a list of convolutional layers.
+
+    Args:
+        layers: convolutional layer specs (e.g. the first 10 VGG16
+            convolutions).
+        config: simulated system (the paper uses the 512-bit / 1 MB
+            base configuration).
+        algorithm: WINOGRAD or IM2COL_GEMM — the figure being drawn.
+    """
+    ceil = ceilings_for(config)
+    points = []
+    for spec in layers:
+        stats = simulate_layer(spec, config, algorithm=algorithm, variant=variant)
+        points.append(
+            RooflinePoint(
+                name=spec.name,
+                ai=stats.arithmetic_intensity,
+                gflops=stats.gflops,
+                flops=stats.flops,
+                dram_bytes=stats.dram_bytes,
+                ceilings=ceil,
+            )
+        )
+    return points
+
+
+def render_roofline(points: list[RooflinePoint], title: str = "") -> str:
+    """Text rendering of a roofline plot (for examples and benches)."""
+    if not points:
+        return "(no points)"
+    ceil = points[0].ceilings
+    rows = [
+        f"Roofline{': ' + title if title else ''}  "
+        f"(peak {ceil.peak_gflops:.0f} GFLOP/s, {ceil.dram_gbs:.0f} GB/s, "
+        f"ridge AI {ceil.ridge_ai:.2f})",
+        f"{'layer':<16}{'AI':>8}{'GFLOP/s':>10}{'attain':>9}{'eff':>7}  bound",
+    ]
+    for p in points:
+        rows.append(
+            f"{p.name:<16}{p.ai:>8.3f}{p.gflops:>10.2f}"
+            f"{p.attainable_gflops:>9.2f}{100 * p.efficiency:>6.1f}%  "
+            f"{'memory' if p.memory_bound else 'compute'}"
+        )
+    mem = sum(1 for p in points if p.memory_bound)
+    rows.append(f"memory-bound: {mem}/{len(points)} layers")
+    return "\n".join(rows)

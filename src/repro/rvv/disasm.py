@@ -1,0 +1,114 @@
+"""Human-readable listings of captured instruction traces.
+
+Vehave's trace output (which the paper's Section 7 workflow inspects)
+renders each committed vector instruction with its operands; this
+module does the same for captured :class:`~repro.rvv.Tracer` events,
+giving the package a debugging surface for kernel work:
+
+    vsetvli         vl=16, sew=32
+    vlse32.v        base=0x10c0, stride=1936, vl=16
+    vfmacc.vf       vl=16
+    ...
+
+Events carry opcode class and memory descriptors rather than register
+numbers (the tracer deliberately abstracts those), so listings show the
+dynamic behaviour — lengths, addresses, strides — which is what trace
+inspection is for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ConfigError
+from repro.isa import OpClass
+from repro.rvv.tracer import InstrEvent, Tracer
+
+#: Mnemonics per opcode class (EEW-32 forms; the kernels are fp32).
+_MNEMONIC = {
+    OpClass.VSETVL: "vsetvli",
+    OpClass.VLOAD_UNIT: "vle32.v",
+    OpClass.VLOAD_STRIDED: "vlse32.v",
+    OpClass.VLOAD_INDEXED: "vluxei32.v",
+    OpClass.VSTORE_UNIT: "vse32.v",
+    OpClass.VSTORE_STRIDED: "vsse32.v",
+    OpClass.VSTORE_INDEXED: "vsuxei32.v",
+    OpClass.VFMA: "vfmacc.vf/vv",
+    OpClass.VFARITH: "vfadd/vfsub/vfmul",
+    OpClass.VIARITH: "vadd/vmul (int)",
+    OpClass.VREDUCE: "vfredusum.vs",
+    OpClass.VSLIDE: "vslideup/down.vx",
+    OpClass.VPERMUTE: "vrgather.vv",
+    OpClass.VMOVE: "vmv/vfmv",
+    OpClass.VMASK: "vmset/whilelt",
+    OpClass.SCALAR: "(scalar)",
+}
+
+
+def format_event(ev: InstrEvent) -> str:
+    """One listing line for a dynamic instruction."""
+    mnem = _MNEMONIC.get(ev.opclass, ev.opclass.value)
+    if ev.mem is None:
+        return f"{mnem:<20} vl={ev.elems}"
+    m = ev.mem
+    if m.kind == "unit":
+        detail = f"base={m.base:#x}"
+    elif m.kind == "strided":
+        detail = f"base={m.base:#x}, stride={m.stride}"
+    else:
+        span = ""
+        if m.offsets:
+            span = f", offs[0..{len(m.offsets) - 1}]={m.offsets[0]}..{m.offsets[-1]}"
+        detail = f"base={m.base:#x}{span}"
+    return f"{mnem:<20} {detail}, vl={ev.elems}"
+
+
+def disassemble(
+    tracer: Tracer,
+    start: int = 0,
+    count: int | None = None,
+) -> Iterator[str]:
+    """Yield listing lines for a window of a captured trace.
+
+    Args:
+        tracer: a capturing tracer (``capture=True``).
+        start: first event index.
+        count: number of events (None = to the end).
+    """
+    if not tracer.capture:
+        raise ConfigError("disassemble needs a Tracer(capture=True)")
+    if start < 0:
+        raise ConfigError(f"start must be non-negative, got {start}")
+    end = len(tracer.events) if count is None else min(
+        start + count, len(tracer.events)
+    )
+    for i in range(start, end):
+        yield f"{i:>8}: {format_event(tracer.events[i])}"
+
+
+def listing(tracer: Tracer, start: int = 0, count: int | None = None) -> str:
+    """The whole window as one string (convenience for printing)."""
+    return "\n".join(disassemble(tracer, start, count))
+
+
+def summarize_basic_blocks(tracer: Tracer, max_rows: int = 20) -> str:
+    """Collapse consecutive runs of identical opcode classes.
+
+    Kernel inner loops show up as long repeated runs; this gives a
+    compact structural view of a trace (the first thing one reads when
+    a kernel misbehaves).
+    """
+    if not tracer.capture:
+        raise ConfigError("summarize_basic_blocks needs a Tracer(capture=True)")
+    runs: list[tuple[OpClass, int]] = []
+    for ev in tracer.events:
+        if runs and runs[-1][0] is ev.opclass:
+            runs[-1] = (ev.opclass, runs[-1][1] + 1)
+        else:
+            runs.append((ev.opclass, 1))
+    rows = [f"{'run':<24}{'count':>8}   ({len(runs)} runs total)"]
+    for op, n in runs[:max_rows]:
+        rows.append(f"{_MNEMONIC.get(op, op.value):<24}{n:>8}")
+    if len(runs) > max_rows:
+        rows.append(f"... {len(runs) - max_rows} more runs")
+    return "\n".join(rows)

@@ -1,0 +1,100 @@
+"""Trace export/import — the Vehave/MUSA workflow, reproduced.
+
+The paper's Section 7 describes the BSC toolchain where Vehave records
+execution traces of vectorized binaries that the MUSA simulator then
+replays for performance exploration.  This module provides the same
+decoupling for this package: :func:`save_trace` serializes a captured
+:class:`~repro.rvv.Tracer` to a compact JSON-lines file and
+:func:`load_trace` reconstructs a tracer that
+:meth:`repro.sim.Simulator.run_trace` can replay — so a functional run
+(possibly slow) can be recorded once and re-simulated under many
+configurations, or shipped to another machine.
+
+Format: one JSON object per line.
+- header: ``{"repro_trace": 1, "capture": true}``
+- events: ``{"o": opclass, "e": elems, "w": eew}`` plus, for memory
+  events, ``{"k": kind, "b": base, "s": stride, "x": [offsets...],
+  "l": is_load}`` (offsets only for indexed accesses).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.isa import OpClass
+from repro.rvv.tracer import MemAccess, Tracer
+
+#: Format version written in the header line.
+TRACE_VERSION = 1
+
+
+def save_trace(tracer: Tracer, path: str | Path) -> int:
+    """Write a captured trace to ``path``; returns the event count.
+
+    Raises:
+        ConfigError: if the tracer was not capturing (counts-only
+            tracers have no events to serialize).
+    """
+    if not tracer.capture:
+        raise ConfigError("save_trace needs a Tracer(capture=True)")
+    p = Path(path)
+    n = 0
+    with p.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"repro_trace": TRACE_VERSION}) + "\n")
+        for ev in tracer.events:
+            rec: dict = {"o": ev.opclass.value, "e": ev.elems, "w": ev.eew}
+            if ev.mem is not None:
+                rec["k"] = ev.mem.kind
+                rec["b"] = ev.mem.base
+                rec["s"] = ev.mem.stride
+                rec["l"] = ev.mem.is_load
+                if ev.mem.offsets is not None:
+                    rec["x"] = list(ev.mem.offsets)
+            fh.write(json.dumps(rec) + "\n")
+            n += 1
+    return n
+
+
+def load_trace(path: str | Path) -> Tracer:
+    """Read a trace file back into a capturing tracer.
+
+    The returned tracer has both per-class statistics and full events,
+    so it can be replayed with :meth:`repro.sim.Simulator.run_trace`.
+    """
+    p = Path(path)
+    tracer = Tracer(capture=True)
+    with p.open("r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"{p}: not a repro trace file") from exc
+        if header.get("repro_trace") != TRACE_VERSION:
+            raise ConfigError(
+                f"{p}: unsupported trace version {header.get('repro_trace')!r}"
+            )
+        for lineno, line in enumerate(fh, start=2):
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+                opclass = OpClass(rec["o"])
+                mem = None
+                if "k" in rec:
+                    mem = MemAccess(
+                        kind=rec["k"],
+                        base=int(rec["b"]),
+                        elems=int(rec["e"]),
+                        ebytes=rec["w"] // 8,
+                        stride=int(rec.get("s", 0)),
+                        offsets=(
+                            tuple(rec["x"]) if "x" in rec else None
+                        ),
+                        is_load=bool(rec.get("l", True)),
+                    )
+                tracer.record(opclass, int(rec["e"]), int(rec["w"]), mem)
+            except (KeyError, ValueError) as exc:
+                raise ConfigError(f"{p}:{lineno}: malformed event") from exc
+    return tracer

@@ -1,0 +1,226 @@
+"""Instruction tracing and accounting for the functional simulators.
+
+Every intrinsic executed on :class:`repro.rvv.RvvMachine` or
+:class:`repro.sve.SveMachine` reports one dynamic instruction to the
+machine's :class:`Tracer`.  The tracer plays the role Spike's commit log
+and gem5's statistics play in the paper's toolchain:
+
+- it accumulates per-:class:`~repro.isa.OpClass` instruction, element,
+  flop and byte counts (:class:`OpStats`), which the analytical stream
+  models of :mod:`repro.model` are validated against; and
+- in *capture* mode it additionally records the memory access descriptor
+  of every memory instruction so the exact cache simulator can replay
+  the address stream of a functional run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.isa import FLOPS_PER_ELEM, OpClass
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """A compact descriptor of one vector memory instruction's footprint.
+
+    ``kind`` is "unit", "strided" or "indexed".  For unit and strided
+    accesses the elements are at ``base + i*stride`` for ``i in
+    range(elems)``; for indexed accesses they are at ``base + offsets[i]``.
+    """
+
+    kind: str
+    base: int
+    elems: int
+    ebytes: int
+    stride: int = 0
+    offsets: tuple[int, ...] | None = None
+    is_load: bool = True
+
+    def element_addresses(self) -> np.ndarray:
+        """Byte addresses of every element touched, in access order."""
+        if self.kind == "indexed":
+            assert self.offsets is not None
+            return self.base + np.asarray(self.offsets, dtype=np.int64)
+        return self.base + np.arange(self.elems, dtype=np.int64) * self.stride
+
+    def line_addresses(self, line_bytes: int = 64) -> np.ndarray:
+        """Cache-line IDs touched, deduplicated per instruction in order.
+
+        A single vector memory instruction touches each line at most once
+        from the cache's point of view (the load/store unit coalesces
+        element accesses to the same line), which is how gem5 models
+        vector memory traffic too.
+        """
+        addrs = self.element_addresses()
+        last = addrs + (self.ebytes - 1)
+        lines = np.union1d(addrs // line_bytes, last // line_bytes)
+        # union1d sorts; for unit/strided accesses sorted order equals
+        # access order. Indexed patterns in the paper's kernels are
+        # quad-replications whose line order is immaterial.
+        return lines
+
+    @property
+    def bytes(self) -> int:
+        """Bytes of payload moved by the instruction."""
+        return self.elems * self.ebytes
+
+
+@dataclass(frozen=True)
+class InstrEvent:
+    """One dynamic instruction, as reported by a machine."""
+
+    opclass: OpClass
+    elems: int
+    eew: int
+    mem: MemAccess | None = None
+
+
+@dataclass
+class OpStats:
+    """Accumulated counts for one opcode class."""
+
+    instrs: int = 0
+    elems: int = 0
+    flops: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+
+    def merge(self, other: "OpStats") -> None:
+        self.instrs += other.instrs
+        self.elems += other.elems
+        self.flops += other.flops
+        self.bytes_loaded += other.bytes_loaded
+        self.bytes_stored += other.bytes_stored
+
+
+class Tracer:
+    """Accumulates instruction statistics and, optionally, full events.
+
+    Args:
+        capture: when True, every :class:`InstrEvent` (including its
+            :class:`MemAccess`) is retained in :attr:`events` so the
+            address stream can be replayed through a cache model.
+            Leave False for long runs where only counts are needed.
+    """
+
+    def __init__(self, capture: bool = False) -> None:
+        self.capture = capture
+        self.events: list[InstrEvent] = []
+        self.by_class: dict[OpClass, OpStats] = {}
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        opclass: OpClass,
+        elems: int,
+        eew: int,
+        mem: MemAccess | None = None,
+    ) -> None:
+        """Account one dynamic instruction."""
+        st = self.by_class.get(opclass)
+        if st is None:
+            st = self.by_class[opclass] = OpStats()
+        st.instrs += 1
+        st.elems += elems
+        st.flops += FLOPS_PER_ELEM.get(opclass, 0) * elems
+        if mem is not None:
+            if mem.is_load:
+                st.bytes_loaded += mem.bytes
+            else:
+                st.bytes_stored += mem.bytes
+        if self.capture:
+            self.events.append(InstrEvent(opclass, elems, eew, mem))
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_instrs(self) -> int:
+        return sum(s.instrs for s in self.by_class.values())
+
+    @property
+    def total_flops(self) -> int:
+        return sum(s.flops for s in self.by_class.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.bytes_loaded + s.bytes_stored for s in self.by_class.values())
+
+    def vector_instrs(self) -> int:
+        """Dynamic vector instructions (everything except SCALAR)."""
+        return sum(
+            s.instrs for c, s in self.by_class.items() if c is not OpClass.SCALAR
+        )
+
+    def counts(self) -> dict[str, int]:
+        """Instruction counts keyed by opclass value, for comparisons."""
+        return {c.value: s.instrs for c, s in sorted(self.by_class.items())}
+
+    def mem_events(self) -> Iterator[MemAccess]:
+        """All captured memory accesses in program order.
+
+        Raises:
+            RuntimeError: if the tracer was not created with capture=True.
+        """
+        if not self.capture:
+            raise RuntimeError("tracer was created with capture=False; no events kept")
+        for ev in self.events:
+            if ev.mem is not None:
+                yield ev.mem
+
+    def line_stream(self, line_bytes: int = 64) -> np.ndarray:
+        """Concatenated cache-line address stream of all memory events."""
+        parts = [m.line_addresses(line_bytes) for m in self.mem_events()]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def reset(self) -> None:
+        """Forget everything recorded so far."""
+        self.events.clear()
+        self.by_class.clear()
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """A human-readable per-class table (used by examples)."""
+        rows = [f"{'class':<16}{'instrs':>12}{'elems':>14}{'flops':>14}{'bytes':>14}"]
+        for c, s in sorted(self.by_class.items()):
+            rows.append(
+                f"{c.value:<16}{s.instrs:>12}{s.elems:>14}{s.flops:>14}"
+                f"{s.bytes_loaded + s.bytes_stored:>14}"
+            )
+        rows.append(
+            f"{'total':<16}{self.total_instrs:>12}{'':>14}{self.total_flops:>14}"
+            f"{self.total_bytes:>14}"
+        )
+        return "\n".join(rows)
+
+
+def assert_counts_match(
+    expected: dict[str, int],
+    actual: dict[str, int],
+    context: str = "",
+) -> None:
+    """Raise :class:`TraceValidationError` unless two count maps agree.
+
+    Used by the model-vs-trace validation harness; zero-count classes are
+    treated as absent on both sides.
+    """
+    from repro.errors import TraceValidationError
+
+    exp = {k: v for k, v in expected.items() if v}
+    act = {k: v for k, v in actual.items() if v}
+    if exp != act:
+        keys = sorted(set(exp) | set(act))
+        diff = "\n".join(
+            f"  {k:<16} expected={exp.get(k, 0):>10} actual={act.get(k, 0):>10}"
+            for k in keys
+            if exp.get(k, 0) != act.get(k, 0)
+        )
+        raise TraceValidationError(
+            f"instruction counts disagree{(' for ' + context) if context else ''}:\n{diff}"
+        )

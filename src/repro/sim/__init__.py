@@ -1,0 +1,44 @@
+"""Timing simulation (the gem5 RiscvMinorCPU role).
+
+- :class:`SystemConfig` / :class:`Simulator` — configuration points of
+  the co-design space and the program runner;
+- :class:`LoopNest` / :class:`BodyInstr` — batched instruction-stream
+  descriptors produced by :mod:`repro.model`;
+- :class:`Cache` / :class:`CacheHierarchy` — exact set-associative LRU
+  cache simulation;
+- :func:`reuse_profile` — one-pass stack-distance miss curves;
+- :class:`LatencyModel` / :class:`MemoryTimings` — issue occupancy
+  (constant-latency vector mode, per the paper's gem5 fork) and stall
+  modeling;
+- :class:`SimStats` — the reported statistics.
+"""
+
+from repro.sim.cache import Cache, CacheHierarchy, CacheStats, HierarchyStats
+from repro.sim.core import CONSTANT, THROUGHPUT, LatencyModel, MemoryTimings
+from repro.sim.energy import EnergyBreakdown, EnergyModel, estimate_energy
+from repro.sim.events import BodyInstr, LoopNest, total_counts
+from repro.sim.stackdist import ReuseProfile, reuse_profile
+from repro.sim.stats import SimStats
+from repro.sim.system import Simulator, SystemConfig
+
+__all__ = [
+    "SystemConfig",
+    "Simulator",
+    "SimStats",
+    "LoopNest",
+    "BodyInstr",
+    "total_counts",
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "HierarchyStats",
+    "ReuseProfile",
+    "reuse_profile",
+    "LatencyModel",
+    "MemoryTimings",
+    "CONSTANT",
+    "THROUGHPUT",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "estimate_energy",
+]

@@ -1,0 +1,228 @@
+"""Set-associative LRU cache simulation at cache-line granularity.
+
+Models the two-level data cache of the paper's gem5 configuration
+(RiscvMinorCPU: 64 kB L1 and a configurable L2, write-allocate,
+writeback).  Accesses are cache-line IDs (byte address // line size);
+the hierarchy filters L1 hits and forwards misses to L2, and counts the
+DRAM line traffic (fills plus dirty writebacks) that the roofline
+analysis uses as "DRAM bytes".
+
+Implementation notes: each set is an :class:`collections.OrderedDict`
+from tag to dirty bit, giving O(1) LRU updates at C speed.  For the
+sampled layer simulations the streams are a few hundred thousand lines
+per configuration, which this handles in well under a second.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class CacheStats:
+    """Access counters of one cache level."""
+
+    accesses: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.accesses += other.accesses
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.writebacks += other.writebacks
+
+    def scaled(self, factor: float) -> "CacheStats":
+        """Extrapolated copy (used by the sampling simulator)."""
+        return CacheStats(
+            accesses=int(round(self.accesses * factor)),
+            misses=int(round(self.misses * factor)),
+            evictions=int(round(self.evictions * factor)),
+            writebacks=int(round(self.writebacks * factor)),
+        )
+
+
+class Cache:
+    """One set-associative, write-allocate, writeback LRU cache level.
+
+    Args:
+        size_bytes: total capacity.
+        assoc: ways per set.
+        line_bytes: line size (64, as the paper's gem5 config).
+    """
+
+    def __init__(self, size_bytes: int, assoc: int = 8, line_bytes: int = 64) -> None:
+        if size_bytes <= 0 or assoc <= 0 or line_bytes <= 0:
+            raise ConfigError("cache size, associativity and line size must be positive")
+        if size_bytes % (assoc * line_bytes):
+            raise ConfigError(
+                f"cache of {size_bytes} B is not divisible into {assoc}-way "
+                f"sets of {line_bytes} B lines"
+            )
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    def reset_stats(self) -> None:
+        """Zero the counters without flushing cache contents.
+
+        Used by the sampling simulator to discard warmup accesses."""
+        self.stats = CacheStats()
+
+    def flush(self) -> None:
+        """Drop all contents and counters."""
+        for s in self._sets:
+            s.clear()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def access_lines(
+        self, lines: np.ndarray, is_store: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Run a line-ID stream through the cache.
+
+        Args:
+            lines: int64 array of line IDs in access order.
+            is_store: aligned boolean store mask; loads assumed if None.
+
+        Returns:
+            Boolean array, True where the access missed (these accesses
+            propagate to the next level in program order).
+        """
+        n = lines.size
+        missed = np.zeros(n, dtype=bool)
+        if n == 0:
+            return missed
+        nsets = self.num_sets
+        assoc = self.assoc
+        sets = self._sets
+        stats = self.stats
+        stats.accesses += n
+        lines_list = lines.tolist()
+        stores_list = (
+            is_store.tolist() if is_store is not None else [False] * n
+        )
+        miss_count = 0
+        evictions = 0
+        writebacks = 0
+        for i, (line, store) in enumerate(zip(lines_list, stores_list)):
+            s = sets[line % nsets]
+            dirty = s.pop(line, None)
+            if dirty is None:
+                # Miss: allocate (write-allocate for stores too).
+                missed[i] = True
+                miss_count += 1
+                if len(s) >= assoc:
+                    _, victim_dirty = s.popitem(last=False)
+                    evictions += 1
+                    if victim_dirty:
+                        writebacks += 1
+                s[line] = store
+            else:
+                s[line] = dirty or store
+        stats.misses += miss_count
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+        return missed
+
+    @property
+    def lines_resident(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+@dataclass
+class HierarchyStats:
+    """Joint statistics of an L1+L2 hierarchy plus DRAM traffic."""
+
+    l1: CacheStats = field(default_factory=CacheStats)
+    l2: CacheStats = field(default_factory=CacheStats)
+    line_bytes: int = 64
+
+    @property
+    def dram_lines(self) -> int:
+        """Lines moved to/from DRAM: L2 fills plus dirty writebacks."""
+        return self.l2.misses + self.l2.writebacks
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_lines * self.line_bytes
+
+    def merge(self, other: "HierarchyStats") -> None:
+        self.l1.merge(other.l1)
+        self.l2.merge(other.l2)
+
+    def scaled(self, factor: float) -> "HierarchyStats":
+        return HierarchyStats(
+            l1=self.l1.scaled(factor), l2=self.l2.scaled(factor),
+            line_bytes=self.line_bytes,
+        )
+
+
+class CacheHierarchy:
+    """Two-level data cache as in the paper's gem5 configuration.
+
+    Args:
+        l1_kb: L1 data cache capacity in kB (paper: 64).
+        l2_mb: L2 capacity in MB (paper sweeps 1 — 256).
+        l1_assoc/l2_assoc: associativities (gem5 defaults: 8/16-way are
+            typical; results are insensitive within realistic ranges —
+            see the ablation bench).
+        line_bytes: cache-line size.
+    """
+
+    def __init__(
+        self,
+        l1_kb: int = 64,
+        l2_mb: int = 1,
+        l1_assoc: int = 8,
+        l2_assoc: int = 16,
+        line_bytes: int = 64,
+    ) -> None:
+        self.line_bytes = line_bytes
+        self.l1 = Cache(l1_kb * 1024, l1_assoc, line_bytes)
+        self.l2 = Cache(l2_mb * 1024 * 1024, l2_assoc, line_bytes)
+
+    def access(
+        self, lines: np.ndarray, is_store: np.ndarray | None = None
+    ) -> None:
+        """Push a line stream through L1 then L2 (misses only)."""
+        l1_missed = self.l1.access_lines(lines, is_store)
+        if l1_missed.any():
+            l2_lines = lines[l1_missed]
+            l2_stores = is_store[l1_missed] if is_store is not None else None
+            self.l2.access_lines(l2_lines, l2_stores)
+
+    def snapshot(self) -> HierarchyStats:
+        """Copy of the current counters."""
+        return HierarchyStats(
+            l1=CacheStats(**vars(self.l1.stats)),
+            l2=CacheStats(**vars(self.l2.stats)),
+            line_bytes=self.line_bytes,
+        )
+
+    def reset_stats(self) -> None:
+        self.l1.reset_stats()
+        self.l2.reset_stats()
+
+    def flush(self) -> None:
+        self.l1.flush()
+        self.l2.flush()

@@ -1,0 +1,95 @@
+"""First-order energy model for the simulated vector processor.
+
+The paper's introduction motivates long vectors partly through energy:
+they improve "the energy efficiency by reducing the number of
+instructions required to complete a task, thereby reducing the energy
+consumed by the processor's front end, which is a significant concern
+for servers with power caps and mobile devices".  The co-design study
+itself never quantifies that; this model does, with the standard
+event-energy decomposition used in architecture studies:
+
+    E = N_instr * E_front                      (fetch/decode/issue)
+      + N_elem_ops * E_lane                    (datapath work)
+      + N_L1_access * E_L1 + N_L2_access * E_L2
+      + DRAM_bytes * E_DRAM
+
+Default per-event energies are order-of-magnitude figures for a ~22 nm
+embedded core (the Ara/EPI generation the paper cites): tens of pJ per
+instruction through the front end, a few pJ per lane-operation, and
+the canonical ~10 pJ/bit levels for DRAM.  Absolute joules are not the
+point — the *ratio* between configurations is, exactly as with cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.stats import SimStats
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energies in picojoules."""
+
+    front_end_pj: float = 25.0  # per dynamic instruction
+    lane_pj: float = 2.0  # per element operation (fp32 lane)
+    l1_access_pj: float = 10.0  # per cache-line access at L1
+    l2_access_pj: float = 50.0  # per cache-line access at L2
+    dram_pj_per_byte: float = 15.0  # ~120 pJ/bit-line amortized
+
+    def __post_init__(self) -> None:
+        if min(self.front_end_pj, self.lane_pj, self.l1_access_pj,
+               self.l2_access_pj, self.dram_pj_per_byte) < 0:
+            raise ConfigError("energies must be non-negative")
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Estimated energy of one simulated run, by component (joules)."""
+
+    front_end: float
+    datapath: float
+    l1: float
+    l2: float
+    dram: float
+
+    @property
+    def total(self) -> float:
+        return self.front_end + self.datapath + self.l1 + self.l2 + self.dram
+
+    @property
+    def front_end_share(self) -> float:
+        return self.front_end / self.total if self.total else 0.0
+
+    def report(self) -> str:
+        rows = [f"{'component':<12}{'mJ':>10}{'share':>8}"]
+        for name, val in (
+            ("front-end", self.front_end),
+            ("datapath", self.datapath),
+            ("L1", self.l1),
+            ("L2", self.l2),
+            ("DRAM", self.dram),
+        ):
+            rows.append(
+                f"{name:<12}{1e3 * val:>10.3f}"
+                f"{100 * val / self.total if self.total else 0:>7.1f}%"
+            )
+        rows.append(f"{'total':<12}{1e3 * self.total:>10.3f}")
+        return "\n".join(rows)
+
+
+def estimate_energy(
+    stats: SimStats, model: EnergyModel | None = None
+) -> EnergyBreakdown:
+    """Apply the event-energy model to a simulation's counters."""
+    em = model if model is not None else EnergyModel()
+    pj = 1e-12
+    elem_ops = sum(stats.elems.values())
+    return EnergyBreakdown(
+        front_end=stats.total_instrs * em.front_end_pj * pj,
+        datapath=elem_ops * em.lane_pj * pj,
+        l1=stats.hierarchy.l1.accesses * em.l1_access_pj * pj,
+        l2=stats.hierarchy.l2.accesses * em.l2_access_pj * pj,
+        dram=stats.dram_bytes * em.dram_pj_per_byte * pj,
+    )

@@ -1,0 +1,281 @@
+"""Batched instruction-stream descriptors for the timing simulator.
+
+The functional machine can feed the timing model instruction by
+instruction, but a full network layer executes on the order of 1e8-1e9
+dynamic vector instructions — the same wall that forces the paper to
+simulate only the first 20 YOLOv3 layers in gem5.  The analytical models
+in :mod:`repro.model` therefore describe kernels as *loop nests*: a
+rectangular iteration space with a fixed body of instruction templates
+whose addresses are affine in the loop indices.  This preserves exactly
+what the timing model consumes — dynamic instruction counts per opcode
+class and the ordered cache-line address stream — while letting the
+cache simulator sample the iteration space instead of enumerating it.
+
+The two key types:
+
+- :class:`BodyInstr` — one instruction template: opcode class, active
+  element count, and (for memory operations) an affine address function
+  ``base + sum_d idx[d] * dim_strides[d]`` plus an element stride or an
+  explicit indexed-offset pattern.
+- :class:`LoopNest` — the iteration space ``dims`` (outermost first)
+  and the body executed once per point of it, in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.isa import FLOPS_PER_ELEM, IS_MEM, OpClass
+
+
+@dataclass(frozen=True)
+class BodyInstr:
+    """One instruction template inside a loop nest body.
+
+    Attributes:
+        opclass: opcode class of the instruction.
+        elems: active vector elements per dynamic instance.
+        base: base byte address (memory instructions only).
+        dim_strides: byte advance of the base per unit step of each loop
+            dimension (aligned with ``LoopNest.dims``; missing trailing
+            entries are treated as zero).
+        elem_stride: byte distance between consecutive elements (unit
+            accesses use the element size, strided accesses their
+            stride).
+        offsets: for indexed accesses, the per-element byte offsets from
+            the (affine) base.
+        is_load: direction of a memory access.
+        ebytes: element size in bytes.
+    """
+
+    opclass: OpClass
+    elems: int
+    base: int = 0
+    dim_strides: tuple[int, ...] = ()
+    elem_stride: int = 4
+    offsets: tuple[int, ...] | None = None
+    is_load: bool = True
+    ebytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.elems < 0:
+            raise ConfigError(f"elems must be non-negative, got {self.elems}")
+        if self.opclass in IS_MEM and self.offsets is None and self.elem_stride == 0:
+            raise ConfigError("memory template needs elem_stride or offsets")
+        if self.offsets is not None and len(self.offsets) != self.elems:
+            raise ConfigError(
+                f"offsets length {len(self.offsets)} != elems {self.elems}"
+            )
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opclass in IS_MEM
+
+    @property
+    def flops(self) -> int:
+        """FLOPs contributed by one dynamic instance."""
+        return FLOPS_PER_ELEM.get(self.opclass, 0) * self.elems
+
+    @property
+    def bytes(self) -> int:
+        """Payload bytes moved by one dynamic instance (memory only)."""
+        return self.elems * self.ebytes if self.is_mem else 0
+
+    def element_offsets(self) -> np.ndarray:
+        """Byte offsets of every element relative to the instance base."""
+        if self.offsets is not None:
+            return np.asarray(self.offsets, dtype=np.int64)
+        return np.arange(self.elems, dtype=np.int64) * self.elem_stride
+
+    def lines_per_instance(self, line_bytes: int = 64) -> np.ndarray:
+        """Deduplicated line offsets (in lines, relative to base // line).
+
+        Valid when the instance base is line-aligned; the cache stream
+        generator handles unaligned bases by adding the base separately
+        before dividing, so this helper is used only for quick sizing.
+        """
+        offs = self.element_offsets()
+        lines = np.unique(
+            np.concatenate([offs // line_bytes, (offs + self.ebytes - 1) // line_bytes])
+        )
+        return lines
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A rectangular loop nest with a fixed instruction body.
+
+    ``dims`` are trip counts, outermost first.  The dynamic execution is
+    the lexicographic walk of the iteration space, executing every
+    :class:`BodyInstr` in ``body`` order at each point.
+
+    The nests produced by :mod:`repro.model` put the largest,
+    homogeneous loop outermost, which is what the sampling cache
+    simulator slices.
+    """
+
+    name: str
+    dims: tuple[int, ...]
+    body: tuple[BodyInstr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ConfigError(f"loop nest '{self.name}' needs at least one dim")
+        if any(d < 0 for d in self.dims):
+            raise ConfigError(f"negative trip count in nest '{self.name}': {self.dims}")
+        if not self.body:
+            raise ConfigError(f"loop nest '{self.name}' has an empty body")
+
+    # ------------------------------------------------------------------
+    # Analytic totals (exact, no enumeration)
+    # ------------------------------------------------------------------
+    @property
+    def trips(self) -> int:
+        t = 1
+        for d in self.dims:
+            t *= d
+        return t
+
+    @property
+    def inner_trips(self) -> int:
+        """Iterations of everything inside the outermost loop."""
+        t = 1
+        for d in self.dims[1:]:
+            t *= d
+        return t
+
+    def instr_counts(self) -> dict[OpClass, int]:
+        """Dynamic instruction count per opcode class."""
+        counts: dict[OpClass, int] = {}
+        for bi in self.body:
+            counts[bi.opclass] = counts.get(bi.opclass, 0) + self.trips
+        return counts
+
+    def elem_counts(self) -> dict[OpClass, int]:
+        counts: dict[OpClass, int] = {}
+        for bi in self.body:
+            counts[bi.opclass] = counts.get(bi.opclass, 0) + self.trips * bi.elems
+        return counts
+
+    def total_flops(self) -> int:
+        return sum(bi.flops for bi in self.body) * self.trips
+
+    def total_mem_bytes(self) -> tuple[int, int]:
+        """(bytes loaded, bytes stored) over the whole nest."""
+        ld = sum(bi.bytes for bi in self.body if bi.is_mem and bi.is_load)
+        st = sum(bi.bytes for bi in self.body if bi.is_mem and not bi.is_load)
+        return ld * self.trips, st * self.trips
+
+    # ------------------------------------------------------------------
+    # Address stream generation
+    # ------------------------------------------------------------------
+    def _strides_padded(self, bi: BodyInstr) -> np.ndarray:
+        s = np.zeros(len(self.dims), dtype=np.int64)
+        ds = np.asarray(bi.dim_strides[: len(self.dims)], dtype=np.int64)
+        s[: ds.size] = ds
+        return s
+
+    def stream_for_outer(
+        self, outer_index: int, line_bytes: int = 64
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Ordered cache-line stream of one outermost-loop iteration.
+
+        Enumerates the inner iteration space with NumPy index grids and
+        produces, for every inner point and every memory template in
+        body order, the deduplicated-per-instruction line IDs.
+
+        Returns:
+            ``(lines, is_store)`` — the int64 line-ID stream and an
+            aligned boolean store mask (for writeback modeling).
+        """
+        if not 0 <= outer_index < self.dims[0]:
+            raise ConfigError(
+                f"outer index {outer_index} out of range for dims {self.dims}"
+            )
+        inner_dims = self.dims[1:]
+        n_inner = self.inner_trips
+        mem_templates = [bi for bi in self.body if bi.is_mem]
+        if not mem_templates or n_inner == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+
+        # Index grid of the inner space, shape (n_inner, len(inner_dims)).
+        if inner_dims:
+            grids = np.meshgrid(
+                *[np.arange(d, dtype=np.int64) for d in inner_dims], indexing="ij"
+            )
+            idx = np.stack([g.ravel() for g in grids], axis=1)
+        else:
+            idx = np.zeros((1, 0), dtype=np.int64)
+
+        per_instr: list[tuple[np.ndarray, np.ndarray, bool]] = []
+        uniform = True
+        widths: list[int] = []
+        for bi in mem_templates:
+            strides = self._strides_padded(bi)
+            inner_adv = (
+                idx @ strides[1:] if strides[1:].size
+                else np.zeros(n_inner, dtype=np.int64)
+            )
+            bases = bi.base + outer_index * strides[0] + inner_adv  # (n_inner,)
+            offs = bi.element_offsets()  # (elems,)
+            first = bases[:, None] + offs[None, :]
+            # Per-instruction dedup: the load/store unit touches each
+            # line once.  Sorting each row and dropping consecutive
+            # duplicates is exact for the affine patterns used here.
+            rows = np.sort(
+                np.concatenate(
+                    [first // line_bytes, (first + bi.ebytes - 1) // line_bytes],
+                    axis=1,
+                ),
+                axis=1,
+            )
+            keep = np.ones_like(rows, dtype=bool)
+            keep[:, 1:] = rows[:, 1:] != rows[:, :-1]
+            counts = keep.sum(axis=1)
+            w = int(counts[0])
+            if not np.all(counts == w):
+                uniform = False
+                w = -1
+            widths.append(w)
+            per_instr.append((rows, keep, not bi.is_load))
+
+        if uniform:
+            # Fast path: every instance of each template touches the same
+            # number of lines, so the interleave is a reshape.
+            total_w = sum(widths)
+            out = np.empty((n_inner, total_w), dtype=np.int64)
+            stores = np.empty((n_inner, total_w), dtype=bool)
+            col = 0
+            for (rows, keep, is_store), w in zip(per_instr, widths):
+                out[:, col : col + w] = rows[keep].reshape(n_inner, w)
+                stores[:, col : col + w] = is_store
+                col += w
+            return out.ravel(), stores.ravel()
+
+        # Slow path: ragged per-instance line counts.
+        chunks: list[np.ndarray] = []
+        smask: list[np.ndarray] = []
+        for i in range(n_inner):
+            for rows, keep, is_store in per_instr:
+                sel = rows[i][keep[i]]
+                chunks.append(sel)
+                smask.append(np.full(sel.size, is_store, dtype=bool))
+        return np.concatenate(chunks), np.concatenate(smask)
+
+    def line_stream_for_outer(
+        self, outer_index: int, line_bytes: int = 64
+    ) -> np.ndarray:
+        """Line IDs only; see :meth:`stream_for_outer`."""
+        return self.stream_for_outer(outer_index, line_bytes)[0]
+
+
+def total_counts(nests: list[LoopNest]) -> dict[OpClass, int]:
+    """Aggregate instruction counts over a program (list of nests)."""
+    out: dict[OpClass, int] = {}
+    for nest in nests:
+        for c, n in nest.instr_counts().items():
+            out[c] = out.get(c, 0) + n
+    return out

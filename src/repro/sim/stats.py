@@ -1,0 +1,139 @@
+"""Aggregated simulation statistics (the gem5 ``stats.txt`` role).
+
+:class:`SimStats` is what every experiment in the package reports:
+cycles (split into issue and stall components), dynamic instruction
+counts per opcode class, flops, cache statistics and DRAM traffic, with
+the derived quantities the paper reads off gem5 — runtime, achieved
+GFLOP/s, L2 miss rate, and the DRAM-byte arithmetic intensity used for
+the roofline plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa import OpClass
+from repro.sim.cache import HierarchyStats
+
+
+@dataclass
+class SimStats:
+    """Results of simulating one program (kernel, layer, or network).
+
+    All counter fields are additive, so per-layer stats merge into
+    network totals with :meth:`merge`.
+    """
+
+    freq_ghz: float = 2.0
+    issue_cycles: float = 0.0
+    l2_stall_cycles: float = 0.0
+    dram_stall_cycles: float = 0.0
+    instrs: dict[str, int] = field(default_factory=dict)
+    elems: dict[str, int] = field(default_factory=dict)
+    flops: int = 0
+    hierarchy: HierarchyStats = field(default_factory=HierarchyStats)
+    label: str = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def cycles(self) -> float:
+        return self.issue_cycles + self.l2_stall_cycles + self.dram_stall_cycles
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.freq_ghz * 1e9)
+
+    @property
+    def total_instrs(self) -> int:
+        return sum(self.instrs.values())
+
+    @property
+    def vector_instrs(self) -> int:
+        return sum(
+            n for c, n in self.instrs.items() if c != OpClass.SCALAR.value
+        )
+
+    @property
+    def gflops(self) -> float:
+        """Achieved GFLOP/s (the roofline y-axis)."""
+        return self.flops / self.seconds / 1e9 if self.cycles else 0.0
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.hierarchy.dram_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per DRAM byte — the paper computes AI "based on the
+        DRAM bytes" (Section 6)."""
+        return self.flops / self.dram_bytes if self.dram_bytes else float("inf")
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.hierarchy.l1.miss_rate
+
+    @property
+    def l2_miss_rate(self) -> float:
+        return self.hierarchy.l2.miss_rate
+
+    @property
+    def stall_fraction(self) -> float:
+        c = self.cycles
+        return (self.l2_stall_cycles + self.dram_stall_cycles) / c if c else 0.0
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "SimStats") -> None:
+        """Accumulate another run's counters into this one (in place)."""
+        self.issue_cycles += other.issue_cycles
+        self.l2_stall_cycles += other.l2_stall_cycles
+        self.dram_stall_cycles += other.dram_stall_cycles
+        for k, v in other.instrs.items():
+            self.instrs[k] = self.instrs.get(k, 0) + v
+        for k, v in other.elems.items():
+            self.elems[k] = self.elems.get(k, 0) + v
+        self.flops += other.flops
+        self.hierarchy.merge(other.hierarchy)
+
+    def speedup_over(self, baseline: "SimStats") -> float:
+        """baseline.cycles / self.cycles — how much faster this run is."""
+        return baseline.cycles / self.cycles if self.cycles else float("inf")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (for tooling and the CLI)."""
+        return {
+            "label": self.label,
+            "freq_ghz": self.freq_ghz,
+            "cycles": self.cycles,
+            "seconds": self.seconds,
+            "issue_cycles": self.issue_cycles,
+            "l2_stall_cycles": self.l2_stall_cycles,
+            "dram_stall_cycles": self.dram_stall_cycles,
+            "instructions": dict(self.instrs),
+            "flops": self.flops,
+            "gflops": self.gflops,
+            "l1_accesses": self.hierarchy.l1.accesses,
+            "l1_misses": self.hierarchy.l1.misses,
+            "l2_accesses": self.hierarchy.l2.accesses,
+            "l2_misses": self.hierarchy.l2.misses,
+            "l2_miss_rate": self.l2_miss_rate,
+            "dram_bytes": self.dram_bytes,
+            "arithmetic_intensity": (
+                None if self.dram_bytes == 0 else self.arithmetic_intensity
+            ),
+        }
+
+    def report(self) -> str:
+        """Multi-line human-readable summary (examples and benches)."""
+        lines = [
+            f"--- {self.label or 'simulation'} ---",
+            f"cycles          {self.cycles:16.0f}  ({self.seconds * 1e3:.3f} ms @ {self.freq_ghz} GHz)",
+            f"  issue         {self.issue_cycles:16.0f}",
+            f"  L2 stalls     {self.l2_stall_cycles:16.0f}",
+            f"  DRAM stalls   {self.dram_stall_cycles:16.0f}",
+            f"instructions    {self.total_instrs:16d}",
+            f"flops           {self.flops:16d}  ({self.gflops:.2f} GFLOP/s)",
+            f"L1 miss rate    {100 * self.l1_miss_rate:15.1f}%",
+            f"L2 miss rate    {100 * self.l2_miss_rate:15.1f}%",
+            f"DRAM bytes      {self.dram_bytes:16d}  (AI = {self.arithmetic_intensity:.3f} flop/B)",
+        ]
+        return "\n".join(lines)

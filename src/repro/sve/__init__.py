@@ -1,0 +1,11 @@
+"""ARM-SVE flavor of the functional vector machine.
+
+See :class:`SveMachine`; it shares the execution engine with the RVV
+machine and exposes both SVE-native operations and an RVV-compatible
+adapter so the kernels in :mod:`repro.kernels` run unmodified on both
+ISAs (the paper's RVV-vs-SVE comparison, Section 5).
+"""
+
+from repro.sve.machine import SveMachine
+
+__all__ = ["SveMachine"]

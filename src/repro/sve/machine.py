@@ -1,0 +1,221 @@
+"""ARM-SVE flavor of the functional vector machine.
+
+The paper validates its RVV results by comparing against the authors'
+earlier ARM-SVE port of the same kernels, finding "similar performance
+and performance trends".  To reproduce that comparison we provide
+:class:`SveMachine`: the same execution engine as
+:class:`~repro.rvv.RvvMachine`, but speaking SVE's instruction
+vocabulary and exhibiting SVE's ISA differences:
+
+- there is no ``vsetvl``; strip-mining is expressed with ``whilelt``
+  predicate generation (accounted as a mask instruction);
+- there are no strided loads/stores; strided access is performed with
+  gather/scatter plus index setup (SVE's actual limitation);
+- in-register data movement uses ``EXT`` (accounted as a slide) and
+  ``TBL`` (a permute).
+
+Because the adapter exposes the same method names as
+:class:`~repro.rvv.RvvMachine`, every kernel in :mod:`repro.kernels` is
+single-source across the two ISAs — the vector-length-agnostic
+portability the paper advertises — while the traced instruction mix
+differs exactly where the ISAs differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import OpClass
+from repro.isa.encoding import VType
+from repro.isa import vsetvl as isa_vsetvl
+from repro.rvv.machine import VectorEngine
+from repro.errors import VectorStateError
+
+
+class SveMachine(VectorEngine):
+    """ARM Scalable Vector Extension functional machine.
+
+    SVE implementations fix the vector length between 128 and 2048 bits;
+    we deliberately accept the same range as the RVV machine so the
+    co-design sweep can compare both ISAs at every simulated length, as
+    the paper's gem5 setup does.
+    """
+
+    # --- native SVE surface ------------------------------------------------
+    def whilelt(self, i: int, n: int) -> int:
+        """Predicate generation: active lanes = min(n - i, VLMAX).
+
+        Returns the number of active lanes, which the engine stores as
+        the granted vector length (a contiguous predicate; none of the
+        paper's kernels need sparse predicates).
+        """
+        if i > n:
+            raise VectorStateError(f"whilelt with i={i} > n={n}")
+        self.vtype = VType(sew=32, lmul=1)
+        self.vl = isa_vsetvl(n - i, self.vlen_bits, 32, 1)
+        self._configured = True
+        self.tracer.record(OpClass.VMASK, self.vl, 32)
+        return self.vl
+
+    def ld1w(self, vd: int, addr: int) -> None:
+        """Contiguous predicated load (``ld1w``)."""
+        self._ld_unit(vd, addr)
+
+    def st1w(self, vs: int, addr: int) -> None:
+        """Contiguous predicated store (``st1w``)."""
+        self._st_unit(vs, addr)
+
+    def ld1w_gather(self, vd: int, base: int, vidx: int) -> None:
+        """Gather load with a vector of uint32 byte offsets."""
+        self._ld_indexed(vd, base, vidx)
+
+    def st1w_scatter(self, vs: int, base: int, vidx: int) -> None:
+        """Scatter store with a vector of uint32 byte offsets."""
+        self._st_indexed(vs, base, vidx)
+
+    def fmla(self, vd: int, vs1: int, vs2: int) -> None:
+        """``vd += vs1 * vs2`` (FMLA)."""
+        self._fma(vd, vs1, vs2)
+
+    def fmla_f(self, vd: int, f: float, vs: int) -> None:
+        """FMLA against a replicated scalar."""
+        self._fma_f(vd, f, vs)
+
+    def fadd(self, vd: int, vs1: int, vs2: int) -> None:
+        self._arith("add", vd, vs1, vs2)
+
+    def fsub(self, vd: int, vs1: int, vs2: int) -> None:
+        self._arith("sub", vd, vs1, vs2)
+
+    def fmul(self, vd: int, vs1: int, vs2: int) -> None:
+        self._arith("mul", vd, vs1, vs2)
+
+    def dup(self, vd: int, f: float) -> None:
+        """Broadcast a scalar to every active lane."""
+        self._splat_f(vd, f)
+
+    def tbl(self, vd: int, vs: int, vidx: int) -> None:
+        """Table permute (``TBL``): vd[i] = vs[vidx[i]], OOB lanes 0."""
+        self._gather_reg(vd, vs, vidx)
+
+    def ext(self, vd: int, vs: int, offset_elems: int) -> None:
+        """``EXT``-style lane shift used to emulate a slide-up."""
+        self._slideup(vd, vs, offset_elems)
+
+    def index_u32(self, vd: int, start: int, step: int) -> None:
+        """``INDEX``: vd[i] = start + i*step (uint32)."""
+        vl = self._require_vl()
+        self._u32(vd)[:vl] = (
+            np.uint32(start) + np.arange(vl, dtype=np.uint32) * np.uint32(step)
+        )
+        self.tracer.record(OpClass.VIARITH, vl, 32)
+
+    # --- RVV-compatible adapter (single-source kernels) ---------------------
+    def setvl(self, avl: int, sew: int = 32, lmul: int = 1) -> int:
+        """Strip-mining adapter: maps to ``whilelt`` predicate setup."""
+        if sew != 32 or lmul != 1:
+            raise VectorStateError("the SVE flavor implements fp32, LMUL=1 kernels")
+        return self.whilelt(0, avl)
+
+    def vle32(self, vd: int, addr: int) -> None:
+        self.ld1w(vd, addr)
+
+    def vse32(self, vs: int, addr: int) -> None:
+        self.st1w(vs, addr)
+
+    def vlse32(self, vd: int, addr: int, stride_bytes: int) -> None:
+        """SVE has no strided load: INDEX + gather, two instructions."""
+        vl = self._require_vl()
+        with self.alloc.scoped(1) as (vidx,):
+            self.index_u32(vidx, 0, stride_bytes)
+            self.ld1w_gather(vd, addr, vidx)
+
+    def vsse32(self, vs: int, addr: int, stride_bytes: int) -> None:
+        """SVE has no strided store: INDEX + scatter, two instructions."""
+        with self.alloc.scoped(1) as (vidx,):
+            self.index_u32(vidx, 0, stride_bytes)
+            self.st1w_scatter(vs, addr, vidx)
+
+    def vluxei32(self, vd: int, base: int, vidx: int) -> None:
+        self.ld1w_gather(vd, base, vidx)
+
+    def vsuxei32(self, vs: int, base: int, vidx: int) -> None:
+        self.st1w_scatter(vs, base, vidx)
+
+    def vfmacc_vv(self, vd: int, vs1: int, vs2: int) -> None:
+        self.fmla(vd, vs1, vs2)
+
+    def vfmacc_vf(self, vd: int, f: float, vs: int) -> None:
+        self.fmla_f(vd, f, vs)
+
+    def vfnmsac_vf(self, vd: int, f: float, vs: int) -> None:
+        self._nfms_f(vd, f, vs)
+
+    def vfadd_vv(self, vd: int, vs1: int, vs2: int) -> None:
+        self.fadd(vd, vs1, vs2)
+
+    def vfsub_vv(self, vd: int, vs1: int, vs2: int) -> None:
+        self.fsub(vd, vs1, vs2)
+
+    def vfmul_vv(self, vd: int, vs1: int, vs2: int) -> None:
+        self.fmul(vd, vs1, vs2)
+
+    def vfadd_vf(self, vd: int, vs: int, f: float) -> None:
+        self._arith_f("add", vd, vs, f)
+
+    def vfmul_vf(self, vd: int, vs: int, f: float) -> None:
+        self._arith_f("mul", vd, vs, f)
+
+    def vfredusum(self, vs: int) -> float:
+        return self._redsum(vs)
+
+    def vfmv_v_f(self, vd: int, f: float) -> None:
+        self.dup(vd, f)
+
+    def vmv_v_v(self, vd: int, vs: int) -> None:
+        self._mov(vd, vs)
+
+    def vid_v(self, vd: int) -> None:
+        self.index_u32(vd, 0, 1)
+
+    def vadd_vx(self, vd: int, vs: int, x: int) -> None:
+        self._iadd_x(vd, vs, x)
+
+    def vmul_vx(self, vd: int, vs: int, x: int) -> None:
+        self._imul_x(vd, vs, x)
+
+    def vand_vx(self, vd: int, vs: int, x: int) -> None:
+        self._iand_x(vd, vs, x)
+
+    def load_index_u32(self, vd: int, offsets: np.ndarray) -> None:
+        """Load precomputed byte offsets into an index register.
+
+        SVE kernels materialize index vectors from memory just like the
+        RVV ones do (Algorithm 1); the load is a contiguous ``ld1w``.
+        """
+        vl = self._require_vl()
+        offs = np.ascontiguousarray(offsets, dtype=np.uint32)
+        if offs.size < vl:
+            raise VectorStateError(f"index array has {offs.size} entries but vl={vl}")
+        if not hasattr(self, "_index_scratch") or self._index_scratch_cap < vl:
+            self._index_scratch = self.memory.alloc(4 * self.vlmax)
+            self._index_scratch_cap = self.vlmax
+        self.memory.view(self._index_scratch, vl, np.uint32)[:] = offs[:vl]
+        self._u32(vd)[:vl] = offs[:vl]
+        from repro.rvv.tracer import MemAccess
+
+        self.tracer.record(
+            OpClass.VLOAD_UNIT, vl, 32,
+            MemAccess(kind="unit", base=self._index_scratch, elems=vl,
+                      ebytes=4, stride=4, is_load=True),
+        )
+
+    def vslideup_vx(self, vd: int, vs: int, offset: int) -> None:
+        """Slide-up adapter: SVE expresses this with ``EXT``."""
+        self.ext(vd, vs, offset)
+
+    def vslidedown_vx(self, vd: int, vs: int, offset: int) -> None:
+        self._slidedown(vd, vs, offset)
+
+    def vrgather_vv(self, vd: int, vs: int, vidx: int) -> None:
+        self.tbl(vd, vs, vidx)

@@ -1,0 +1,45 @@
+"""Winograd convolution mathematics.
+
+- :mod:`repro.winograd.cook_toom` — exact Cook-Toom construction of the
+  F(m, r) transform matrices for any interpolation point set; NNPACK's
+  F(6x6, 3x3) is :func:`f6x3_transforms`.
+- :mod:`repro.winograd.tiles` — the tiled 2D convolution pipeline in
+  NumPy (the ground truth for the vectorized kernels).
+- :mod:`repro.winograd.accuracy` — numerical-error analysis across
+  filter sizes and point sets.
+"""
+
+from repro.winograd.cook_toom import (
+    NNPACK_POINTS_F6X3,
+    POINTS_F2X3,
+    POINTS_F4X3,
+    WinogradTransforms,
+    cook_toom,
+    default_points,
+    f6x3_transforms,
+)
+from repro.winograd.tiles import TileGrid, WinogradConv2d, extract_tiles, stitch_tiles
+from repro.winograd.accuracy import (
+    AccuracyReport,
+    accuracy_vs_filter_size,
+    compare_point_sets,
+    measure_accuracy,
+)
+
+__all__ = [
+    "cook_toom",
+    "default_points",
+    "f6x3_transforms",
+    "WinogradTransforms",
+    "NNPACK_POINTS_F6X3",
+    "POINTS_F2X3",
+    "POINTS_F4X3",
+    "TileGrid",
+    "WinogradConv2d",
+    "extract_tiles",
+    "stitch_tiles",
+    "AccuracyReport",
+    "measure_accuracy",
+    "accuracy_vs_filter_size",
+    "compare_point_sets",
+]

@@ -1,0 +1,98 @@
+"""Numerical accuracy analysis for Winograd transform variants.
+
+The paper motivates restricting Winograd to 3x3 (and 5x5) filters
+"because of a numerical inaccuracy issue for large kernel sizes"
+(Section 2).  This module quantifies that: it measures the fp32 error of
+F(m, r) against an fp64 direct correlation for growing tile/filter
+sizes and for different interpolation point sets, supporting the point-
+selection ablation called out in DESIGN.md (and reference [1] of the
+paper, Alam et al.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+from repro.winograd.cook_toom import WinogradTransforms, cook_toom
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Error statistics of one F(m, r) variant at one precision."""
+
+    m: int
+    r: int
+    points: tuple[Fraction, ...]
+    max_rel_error: float
+    mean_rel_error: float
+    samples: int
+
+
+def measure_accuracy(
+    tf: WinogradTransforms,
+    samples: int = 200,
+    seed: int = 0,
+    dtype=np.float32,
+) -> AccuracyReport:
+    """Measure relative error of F(m, r) computed in ``dtype`` vs fp64 direct.
+
+    Inputs are drawn i.i.d. standard normal — the regime where Winograd's
+    growing transform constants show their cancellation error.
+    """
+    rng = np.random.default_rng(seed)
+    at = tf.AT(dtype)
+    g_ = tf.G(dtype)
+    bt = tf.BT(dtype)
+    rel_errors = np.empty(samples, dtype=np.float64)
+    for s in range(samples):
+        d = rng.standard_normal(tf.n).astype(dtype)
+        g = rng.standard_normal(tf.r).astype(dtype)
+        y = at @ ((g_ @ g) * (bt @ d))
+        ref = np.array(
+            [np.dot(g.astype(np.float64), d[i : i + tf.r].astype(np.float64))
+             for i in range(tf.m)]
+        )
+        denom = np.maximum(np.abs(ref), 1e-30)
+        rel_errors[s] = float(np.max(np.abs(y.astype(np.float64) - ref) / denom))
+    return AccuracyReport(
+        m=tf.m,
+        r=tf.r,
+        points=tf.points,
+        max_rel_error=float(rel_errors.max()),
+        mean_rel_error=float(rel_errors.mean()),
+        samples=samples,
+    )
+
+
+def accuracy_vs_filter_size(
+    filter_sizes: Sequence[int] = (3, 5, 7, 9, 11),
+    m: int = 6,
+    samples: int = 100,
+    seed: int = 0,
+) -> list[AccuracyReport]:
+    """The paper's Section 2 claim, quantified: error grows with r.
+
+    Returns one report per filter size, all at fp32 with default points.
+    """
+    return [
+        measure_accuracy(cook_toom(m, r), samples=samples, seed=seed)
+        for r in filter_sizes
+    ]
+
+
+def compare_point_sets(
+    m: int,
+    r: int,
+    point_sets: Sequence[Sequence[Fraction]],
+    samples: int = 200,
+    seed: int = 0,
+) -> list[AccuracyReport]:
+    """Point-selection ablation: same F(m, r), different evaluation points."""
+    return [
+        measure_accuracy(cook_toom(m, r, pts), samples=samples, seed=seed)
+        for pts in point_sets
+    ]

@@ -1,0 +1,127 @@
+"""Tests for the shortcut/maxpool cost models and cfg-geometry properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv import ConvLayerSpec
+from repro.errors import ConfigError
+from repro.isa import OpClass
+from repro.model.aux_model import maxpool_model, shortcut_model
+from repro.model.traffic import stats_from_model
+from repro.nets import build_layers
+from repro.nets.layers import MaxPoolSpec, ShortcutSpec
+from repro.sim import SystemConfig
+
+
+class TestShortcutModel:
+    def test_instruction_census(self):
+        spec = ShortcutSpec(name="s", c=4, h=8, w=8)
+        ph = shortcut_model(spec, vlen_elems=16)
+        # 256 elements at 16 lanes: 16 strips.
+        assert ph.instrs[OpClass.VSETVL] == 16
+        assert ph.instrs[OpClass.VLOAD_UNIT] == 32
+        assert ph.instrs[OpClass.VFARITH] == 16
+        assert ph.instrs[OpClass.VSTORE_UNIT] == 16
+
+    def test_flops_equal_elements(self):
+        spec = ShortcutSpec(name="s", c=3, h=5, w=7)
+        ph = shortcut_model(spec, vlen_elems=16)
+        assert ph.flops == pytest.approx(spec.elems, rel=0.1)
+
+    def test_traffic_scales_with_tensor(self):
+        small = shortcut_model(ShortcutSpec("a", 4, 8, 8), 16)
+        big = shortcut_model(ShortcutSpec("b", 16, 32, 32), 16)
+        assert big.total_line_accesses > 10 * small.total_line_accesses
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            ShortcutSpec(name="s", c=0, h=8, w=8)
+
+
+class TestMaxpoolModel:
+    def test_output_geometry(self):
+        spec = MaxPoolSpec(name="p", c=8, h=10, w=14, size=2, stride=2)
+        assert (spec.h_out, spec.w_out) == (5, 7)
+        assert spec.out_elems == 8 * 5 * 7
+
+    def test_model_runs(self):
+        spec = MaxPoolSpec(name="p", c=8, h=16, w=16)
+        stats = stats_from_model([maxpool_model(spec, 16)], SystemConfig())
+        assert stats.cycles > 0
+        assert stats.dram_bytes > 0
+
+    def test_taps_scale_instructions(self):
+        s2 = maxpool_model(MaxPoolSpec("a", 4, 16, 16, size=2, stride=2), 16)
+        s3 = maxpool_model(MaxPoolSpec("b", 4, 16, 16, size=3, stride=2), 16)
+        assert (
+            s3.instrs[OpClass.VLOAD_STRIDED]
+            > s2.instrs[OpClass.VLOAD_STRIDED]
+        )
+
+
+# Darknet-like cfg fragments assembled from random layer choices.
+@st.composite
+def random_cfg(draw):
+    h = draw(st.sampled_from([32, 48, 64]))
+    w = draw(st.sampled_from([32, 48, 64]))
+    n_layers = draw(st.integers(1, 6))
+    lines = [f"[net]\nheight={h}\nwidth={w}\nchannels=3\n"]
+    for _ in range(n_layers):
+        kind = draw(st.sampled_from(["conv3", "conv1", "pool"]))
+        if kind == "conv3":
+            f = draw(st.sampled_from([4, 8, 16]))
+            s = draw(st.sampled_from([1, 2]))
+            lines.append(
+                f"[convolutional]\nfilters={f}\nsize=3\nstride={s}\npad=1\n"
+            )
+        elif kind == "conv1":
+            f = draw(st.sampled_from([4, 8]))
+            lines.append(
+                f"[convolutional]\nfilters={f}\nsize=1\nstride=1\npad=1\n"
+            )
+        else:
+            lines.append("[maxpool]\nsize=2\nstride=2\n")
+    return "\n".join(lines)
+
+
+class TestCfgGeometryProperties:
+    @given(cfg=random_cfg())
+    @settings(max_examples=30, deadline=None)
+    def test_geometry_chains_consistently(self, cfg):
+        """Property: every layer's input geometry equals the previous
+        layer's output geometry, and all dimensions stay positive."""
+        try:
+            layers = build_layers(cfg)
+        except ConfigError:
+            return  # a pooled-to-nothing chain is legitimately rejected
+        c, h, w = 3, None, None
+        for layer in layers:
+            if isinstance(layer, ConvLayerSpec):
+                assert layer.c_in == c
+                if h is not None:
+                    assert (layer.h_in, layer.w_in) == (h, w)
+                assert layer.h_out >= 1 and layer.w_out >= 1
+                c, h, w = layer.c_out, layer.h_out, layer.w_out
+            elif isinstance(layer, MaxPoolSpec):
+                assert layer.c == c
+                if h is not None:
+                    assert (layer.h, layer.w) == (h, w)
+                h, w = layer.h_out, layer.w_out
+                assert h >= 1 and w >= 1
+
+    @given(cfg=random_cfg())
+    @settings(max_examples=15, deadline=None)
+    def test_every_generated_network_simulates(self, cfg):
+        """Property: any geometry the parser accepts, the simulator runs."""
+        from repro.nets import simulate_inference
+
+        try:
+            layers = build_layers(cfg)
+        except ConfigError:
+            return
+        if not layers:
+            return
+        result = simulate_inference("rand", layers, SystemConfig())
+        assert result.cycles > 0
+        assert len(result.per_layer) == len(layers)

@@ -1,0 +1,143 @@
+"""Tests for reference convolutions and the hybrid algorithm policy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv import (
+    ConvAlgorithm,
+    ConvLayerSpec,
+    choose_algorithm,
+    conv_out_size,
+    direct_conv2d,
+    im2col,
+    im2col_gemm_conv2d,
+    run_layer,
+)
+from repro.errors import ConfigError
+
+
+class TestDirectConv:
+    def test_identity_filter(self):
+        x = np.arange(2 * 5 * 5, dtype=np.float64).reshape(2, 5, 5)
+        w = np.zeros((2, 2, 1, 1))
+        w[0, 0, 0, 0] = 1.0
+        w[1, 1, 0, 0] = 1.0
+        np.testing.assert_array_equal(direct_conv2d(x, w), x)
+
+    def test_known_3x3(self):
+        x = np.zeros((1, 3, 3))
+        x[0, 1, 1] = 1.0
+        w = np.arange(9, dtype=np.float64).reshape(1, 1, 3, 3)
+        out = direct_conv2d(x, w, pad=1)
+        # Cross-correlation of a unit impulse yields the flipped kernel.
+        np.testing.assert_array_equal(out[0], w[0, 0, ::-1, ::-1])
+
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 0), (2, 1), (3, 1)])
+    def test_output_shape(self, stride, pad):
+        x = np.zeros((3, 17, 23))
+        w = np.zeros((5, 3, 3, 3))
+        out = direct_conv2d(x, w, stride=stride, pad=pad)
+        assert out.shape == (
+            5,
+            conv_out_size(17, 3, stride, pad),
+            conv_out_size(23, 3, stride, pad),
+        )
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ConfigError):
+            direct_conv2d(np.zeros((2, 5, 5)), np.zeros((1, 3, 3, 3)))
+
+    def test_too_large_filter(self):
+        with pytest.raises(ConfigError):
+            direct_conv2d(np.zeros((1, 3, 3)), np.zeros((1, 1, 5, 5)))
+
+
+class TestIm2col:
+    def test_matrix_shape(self):
+        x = np.zeros((3, 10, 12))
+        cols = im2col(x, 3, 3, stride=1, pad=1)
+        assert cols.shape == (27, 120)
+
+    def test_1x1_is_reshape(self):
+        x = np.arange(2 * 3 * 4, dtype=np.float64).reshape(2, 3, 4)
+        cols = im2col(x, 1, 1)
+        np.testing.assert_array_equal(cols, x.reshape(2, 12))
+
+    def test_column_content(self):
+        """Each column must hold the receptive field of one output pixel."""
+        x = np.arange(1 * 4 * 4, dtype=np.float64).reshape(1, 4, 4)
+        cols = im2col(x, 3, 3, stride=1, pad=0)
+        # Output (0,0): rows of the 3x3 patch at origin, row-major.
+        np.testing.assert_array_equal(
+            cols[:, 0], x[0, :3, :3].ravel()
+        )
+        # Output (1,1) is column index 1*2+1 = 3 (h_out = w_out = 2).
+        np.testing.assert_array_equal(cols[:, 3], x[0, 1:4, 1:4].ravel())
+
+    @given(
+        seed=st.integers(0, 10**6),
+        c=st.integers(1, 4),
+        k=st.integers(1, 5),
+        ksize=st.sampled_from([1, 3, 5]),
+        stride=st.integers(1, 3),
+        pad=st.integers(0, 2),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_im2col_gemm_equals_direct(self, seed, c, k, ksize, stride, pad):
+        rng = np.random.default_rng(seed)
+        h, w = rng.integers(ksize, 16, size=2)
+        x = rng.standard_normal((c, int(h), int(w)))
+        wts = rng.standard_normal((k, c, ksize, ksize))
+        got = im2col_gemm_conv2d(x, wts, stride=stride, pad=pad)
+        ref = direct_conv2d(x, wts, stride=stride, pad=pad)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+
+class TestAlgorithmPolicy:
+    def spec(self, **kw):
+        base = dict(name="l", c_in=64, h_in=56, w_in=56, c_out=64, ksize=3, stride=1, pad=1)
+        base.update(kw)
+        return ConvLayerSpec(**base)
+
+    def test_3x3_stride1_uses_winograd(self):
+        assert choose_algorithm(self.spec()) is ConvAlgorithm.WINOGRAD
+
+    def test_1x1_uses_gemm(self):
+        assert choose_algorithm(self.spec(ksize=1, pad=0)) is ConvAlgorithm.IM2COL_GEMM
+
+    def test_stride2_uses_gemm(self):
+        assert choose_algorithm(self.spec(stride=2)) is ConvAlgorithm.IM2COL_GEMM
+
+    def test_three_channel_first_layer_uses_gemm(self):
+        """The paper excludes YOLOv3's 3-channel first layer from Winograd."""
+        assert choose_algorithm(self.spec(c_in=3)) is ConvAlgorithm.IM2COL_GEMM
+
+    def test_pure_gemm_mode(self):
+        assert choose_algorithm(self.spec(), hybrid=False) is ConvAlgorithm.IM2COL_GEMM
+
+    def test_flops_formula(self):
+        s = self.spec(c_in=2, c_out=4, h_in=8, w_in=8, ksize=3, pad=1)
+        # 2 * K*H*W * C*3*3 = 2*4*8*8*2*9
+        assert s.flops == 2 * 4 * 8 * 8 * 2 * 9
+
+    def test_run_layer_winograd_matches_direct(self):
+        rng = np.random.default_rng(11)
+        s = self.spec(c_in=4, c_out=3, h_in=12, w_in=14)
+        x = rng.standard_normal((4, 12, 14)).astype(np.float32)
+        w = rng.standard_normal((3, 4, 3, 3)).astype(np.float32)
+        got = run_layer(s, x, w)
+        ref = direct_conv2d(x.astype(np.float64), w.astype(np.float64), pad=1)
+        np.testing.assert_allclose(got, ref, atol=1e-3)
+
+    def test_run_layer_validates_shapes(self):
+        s = self.spec()
+        with pytest.raises(ConfigError):
+            run_layer(s, np.zeros((1, 2, 3)), np.zeros((64, 64, 3, 3)))
+
+    def test_winograd_on_strided_layer_rejected(self):
+        s = self.spec(stride=2)
+        x = np.zeros((s.c_in, s.h_in, s.w_in), dtype=np.float32)
+        w = np.zeros((s.c_out, s.c_in, 3, 3), dtype=np.float32)
+        with pytest.raises(ConfigError):
+            run_layer(s, x, w, algorithm=ConvAlgorithm.WINOGRAD)

@@ -1,0 +1,144 @@
+"""Tests for the direct 1x1 convolution kernel and its model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv import ConvAlgorithm, ConvLayerSpec, choose_algorithm, direct_conv2d
+from repro.errors import ConfigError
+from repro.kernels import (
+    Direct1x1Buffers,
+    Direct1x1Geometry,
+    direct1x1_kernel,
+    direct_conv1x1_sim,
+)
+from repro.model import direct1x1_model, simulate_layer
+from repro.rvv import Memory, RvvMachine, Tracer, assert_counts_match
+from repro.sim import SystemConfig
+
+
+def machine(vlen=512):
+    return RvvMachine(vlen, memory=Memory(1 << 25), tracer=Tracer())
+
+
+RNG = np.random.default_rng(99)
+
+
+class TestGeometry:
+    def test_output_size(self):
+        g = Direct1x1Geometry(c_in=4, h=10, w=12, c_out=8, stride=2, vlen_elems=16)
+        assert (g.h_out, g.w_out) == (5, 6)
+        assert g.k_blocks == 1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigError):
+            Direct1x1Geometry(c_in=0, h=10, w=10, c_out=8, stride=1, vlen_elems=16)
+
+
+class TestKernel:
+    @pytest.mark.parametrize("stride", [1, 2])
+    @pytest.mark.parametrize("c,k,h,w", [(3, 5, 9, 11), (8, 16, 12, 20), (16, 4, 7, 33)])
+    def test_matches_direct_reference(self, c, k, h, w, stride):
+        x = RNG.standard_normal((c, h, w)).astype(np.float32)
+        wt = RNG.standard_normal((k, c, 1, 1)).astype(np.float32)
+        got = direct_conv1x1_sim(machine(), x, wt, stride=stride)
+        ref = direct_conv2d(
+            x.astype(np.float64), wt.astype(np.float64), stride=stride, pad=0
+        )
+        np.testing.assert_allclose(got, ref, rtol=1e-4, atol=1e-5)
+
+    def test_bad_filter_shape(self):
+        with pytest.raises(ConfigError):
+            direct_conv1x1_sim(
+                machine(), np.zeros((2, 4, 4), np.float32),
+                np.zeros((2, 2, 3, 3), np.float32),
+            )
+
+    def test_stride2_uses_strided_loads(self):
+        from repro.isa import OpClass
+
+        m = machine()
+        direct_conv1x1_sim(
+            m, np.zeros((2, 8, 8), np.float32), np.zeros((2, 2, 1, 1), np.float32),
+            stride=2,
+        )
+        assert OpClass.VLOAD_STRIDED in m.tracer.by_class
+
+    @given(
+        seed=st.integers(0, 10**6),
+        c=st.integers(1, 8),
+        k=st.integers(1, 12),
+        stride=st.integers(1, 3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_random(self, seed, c, k, stride):
+        rng = np.random.default_rng(seed)
+        h, w = rng.integers(stride, 20, size=2)
+        x = rng.standard_normal((c, int(h), int(w))).astype(np.float32)
+        wt = rng.standard_normal((k, c, 1, 1)).astype(np.float32)
+        got = direct_conv1x1_sim(machine(), x, wt, stride=stride)
+        ref = direct_conv2d(
+            x.astype(np.float64), wt.astype(np.float64), stride=stride, pad=0
+        )
+        np.testing.assert_allclose(got, ref, rtol=1e-3, atol=1e-4)
+
+
+class TestModelValidation:
+    @pytest.mark.parametrize("stride", [1, 2])
+    @pytest.mark.parametrize("c,k,h,w", [(3, 5, 9, 11), (8, 16, 12, 40)])
+    def test_instruction_counts_exact(self, c, k, h, w, stride):
+        m = machine()
+        x = np.zeros((c, h, w), np.float32)
+        wt = np.zeros((k, c, 1, 1), np.float32)
+        direct_conv1x1_sim(m, x, wt, stride=stride)
+        geom = Direct1x1Geometry(
+            c_in=c, h=h, w=w, c_out=k, stride=stride, vlen_elems=16
+        )
+        model = {
+            cl.value: n for cl, n in direct1x1_model(geom).instrs.items() if n
+        }
+        assert_counts_match(model, m.tracer.counts(), "direct1x1")
+
+
+class TestPolicyIntegration:
+    def spec(self, **kw):
+        base = dict(name="p", c_in=64, h_in=28, w_in=28, c_out=32,
+                    ksize=1, stride=1, pad=0)
+        base.update(kw)
+        return ConvLayerSpec(**base)
+
+    def test_policy_off_by_default(self):
+        assert choose_algorithm(self.spec()) is ConvAlgorithm.IM2COL_GEMM
+
+    def test_policy_opt_in(self):
+        assert (
+            choose_algorithm(self.spec(), direct_1x1=True)
+            is ConvAlgorithm.DIRECT
+        )
+
+    def test_policy_never_steals_winograd_layers(self):
+        s = self.spec(ksize=3, pad=1)
+        assert choose_algorithm(s, direct_1x1=True) is ConvAlgorithm.WINOGRAD
+
+    def test_simulate_layer_direct(self):
+        stats = simulate_layer(
+            self.spec(), SystemConfig(), algorithm=ConvAlgorithm.DIRECT
+        )
+        assert stats.cycles > 0
+        assert stats.flops == self.spec().flops
+
+    def test_direct_beats_im2col_gemm_on_1x1(self):
+        """The whole point: skipping the im2col copy saves traffic."""
+        spec = self.spec(c_in=128, c_out=64, h_in=72, w_in=96)
+        cfg = SystemConfig(vlen_bits=2048, l2_mb=1)
+        d = simulate_layer(spec, cfg, algorithm=ConvAlgorithm.DIRECT)
+        g = simulate_layer(spec, cfg, algorithm=ConvAlgorithm.IM2COL_GEMM)
+        assert d.cycles < g.cycles
+        assert d.dram_bytes < g.dram_bytes
+
+    def test_direct_on_3x3_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate_layer(
+                self.spec(ksize=3, pad=1), SystemConfig(),
+                algorithm=ConvAlgorithm.DIRECT,
+            )

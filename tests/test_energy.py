@@ -1,0 +1,72 @@
+"""Tests for the event-energy model (repro.sim.energy)."""
+
+import pytest
+
+from repro.conv import ConvLayerSpec
+from repro.errors import ConfigError
+from repro.model import simulate_layer
+from repro.sim import EnergyBreakdown, EnergyModel, SimStats, SystemConfig, estimate_energy
+from repro.sim.cache import CacheStats, HierarchyStats
+
+
+def make_stats(instrs=1000, elems=16000, l1=500, l2=100, dram_lines=10):
+    h = HierarchyStats(
+        l1=CacheStats(accesses=l1, misses=l2),
+        l2=CacheStats(accesses=l2, misses=dram_lines),
+    )
+    return SimStats(
+        instrs={"vfma": instrs},
+        elems={"vfma": elems},
+        hierarchy=h,
+        issue_cycles=instrs,
+    )
+
+
+class TestEnergyModel:
+    def test_component_formulas(self):
+        st = make_stats()
+        em = EnergyModel(front_end_pj=10, lane_pj=1, l1_access_pj=2,
+                         l2_access_pj=4, dram_pj_per_byte=1)
+        e = estimate_energy(st, em)
+        assert e.front_end == pytest.approx(1000 * 10e-12)
+        assert e.datapath == pytest.approx(16000 * 1e-12)
+        assert e.l1 == pytest.approx(500 * 2e-12)
+        assert e.l2 == pytest.approx(100 * 4e-12)
+        assert e.dram == pytest.approx(10 * 64 * 1e-12)
+        assert e.total == pytest.approx(
+            e.front_end + e.datapath + e.l1 + e.l2 + e.dram
+        )
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ConfigError):
+            EnergyModel(front_end_pj=-1)
+
+    def test_zero_stats_zero_energy(self):
+        e = estimate_energy(SimStats())
+        assert e.total == 0.0
+        assert e.front_end_share == 0.0
+
+    def test_report_renders(self):
+        text = estimate_energy(make_stats()).report()
+        assert "front-end" in text and "DRAM" in text and "total" in text
+
+
+class TestEnergyTrends:
+    def spec(self):
+        return ConvLayerSpec(name="l", c_in=64, h_in=40, w_in=40,
+                             c_out=64, ksize=3, stride=1, pad=1)
+
+    def test_front_end_energy_falls_with_vlen(self):
+        """The paper's introduction claim, on a single layer."""
+        fes = []
+        for vlen in (512, 2048):
+            st = simulate_layer(self.spec(), SystemConfig(vlen_bits=vlen))
+            fes.append(estimate_energy(st).front_end)
+        assert fes[1] < fes[0] / 1.5
+
+    def test_front_end_share_falls_with_vlen(self):
+        shares = []
+        for vlen in (512, 4096):
+            st = simulate_layer(self.spec(), SystemConfig(vlen_bits=vlen))
+            shares.append(estimate_energy(st).front_end_share)
+        assert shares[1] < shares[0]

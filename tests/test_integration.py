@@ -1,0 +1,131 @@
+"""Cross-component integration tests.
+
+These stitch the validation pyramid together: functional kernels →
+traces → exact cache simulation → stack-distance profiling → analytical
+models, checking that the independent components agree where their
+domains overlap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    SLIDEUP,
+    WinogradBuffers,
+    WinogradGeometry,
+    filter_transform,
+    input_transform,
+    output_transform,
+    tuple_multiplication,
+    winograd_conv2d_sim,
+)
+from repro.conv import direct_conv2d
+from repro.rvv import Memory, RvvMachine, Tracer
+from repro.sim import Cache, CacheHierarchy, Simulator, SystemConfig, reuse_profile
+
+
+@pytest.fixture(scope="module")
+def kernel_trace():
+    """A full Winograd pipeline trace at 512-bit on a medium layer."""
+    geom = WinogradGeometry(c_in=12, h=20, w=26, c_out=10, pad=1, vlen_elems=16)
+    m = RvvMachine(512, memory=Memory(1 << 27), tracer=Tracer(capture=True))
+    bufs = WinogradBuffers.allocate(m, geom)
+    rng = np.random.default_rng(0)
+    bufs.load_input(m, geom, rng.standard_normal((12, 20, 26)).astype(np.float32))
+    bufs.load_weights(m, geom, rng.standard_normal((10, 12, 3, 3)).astype(np.float32))
+    filter_transform(m, geom, bufs)
+    input_transform(m, geom, bufs)
+    tuple_multiplication(m, geom, bufs, variant=SLIDEUP)
+    output_transform(m, geom, bufs)
+    return m.tracer
+
+
+class TestStackDistanceVsExactCache:
+    def test_l2_miss_curve_matches_exact_simulation(self, kernel_trace):
+        """One stack-distance pass predicts the exact simulator's L2
+        misses across capacities within 15% on a real kernel stream."""
+        # Build the L2 access stream: L1 misses of a 64 kB L1.
+        l1 = Cache(64 * 1024, assoc=8)
+        l2_stream = []
+        for mem in kernel_trace.mem_events():
+            lines = mem.line_addresses(64)
+            missed = l1.access_lines(lines)
+            if missed.any():
+                l2_stream.append(lines[missed])
+        stream = np.concatenate(l2_stream)
+        prof = reuse_profile(stream)
+        for capacity_kb in (64, 256, 1024):
+            capacity_lines = capacity_kb * 1024 // 64
+            predicted = prof.misses_for_capacity(capacity_lines)
+            exact = Cache(capacity_kb * 1024, assoc=16)
+            measured = int(exact.access_lines(stream).sum())
+            assert predicted == pytest.approx(measured, rel=0.15), (
+                f"at {capacity_kb} kB: stackdist={predicted}, exact={measured}"
+            )
+
+    def test_miss_curve_is_monotone(self, kernel_trace):
+        l1 = Cache(64 * 1024, assoc=8)
+        parts = []
+        for mem in kernel_trace.mem_events():
+            lines = mem.line_addresses(64)
+            missed = l1.access_lines(lines)
+            parts.append(lines[missed])
+        prof = reuse_profile(np.concatenate(parts))
+        curve = [
+            prof.misses_for_capacity(c) for c in (64, 512, 4096, 32768)
+        ]
+        assert curve == sorted(curve, reverse=True)
+
+
+class TestTimingConsistency:
+    def test_bigger_caches_never_hurt(self, kernel_trace):
+        prev = None
+        for l2_mb in (1, 4, 16, 64):
+            stats = Simulator(SystemConfig(l2_mb=l2_mb)).run_trace(kernel_trace)
+            if prev is not None:
+                assert stats.cycles <= prev + 1e-6
+            prev = stats.cycles
+
+    def test_dram_bytes_shrink_with_cache(self, kernel_trace):
+        small = Simulator(SystemConfig(l2_mb=1)).run_trace(kernel_trace)
+        big = Simulator(SystemConfig(l2_mb=64)).run_trace(kernel_trace)
+        assert big.dram_bytes <= small.dram_bytes
+
+    def test_identical_runs_are_deterministic(self, kernel_trace):
+        a = Simulator(SystemConfig()).run_trace(kernel_trace)
+        b = Simulator(SystemConfig()).run_trace(kernel_trace)
+        assert a.cycles == b.cycles
+        assert a.instrs == b.instrs
+
+
+class TestCrossVlenFunctionalAgreement:
+    """The same convolution computed at every VLEN gives one answer."""
+
+    def test_all_vlens_agree(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((6, 14, 16)).astype(np.float32)
+        w = rng.standard_normal((5, 6, 3, 3)).astype(np.float32)
+        ref = direct_conv2d(x.astype(np.float64), w.astype(np.float64), pad=1)
+        outs = []
+        for vlen in (512, 1024, 2048, 4096, 8192):
+            m = RvvMachine(vlen, memory=Memory(1 << 27))
+            out = winograd_conv2d_sim(m, x, w, pad=1)
+            np.testing.assert_allclose(out, ref, rtol=1e-2, atol=1e-3)
+            outs.append(out)
+        # fp32 summation order inside a panel is fixed by the kernel, so
+        # different VLENs may round differently — but all stay within
+        # fp32 tolerance of each other.
+        for o in outs[1:]:
+            np.testing.assert_allclose(o, outs[0], rtol=1e-3, atol=1e-4)
+
+
+class TestHierarchyInvariants:
+    def test_l2_accesses_equal_l1_misses(self, kernel_trace):
+        hier = CacheHierarchy(l1_kb=64, l2_mb=1)
+        for mem in kernel_trace.mem_events():
+            lines = mem.line_addresses(64)
+            hier.access(lines, np.full(lines.size, not mem.is_load))
+        s = hier.snapshot()
+        assert s.l2.accesses == s.l1.misses
+        assert s.l2.misses <= s.l2.accesses
+        assert s.l2.writebacks <= s.l2.evictions

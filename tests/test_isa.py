@@ -1,0 +1,128 @@
+"""Tests for repro.isa: vtype encoding and vsetvl semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, VectorStateError
+from repro.isa import SEW_BITS, VLEN_CHOICES, VType, vlmax, vsetvl
+from repro.isa.opcodes import (
+    FLOPS_PER_ELEM,
+    IS_LOAD,
+    IS_MEM,
+    IS_STORE,
+    IS_VECTOR,
+    OpClass,
+)
+
+
+class TestVType:
+    def test_default_is_fp32_lmul1(self):
+        vt = VType()
+        assert vt.sew == 32
+        assert vt.lmul == 1
+        assert vt.sew_bytes == 4
+
+    @pytest.mark.parametrize("sew", SEW_BITS)
+    def test_all_sews_accepted(self, sew):
+        assert VType(sew=sew).sew == sew
+
+    @pytest.mark.parametrize("sew", [0, 7, 12, 128, -32])
+    def test_bad_sew_rejected(self, sew):
+        with pytest.raises(VectorStateError):
+            VType(sew=sew)
+
+    @pytest.mark.parametrize("lmul", [0, 3, 16, -1])
+    def test_bad_lmul_rejected(self, lmul):
+        with pytest.raises(VectorStateError):
+            VType(lmul=lmul)
+
+
+class TestVlmax:
+    @pytest.mark.parametrize(
+        "vlen,sew,lmul,expected",
+        [
+            (512, 32, 1, 16),
+            (512, 32, 8, 128),
+            (1024, 32, 1, 32),
+            (2048, 32, 1, 64),
+            (4096, 32, 1, 128),
+            (8192, 32, 1, 256),
+            (16384, 32, 1, 512),
+            (512, 64, 1, 8),
+            (512, 8, 1, 64),
+        ],
+    )
+    def test_vlmax_values(self, vlen, sew, lmul, expected):
+        assert vlmax(vlen, sew, lmul) == expected
+
+    def test_unsupported_vlen(self):
+        with pytest.raises(ConfigError):
+            vlmax(500, 32)
+
+    def test_vlen_choices_are_powers_of_two(self):
+        for v in VLEN_CHOICES:
+            assert v & (v - 1) == 0
+        assert 512 in VLEN_CHOICES and 4096 in VLEN_CHOICES
+
+
+class TestVsetvl:
+    def test_grants_avl_when_small(self):
+        assert vsetvl(5, 512, 32) == 5
+
+    def test_caps_at_vlmax(self):
+        assert vsetvl(1000, 512, 32) == 16
+
+    def test_zero_avl(self):
+        assert vsetvl(0, 512, 32) == 0
+
+    def test_negative_avl_rejected(self):
+        with pytest.raises(VectorStateError):
+            vsetvl(-1, 512, 32)
+
+    @given(
+        avl=st.integers(min_value=0, max_value=10**6),
+        vlen=st.sampled_from(VLEN_CHOICES),
+        sew=st.sampled_from(SEW_BITS),
+    )
+    def test_granted_never_exceeds_avl_or_vlmax(self, avl, vlen, sew):
+        vl = vsetvl(avl, vlen, sew)
+        assert 0 <= vl <= avl
+        assert vl <= vlmax(vlen, sew)
+        # vsetvl is monotone in AVL and exact below VLMAX.
+        if avl <= vlmax(vlen, sew):
+            assert vl == avl
+
+    @given(
+        avl=st.integers(min_value=1, max_value=10**4),
+        vlen=st.sampled_from(VLEN_CHOICES),
+    )
+    @settings(deadline=None)
+    def test_strip_mining_terminates_and_covers(self, avl, vlen):
+        """A canonical strip-mined loop consumes exactly AVL elements."""
+        done = 0
+        steps = 0
+        while done < avl:
+            vl = vsetvl(avl - done, vlen, 32)
+            assert vl > 0
+            done += vl
+            steps += 1
+            assert steps <= avl  # no livelock
+        assert done == avl
+
+
+class TestOpClassSets:
+    def test_mem_partition(self):
+        assert IS_MEM == IS_LOAD | IS_STORE
+        assert not (IS_LOAD & IS_STORE)
+
+    def test_scalar_not_vector(self):
+        assert OpClass.SCALAR not in IS_VECTOR
+        assert OpClass.VFMA in IS_VECTOR
+
+    def test_fma_counts_two_flops(self):
+        assert FLOPS_PER_ELEM[OpClass.VFMA] == 2
+        assert FLOPS_PER_ELEM[OpClass.VFARITH] == 1
+
+    def test_values_unique_and_stable(self):
+        values = [c.value for c in OpClass]
+        assert len(values) == len(set(values))

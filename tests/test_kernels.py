@@ -1,0 +1,441 @@
+"""Functional validation of the vectorized kernels against references.
+
+This is the "Spike" stage of the paper's methodology: every kernel runs
+instruction-by-instruction on the functional machine and must agree
+with the NumPy reference algorithms.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv import direct_conv2d, im2col
+from repro.errors import ConfigError
+from repro.isa import OpClass
+from repro.kernels import (
+    INDEXED,
+    SLIDEUP,
+    SLIDEUP_LOG,
+    GemmBuffers,
+    GemmGeometry,
+    Im2colBuffers,
+    Im2colGeometry,
+    WinogradBuffers,
+    WinogradGeometry,
+    filter_transform,
+    gemm_kernel,
+    im2col_gemm_conv2d_sim,
+    im2col_kernel,
+    input_transform,
+    interleave4_reference,
+    quad_index_pattern,
+    slide_amounts,
+    transform_op_class_counts,
+    transform_ops,
+    transpose4_indexed,
+    transpose4_strided,
+    tuple_multiplication,
+    winograd_conv2d_sim,
+)
+from repro.rvv import Memory, RvvMachine, Tracer
+from repro.sve import SveMachine
+from repro.winograd import WinogradConv2d, f6x3_transforms
+
+
+def machine(vlen=512, capture=False):
+    return RvvMachine(
+        vlen_bits=vlen,
+        memory=Memory(size_bytes=1 << 26),
+        tracer=Tracer(capture=capture),
+    )
+
+
+RNG = np.random.default_rng(20230707)
+
+
+class TestTransformOps:
+    def test_sequence_computes_matrix_product(self):
+        """Executing the op sequence on vectors equals mat @ stack."""
+        tf = f6x3_transforms()
+        bt = tf.BT(np.float32)
+        m = machine()
+        m.setvl(8)
+        data = RNG.standard_normal((8, 8)).astype(np.float32)
+        with m.alloc.scoped(16) as regs:
+            src, dst = regs[:8], regs[8:]
+            for i in range(8):
+                m.write_f32(src[i], data[i])
+            from repro.kernels import exec_transform
+
+            exec_transform(m, transform_ops(bt), src, dst)
+            got = np.stack([m.read_f32(dst[i]) for i in range(8)])
+        np.testing.assert_allclose(got, bt @ data, rtol=1e-5, atol=1e-5)
+
+    def test_op_count_matches_paper_ballpark(self):
+        """The paper: ~30 instructions per 1D transform application."""
+        counts = transform_op_class_counts(f6x3_transforms().BT(np.float64))
+        total = sum(counts.values())
+        assert 24 <= total <= 48
+
+    def test_all_zero_row_still_defined(self):
+        ops = transform_ops(np.array([[0.0, 0.0]]))
+        assert len(ops) == 1 and ops[0].kind == "mul" and ops[0].coef == 0.0
+
+
+class TestQuadHelpers:
+    @pytest.mark.parametrize("vl", [4, 8, 12, 16, 28, 64, 128, 256])
+    def test_slide_amounts_replicate_fully(self, vl):
+        """Simulate the prefix-growth recurrence: final prefix >= vl."""
+        for log2 in (False, True):
+            prefix = 4
+            for amt in slide_amounts(vl, log2=log2):
+                assert amt <= prefix  # each slide copies valid data
+                prefix += amt if not log2 else prefix
+            assert prefix >= vl
+
+    def test_index_pattern(self):
+        np.testing.assert_array_equal(
+            quad_index_pattern(8), [0, 4, 8, 12, 0, 4, 8, 12]
+        )
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("vl", [4, 8, 16])
+    @pytest.mark.parametrize("variant", ["indexed", "strided"])
+    def test_matches_reference(self, vl, variant):
+        m = machine()
+        m.setvl(vl)
+        data = RNG.standard_normal((4, vl)).astype(np.float32)
+        buf = m.memory.alloc_f32(8 * vl)
+        with m.alloc.scoped(9) as regs:
+            src, dst, idx = regs[:4], regs[4:8], regs[8]
+            for r in range(4):
+                m.write_f32(src[r], data[r])
+            if variant == "indexed":
+                transpose4_indexed(m, src, dst, buf, idx)
+            else:
+                transpose4_strided(m, src, dst, buf)
+            got = np.stack([m.read_f32(dst[g]) for g in range(4)])
+        np.testing.assert_array_equal(got, interleave4_reference(data))
+
+    def test_vl4_degenerates_to_figure2(self):
+        """At vl=4 the interleave is the classic 4x4 transpose."""
+        data = np.arange(16, dtype=np.float32).reshape(4, 4)
+        np.testing.assert_array_equal(interleave4_reference(data), data.T)
+
+    def test_instruction_mix_differs(self):
+        """Algorithm 3 issues gathers; Algorithm 4 issues strided stores."""
+        for variant, expect in (
+            ("indexed", OpClass.VLOAD_INDEXED),
+            ("strided", OpClass.VSTORE_STRIDED),
+        ):
+            m = machine()
+            m.setvl(16)
+            buf = m.memory.alloc_f32(128)
+            with m.alloc.scoped(9) as regs:
+                if variant == "indexed":
+                    transpose4_indexed(m, regs[:4], regs[4:8], buf, regs[8])
+                else:
+                    transpose4_strided(m, regs[:4], regs[4:8], buf)
+            assert expect in m.tracer.by_class
+
+    def test_overlap_rejected(self):
+        m = machine()
+        m.setvl(8)
+        buf = m.memory.alloc_f32(64)
+        with m.alloc.scoped(4) as regs:
+            with pytest.raises(ConfigError):
+                transpose4_strided(m, regs, regs, buf)
+
+    def test_bad_vl_rejected(self):
+        m = machine()
+        m.setvl(6)
+        buf = m.memory.alloc_f32(64)
+        with m.alloc.scoped(8) as regs:
+            with pytest.raises(ConfigError):
+                transpose4_strided(m, regs[:4], regs[4:], buf)
+
+
+def stage_reference(x, weights, pad):
+    """Reference intermediate tensors V[p,t,c], U[p,k,c] of the pipeline."""
+    conv = WinogradConv2d(dtype=np.float32)
+    grid = conv.grid(x.shape[1], x.shape[2], pad)
+    v = conv.transform_input(x, pad)
+    u = conv.transform_filters(weights)
+    return conv, grid, v, u
+
+
+class TestPipelineStages:
+    """Validate V, U and M buffers stage-by-stage, not just end-to-end."""
+
+    def setup_method(self):
+        self.c, self.k, self.h, self.w = 5, 6, 12, 14
+        self.x = RNG.standard_normal((self.c, self.h, self.w)).astype(np.float32)
+        self.wt = RNG.standard_normal((self.k, self.c, 3, 3)).astype(np.float32)
+
+    def _build(self, vlen=512, pad=1):
+        m = machine(vlen)
+        geom = WinogradGeometry(
+            c_in=self.c, h=self.h, w=self.w, c_out=self.k, pad=pad,
+            vlen_elems=vlen // 32,
+        )
+        bufs = WinogradBuffers.allocate(m, geom)
+        bufs.load_input(m, geom, self.x)
+        bufs.load_weights(m, geom, self.wt)
+        return m, geom, bufs
+
+    def test_input_transform_matches_reference(self):
+        m, geom, bufs = self._build()
+        input_transform(m, geom, bufs)
+        _, grid, v_ref, _ = stage_reference(self.x, self.wt, 1)
+        for p in (0, 17, 63):
+            for t in (0, grid.num_tiles - 1):
+                tb, it = divmod(t, 64)
+                for c in range(self.c):
+                    got = m.memory.read_f32(
+                        bufs.v + 4 * geom.v_offset(p, tb, c, it), 1
+                    )[0]
+                    assert got == pytest.approx(v_ref[p, t, c], rel=1e-4, abs=1e-4)
+
+    def test_filter_transform_matches_reference(self):
+        """U is stored compact: one value per (p, c, k)."""
+        m, geom, bufs = self._build()
+        filter_transform(m, geom, bufs)
+        _, _, _, u_ref = stage_reference(self.x, self.wt, 1)
+        for p in (0, 31, 63):
+            for c in range(self.c):
+                row = m.memory.read_f32(
+                    bufs.u + 4 * geom.u_offset(p, c), geom.u_row
+                )
+                for k in range(self.k):
+                    assert row[k] == pytest.approx(
+                        u_ref[p, k, c], rel=1e-4, abs=1e-4
+                    )
+
+    @pytest.mark.parametrize("variant", [INDEXED, SLIDEUP, SLIDEUP_LOG])
+    def test_tuple_multiplication_matches_reference(self, variant):
+        m, geom, bufs = self._build()
+        filter_transform(m, geom, bufs)
+        input_transform(m, geom, bufs)
+        tuple_multiplication(m, geom, bufs, variant=variant)
+        conv, grid, v_ref, u_ref = stage_reference(self.x, self.wt, 1)
+        m_ref = conv.tuple_multiply(u_ref, v_ref)  # [p, k, t]
+        for p in (0, 40, 63):
+            for t in (0, grid.num_tiles - 1):
+                tb, it = divmod(t, 64)
+                q, e = divmod(it, 4)
+                for k in range(self.k):
+                    kp, lane_k = divmod(4 * k, geom.vlen_elems)
+                    lane = lane_k + e
+                    got = m.memory.read_f32(
+                        bufs.m + 4 * (geom.m_offset(p, kp, tb, q) + lane), 1
+                    )[0]
+                    assert got == pytest.approx(
+                        m_ref[p, k, t], rel=1e-3, abs=1e-3
+                    )
+
+
+class TestWinogradEndToEnd:
+    @pytest.mark.parametrize("vlen", [512, 1024, 4096])
+    @pytest.mark.parametrize("variant", [INDEXED, SLIDEUP])
+    def test_matches_direct(self, vlen, variant):
+        c, k, h, w = 4, 5, 13, 19
+        x = RNG.standard_normal((c, h, w)).astype(np.float32)
+        wt = RNG.standard_normal((k, c, 3, 3)).astype(np.float32)
+        m = machine(vlen)
+        got = winograd_conv2d_sim(m, x, wt, pad=1, variant=variant)
+        ref = direct_conv2d(x.astype(np.float64), wt.astype(np.float64), pad=1)
+        np.testing.assert_allclose(got, ref, rtol=1e-2, atol=1e-3)
+
+    def test_pad0(self):
+        c, k = 3, 2
+        x = RNG.standard_normal((c, 14, 14)).astype(np.float32)
+        wt = RNG.standard_normal((k, c, 3, 3)).astype(np.float32)
+        got = winograd_conv2d_sim(machine(), x, wt, pad=0)
+        ref = direct_conv2d(x.astype(np.float64), wt.astype(np.float64), pad=0)
+        np.testing.assert_allclose(got, ref, rtol=1e-2, atol=1e-3)
+
+    def test_variants_agree_exactly(self):
+        """Indexed and slideup variants read identical data, so their
+        fp32 results must be bit-identical."""
+        c, k = 6, 4
+        x = RNG.standard_normal((c, 12, 12)).astype(np.float32)
+        wt = RNG.standard_normal((k, c, 3, 3)).astype(np.float32)
+        outs = [
+            winograd_conv2d_sim(machine(), x, wt, pad=1, variant=v)
+            for v in (INDEXED, SLIDEUP, SLIDEUP_LOG)
+        ]
+        np.testing.assert_array_equal(outs[0], outs[1])
+        np.testing.assert_array_equal(outs[0], outs[2])
+
+    def test_instruction_mix_of_variants(self):
+        c, k = 4, 4
+        x = np.zeros((c, 12, 12), dtype=np.float32)
+        wt = np.zeros((k, c, 3, 3), dtype=np.float32)
+        m_idx = machine()
+        winograd_conv2d_sim(m_idx, x, wt, pad=1, variant=INDEXED)
+        m_sl = machine()
+        winograd_conv2d_sim(m_sl, x, wt, pad=1, variant=SLIDEUP)
+        assert OpClass.VLOAD_INDEXED in m_idx.tracer.by_class
+        assert OpClass.VLOAD_INDEXED not in m_sl.tracer.by_class
+        assert OpClass.VSLIDE in m_sl.tracer.by_class
+        # Both issue the same FMA count (same mathematics).
+        assert (
+            m_idx.tracer.by_class[OpClass.VFMA].instrs
+            >= m_sl.tracer.by_class[OpClass.VFMA].instrs
+        )
+
+    def test_register_pressure_within_architectural_file(self):
+        m = machine()
+        c, k = 4, 4
+        x = np.zeros((c, 12, 12), dtype=np.float32)
+        wt = np.zeros((k, c, 3, 3), dtype=np.float32)
+        winograd_conv2d_sim(m, x, wt, pad=1)
+        assert m.alloc.high_water <= 32
+        assert m.alloc.live_count == 0  # everything freed
+
+    @given(
+        seed=st.integers(0, 10**6),
+        c=st.integers(1, 6),
+        k=st.integers(1, 5),
+        h=st.integers(8, 20),
+        w=st.integers(8, 20),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_property_random_shapes(self, seed, c, k, h, w):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((c, h, w)).astype(np.float32)
+        wt = rng.standard_normal((k, c, 3, 3)).astype(np.float32)
+        got = winograd_conv2d_sim(machine(), x, wt, pad=1)
+        ref = direct_conv2d(x.astype(np.float64), wt.astype(np.float64), pad=1)
+        np.testing.assert_allclose(got, ref, rtol=5e-2, atol=5e-3)
+
+
+class TestSveParity:
+    def test_same_results_on_sve(self):
+        c, k = 5, 4
+        x = RNG.standard_normal((c, 13, 13)).astype(np.float32)
+        wt = RNG.standard_normal((k, c, 3, 3)).astype(np.float32)
+        rvv_out = winograd_conv2d_sim(machine(), x, wt, pad=1)
+        sve = SveMachine(vlen_bits=512, memory=Memory(size_bytes=1 << 26))
+        sve_out = winograd_conv2d_sim(sve, x, wt, pad=1)
+        np.testing.assert_array_equal(rvv_out, sve_out)
+
+    def test_sve_issues_no_strided_ops(self):
+        """SVE has no strided memory ops: the adapter turns the
+        transforms' strided accesses into gathers/scatters."""
+        sve = SveMachine(
+            vlen_bits=512, memory=Memory(size_bytes=1 << 26), tracer=Tracer()
+        )
+        x = np.zeros((4, 12, 12), dtype=np.float32)
+        wt = np.zeros((4, 4, 3, 3), dtype=np.float32)
+        winograd_conv2d_sim(sve, x, wt, pad=1)
+        assert OpClass.VLOAD_STRIDED not in sve.tracer.by_class
+        assert OpClass.VSTORE_STRIDED not in sve.tracer.by_class
+        assert OpClass.VSTORE_INDEXED in sve.tracer.by_class
+
+
+class TestGemmKernel:
+    @pytest.mark.parametrize("m_,kd,n", [(1, 1, 1), (8, 16, 40), (13, 7, 33), (16, 27, 100)])
+    def test_matches_numpy(self, m_, kd, n):
+        a = RNG.standard_normal((m_, kd)).astype(np.float32)
+        b = RNG.standard_normal((kd, n)).astype(np.float32)
+        mach = machine()
+        geom = GemmGeometry(m=m_, kd=kd, n=n, vlen_elems=16)
+        bufs = GemmBuffers.allocate(mach, geom)
+        bufs.load(mach, geom, a, b)
+        gemm_kernel(mach, geom, bufs)
+        np.testing.assert_allclose(
+            bufs.read_c(mach, geom), a @ b, rtol=1e-4, atol=1e-4
+        )
+
+    def test_b_panel_reuse_distance_grows_with_vl(self):
+        """The Table 1 mechanism: per-M-block B traffic grows with VL."""
+
+        def b_bytes_per_pass(vlen):
+            geom = GemmGeometry(m=16, kd=64, n=256, vlen_elems=vlen // 32)
+            return geom.kd * min(geom.vlen_elems, geom.n) * 4
+
+        assert b_bytes_per_pass(4096) == 8 * b_bytes_per_pass(512)
+
+
+class TestIm2colKernel:
+    @pytest.mark.parametrize("ksize,stride,pad", [(1, 1, 0), (3, 1, 1), (3, 2, 1), (5, 2, 2)])
+    def test_matches_reference(self, ksize, stride, pad):
+        c, h, w = 3, 11, 13
+        x = RNG.standard_normal((c, h, w)).astype(np.float32)
+        mach = machine()
+        geom = Im2colGeometry(c_in=c, h=h, w=w, ksize=ksize, stride=stride, pad=pad)
+        bufs = Im2colBuffers.allocate(mach, geom)
+        bufs.load_input(mach, geom, x)
+        im2col_kernel(mach, geom, bufs)
+        ref = im2col(x, ksize, ksize, stride=stride, pad=pad)
+        np.testing.assert_array_equal(bufs.read_cols(mach, geom), ref)
+
+    def test_strided_layers_use_strided_loads(self):
+        c, h, w = 1, 8, 8
+        mach = machine()
+        geom = Im2colGeometry(c_in=c, h=h, w=w, ksize=3, stride=2, pad=1)
+        bufs = Im2colBuffers.allocate(mach, geom)
+        bufs.load_input(mach, geom, np.zeros((c, h, w), dtype=np.float32))
+        im2col_kernel(mach, geom, bufs)
+        assert OpClass.VLOAD_STRIDED in mach.tracer.by_class
+
+
+class TestIm2colGemmEndToEnd:
+    @pytest.mark.parametrize("ksize,stride,pad", [(1, 1, 0), (3, 2, 1), (3, 1, 1)])
+    def test_matches_direct(self, ksize, stride, pad):
+        c, k, h, w = 3, 4, 12, 15
+        x = RNG.standard_normal((c, h, w)).astype(np.float32)
+        wt = RNG.standard_normal((k, c, ksize, ksize)).astype(np.float32)
+        got = im2col_gemm_conv2d_sim(machine(), x, wt, stride=stride, pad=pad)
+        ref = direct_conv2d(
+            x.astype(np.float64), wt.astype(np.float64), stride=stride, pad=pad
+        )
+        np.testing.assert_allclose(got, ref, rtol=1e-3, atol=1e-4)
+
+
+class TestLoopOrders:
+    """Both tuple-multiplication schedules compute the same tensor."""
+
+    def test_orders_identical_fixed_data(self):
+        from repro.kernels import (
+            FILTER_STATIONARY,
+            TILE_STATIONARY,
+            WinogradBuffers,
+            WinogradGeometry,
+            filter_transform,
+            input_transform,
+            tuple_multiplication,
+        )
+
+        geom = WinogradGeometry(c_in=6, h=14, w=14, c_out=5, pad=1,
+                                vlen_elems=16)
+        rng = np.random.default_rng(123)
+        x = rng.standard_normal((6, 14, 14)).astype(np.float32)
+        w = rng.standard_normal((5, 6, 3, 3)).astype(np.float32)
+        results = {}
+        for order in (FILTER_STATIONARY, TILE_STATIONARY):
+            m = machine()
+            bufs = WinogradBuffers.allocate(m, geom)
+            bufs.load_input(m, geom, x)
+            bufs.load_weights(m, geom, w)
+            filter_transform(m, geom, bufs)
+            input_transform(m, geom, bufs)
+            tuple_multiplication(m, geom, bufs, loop_order=order)
+            results[order] = m.memory.read_f32(bufs.m, geom.m_size)
+        np.testing.assert_array_equal(
+            results[FILTER_STATIONARY], results[TILE_STATIONARY]
+        )
+
+    def test_unknown_order_rejected(self):
+        from repro.kernels import (
+            WinogradBuffers, WinogradGeometry, tuple_multiplication,
+        )
+
+        geom = WinogradGeometry(c_in=4, h=12, w=12, c_out=4, pad=1,
+                                vlen_elems=16)
+        m = machine()
+        bufs = WinogradBuffers.allocate(m, geom)
+        with pytest.raises(ConfigError):
+            tuple_multiplication(m, geom, bufs, loop_order="zigzag")

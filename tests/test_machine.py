@@ -1,0 +1,319 @@
+"""Tests for the functional RVV machine (repro.rvv.machine)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    IllegalInstructionError,
+    RegisterSpillError,
+    VectorStateError,
+)
+from repro.isa import OpClass
+from repro.rvv import Memory, RvvMachine, Tracer
+
+
+@pytest.fixture
+def m():
+    return RvvMachine(vlen_bits=512, tracer=Tracer(capture=True))
+
+
+def fill(machine, addr, values):
+    machine.memory.write_f32(addr, np.asarray(values, dtype=np.float32))
+
+
+class TestSetvl:
+    def test_grants_min_of_avl_and_vlmax(self, m):
+        assert m.setvl(100) == 16  # 512 bits / 32 = 16 lanes
+        assert m.setvl(5) == 5
+
+    def test_op_before_setvl_raises(self):
+        m2 = RvvMachine(512)
+        a = m2.memory.alloc_f32(16)
+        with pytest.raises(VectorStateError):
+            m2.vle32(0, a)
+
+    def test_lmul_multiplies_vlmax(self, m):
+        assert m.setvl(1000, lmul=4) == 64
+
+    def test_vsetvl_recorded(self, m):
+        m.setvl(16)
+        assert m.tracer.by_class[OpClass.VSETVL].instrs == 1
+
+
+class TestLoadsStores:
+    def test_unit_roundtrip(self, m):
+        a = m.memory.alloc_f32(16)
+        b = m.memory.alloc_f32(16)
+        fill(m, a, np.arange(16))
+        m.setvl(16)
+        m.vle32(1, a)
+        m.vse32(1, b)
+        np.testing.assert_array_equal(m.memory.read_f32(b, 16), np.arange(16, dtype=np.float32))
+
+    def test_partial_vl_leaves_tail(self, m):
+        a = m.memory.alloc_f32(16)
+        b = m.memory.alloc_f32(16)
+        fill(m, a, np.arange(16))
+        fill(m, b, np.full(16, -1.0))
+        m.setvl(4)
+        m.vle32(1, a)
+        m.vse32(1, b)
+        got = m.memory.read_f32(b, 16)
+        np.testing.assert_array_equal(got[:4], [0, 1, 2, 3])
+        np.testing.assert_array_equal(got[4:], np.full(12, -1.0, np.float32))
+
+    def test_strided_load(self, m):
+        a = m.memory.alloc_f32(64)
+        fill(m, a, np.arange(64))
+        m.setvl(16)
+        m.vlse32(2, a, 16)  # stride of 4 elements
+        np.testing.assert_array_equal(m.read_f32(2), np.arange(0, 64, 4, dtype=np.float32))
+
+    def test_strided_store(self, m):
+        dst = m.memory.alloc_f32(64)
+        fill(m, dst, np.zeros(64))
+        m.setvl(8)
+        m.vfmv_v_f(3, 2.5)
+        m.vsse32(3, dst, 32)
+        got = m.memory.read_f32(dst, 64)
+        np.testing.assert_array_equal(got[::8], np.full(8, 2.5, np.float32))
+
+    def test_indexed_load_quadword_pattern(self, m):
+        """The Algorithm 1 pattern: replicate a quad across the vector."""
+        a = m.memory.alloc_f32(64)
+        fill(m, a, np.arange(64))
+        vl = m.setvl(16)
+        # Byte offsets 0,4,8,12, 0,4,8,12, ... (quad replication)
+        offs = (np.tile(np.arange(4), vl // 4) * 4).astype(np.uint32)
+        m.load_index_u32(5, offs)
+        m.vluxei32(6, a, 5)
+        np.testing.assert_array_equal(m.read_f32(6), np.tile(np.arange(4, dtype=np.float32), 4))
+
+    def test_indexed_store(self, m):
+        dst = m.memory.alloc_f32(32)
+        fill(m, dst, np.zeros(32))
+        m.setvl(4)
+        m.load_index_u32(5, np.array([0, 16, 32, 48], dtype=np.uint32))
+        m.write_f32(7, [1, 2, 3, 4])
+        m.vsuxei32(7, dst, 5)
+        got = m.memory.read_f32(dst, 32)
+        np.testing.assert_array_equal(got[[0, 4, 8, 12]], [1, 2, 3, 4])
+
+
+class TestArithmetic:
+    def test_vfmacc_vv(self, m):
+        m.setvl(8)
+        m.write_f32(1, np.full(8, 10.0))
+        m.write_f32(2, np.arange(8))
+        m.write_f32(3, np.full(8, 2.0))
+        m.vfmacc_vv(1, 2, 3)
+        np.testing.assert_array_equal(m.read_f32(1), 10.0 + np.arange(8) * 2.0)
+
+    def test_vfmacc_vf(self, m):
+        m.setvl(8)
+        m.write_f32(1, np.zeros(8))
+        m.write_f32(2, np.arange(8))
+        m.vfmacc_vf(1, 3.0, 2)
+        np.testing.assert_array_equal(m.read_f32(1), 3.0 * np.arange(8, dtype=np.float32))
+
+    def test_vfnmsac_vf(self, m):
+        m.setvl(4)
+        m.write_f32(1, np.full(4, 10.0))
+        m.write_f32(2, np.ones(4))
+        m.vfnmsac_vf(1, 4.0, 2)
+        np.testing.assert_array_equal(m.read_f32(1), np.full(4, 6.0, np.float32))
+
+    def test_add_sub_mul(self, m):
+        m.setvl(4)
+        m.write_f32(1, [1, 2, 3, 4])
+        m.write_f32(2, [10, 20, 30, 40])
+        m.vfadd_vv(3, 1, 2)
+        np.testing.assert_array_equal(m.read_f32(3), [11, 22, 33, 44])
+        m.vfsub_vv(3, 2, 1)
+        np.testing.assert_array_equal(m.read_f32(3), [9, 18, 27, 36])
+        m.vfmul_vv(3, 1, 2)
+        np.testing.assert_array_equal(m.read_f32(3), [10, 40, 90, 160])
+        m.vfmul_vf(3, 1, 0.5)
+        np.testing.assert_array_equal(m.read_f32(3), [0.5, 1, 1.5, 2])
+
+    def test_reduction(self, m):
+        m.setvl(16)
+        m.write_f32(1, np.arange(16))
+        assert m.vfredusum(1) == pytest.approx(120.0)
+
+    def test_fma_uses_active_lanes_only(self, m):
+        m.setvl(16)
+        m.write_f32(1, np.zeros(16))
+        m.setvl(4)
+        m.write_f32(2, [1, 1, 1, 1])
+        m.write_f32(3, [2, 2, 2, 2])
+        m.vfmacc_vv(1, 2, 3)
+        m.setvl(16)
+        got = m.read_f32(1)
+        np.testing.assert_array_equal(got[:4], np.full(4, 2.0, np.float32))
+        np.testing.assert_array_equal(got[4:], np.zeros(12, np.float32))
+
+
+class TestSlides:
+    def test_slideup_keeps_low_lanes(self, m):
+        m.setvl(8)
+        m.write_f32(1, [0, 1, 2, 3, 4, 5, 6, 7])
+        m.write_f32(2, [90, 91, 92, 93, 94, 95, 96, 97])
+        m.vslideup_vx(2, 1, 4)
+        np.testing.assert_array_equal(m.read_f32(2), [90, 91, 92, 93, 0, 1, 2, 3])
+
+    def test_slideup_overlap_is_illegal(self, m):
+        m.setvl(8)
+        with pytest.raises(IllegalInstructionError):
+            m.vslideup_vx(1, 1, 4)
+
+    def test_slideup_quad_replication_sequence(self, m):
+        """The Algorithm 2 workaround: replicate a quad with slides.
+
+        Uses linear slide amounts 4, 8, ..., vl/2 with a ping-pong
+        register pair, which is how the kernel implements it.
+        """
+        vl = m.setvl(16)
+        quad = np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32)
+        a = m.memory.alloc_f32(4)
+        fill(m, a, quad)
+        m.setvl(4)
+        m.vle32(1, a)
+        m.setvl(vl)
+        m.vmv_v_v(2, 1)
+        for amt in range(4, vl // 2 + 1, 4):
+            m.vslideup_vx(2, 1, amt)
+            m.vmv_v_v(1, 2)
+        np.testing.assert_array_equal(m.read_f32(2), np.tile(quad, vl // 4))
+
+    def test_slidedown_zero_fills(self, m):
+        m.setvl(8)
+        m.write_f32(1, np.arange(8))
+        m.vslidedown_vx(2, 1, 3)
+        got = m.read_f32(2)
+        np.testing.assert_array_equal(got[:5], [3, 4, 5, 6, 7])
+
+    def test_vrgather(self, m):
+        m.setvl(8)
+        m.write_f32(1, np.arange(8) * 10)
+        m.load_index_u32(3, np.array([7, 6, 5, 4, 3, 2, 1, 0], dtype=np.uint32))
+        m.vrgather_vv(2, 1, 3)
+        np.testing.assert_array_equal(m.read_f32(2), np.arange(7, -1, -1) * 10.0)
+
+    def test_vrgather_overlap_illegal(self, m):
+        m.setvl(8)
+        with pytest.raises(IllegalInstructionError):
+            m.vrgather_vv(1, 1, 2)
+
+
+class TestIndexOps:
+    def test_vid_vadd_vmul(self, m):
+        m.setvl(8)
+        m.vid_v(1)
+        m.vmul_vx(1, 1, 4)
+        m.vadd_vx(1, 1, 100)
+        want = 100 + 4 * np.arange(8, dtype=np.uint32)
+        got = m.regs.u32(1)[:8]
+        np.testing.assert_array_equal(got, want)
+
+
+class TestRegisterAllocator:
+    def test_spill_detection(self, m):
+        regs = [m.alloc.alloc() for _ in range(32)]
+        with pytest.raises(RegisterSpillError):
+            m.alloc.alloc()
+        for r in regs:
+            m.alloc.free(r)
+        assert m.alloc.live_count == 0
+
+    def test_double_free_detected(self, m):
+        r = m.alloc.alloc()
+        m.alloc.free(r)
+        with pytest.raises(RegisterSpillError):
+            m.alloc.free(r)
+
+    def test_scoped_frees_on_exception(self, m):
+        with pytest.raises(ValueError):
+            with m.alloc.scoped(4):
+                raise ValueError("boom")
+        assert m.alloc.live_count == 0
+
+    def test_high_water_mark(self, m):
+        with m.alloc.scoped(5):
+            pass
+        assert m.alloc.high_water >= 5
+
+
+class TestTracing:
+    def test_flop_accounting(self, m):
+        m.setvl(16)
+        m.write_f32(1, np.zeros(16))
+        m.write_f32(2, np.ones(16))
+        m.write_f32(3, np.ones(16))
+        m.vfmacc_vv(1, 2, 3)  # 2 flops x 16 lanes
+        m.vfadd_vv(1, 2, 3)  # 1 flop x 16 lanes
+        assert m.tracer.total_flops == 48
+
+    def test_byte_accounting(self, m):
+        a = m.memory.alloc_f32(16)
+        m.setvl(16)
+        m.vle32(1, a)
+        m.vse32(1, a)
+        st_ = m.tracer.by_class
+        assert st_[OpClass.VLOAD_UNIT].bytes_loaded == 64
+        assert st_[OpClass.VSTORE_UNIT].bytes_stored == 64
+
+    def test_mem_events_capture_addresses(self, m):
+        a = m.memory.alloc_f32(16)
+        m.setvl(16)
+        m.vle32(1, a)
+        events = list(m.tracer.mem_events())
+        assert events[0].base == a
+        assert events[0].elems == 16
+        lines = events[0].line_addresses(64)
+        assert lines.size == 1  # 64 bytes = exactly one line
+
+    def test_line_addresses_span_lines(self, m):
+        a = m.memory.alloc_f32(64)
+        m.setvl(16)
+        m.vlse32(1, a, 64)  # one element per line
+        ev = list(m.tracer.mem_events())[-1]
+        assert ev.line_addresses(64).size == 16
+
+    def test_counts_dict(self, m):
+        a = m.memory.alloc_f32(16)
+        m.setvl(16)
+        m.vle32(1, a)
+        c = m.tracer.counts()
+        assert c["vload_unit"] == 1
+        assert c["vsetvl"] == 1
+
+
+class TestVlenScaling:
+    @pytest.mark.parametrize("vlen", [128, 256, 512, 1024, 2048, 4096, 8192, 16384])
+    def test_lane_count_tracks_vlen(self, vlen):
+        mach = RvvMachine(vlen_bits=vlen)
+        assert mach.setvl(10**9) == vlen // 32
+
+    @given(
+        vlen=st.sampled_from([128, 512, 2048]),
+        n=st.integers(min_value=1, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_strip_mined_copy_is_identity(self, vlen, n, seed):
+        """Property: a vsetvl strip-mined copy loop moves any array intact."""
+        mach = RvvMachine(vlen_bits=vlen)
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal(n).astype(np.float32)
+        src = mach.memory.alloc_f32(n)
+        dst = mach.memory.alloc_f32(n)
+        mach.memory.write_f32(src, data)
+        done = 0
+        while done < n:
+            vl = mach.setvl(n - done)
+            mach.vle32(1, src + 4 * done)
+            mach.vse32(1, dst + 4 * done)
+            done += vl
+        np.testing.assert_array_equal(mach.memory.read_f32(dst, n), data)

@@ -1,0 +1,304 @@
+"""Validation of the analytical models against functional traces.
+
+This enforces the DESIGN.md trace-validation contract:
+- instruction counts must match the tracer *exactly*;
+- cache-line access counts must match within 2%;
+- miss counts and cycles must track the exact trace-driven simulation
+  within the documented tolerances on small layers (the model's worst
+  case — boundary effects loom largest there).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    INDEXED,
+    SLIDEUP,
+    SLIDEUP_LOG,
+    GemmBuffers,
+    GemmGeometry,
+    Im2colBuffers,
+    Im2colGeometry,
+    WinogradBuffers,
+    WinogradGeometry,
+    filter_transform,
+    gemm_kernel,
+    im2col_kernel,
+    input_transform,
+    output_transform,
+    tuple_multiplication,
+)
+from repro.model import (
+    COLD,
+    PhaseModel,
+    evaluate_hierarchy,
+    filter_transform_model,
+    gemm_model,
+    im2col_model_for,
+    input_transform_model,
+    output_transform_model,
+    simulate_layer,
+    simulate_network,
+    stats_from_model,
+    tuple_mult_model,
+    winograd_layer_model,
+)
+from repro.conv import ConvLayerSpec
+from repro.rvv import Memory, RvvMachine, Tracer, assert_counts_match
+from repro.sim import Simulator, SystemConfig
+
+
+def build_winograd(c, k, h, w, vlen, capture=False):
+    geom = WinogradGeometry(c_in=c, h=h, w=w, c_out=k, pad=1, vlen_elems=vlen // 32)
+    m = RvvMachine(vlen, memory=Memory(1 << 27), tracer=Tracer(capture=capture))
+    bufs = WinogradBuffers.allocate(m, geom)
+    rng = np.random.default_rng(0)
+    bufs.load_input(m, geom, rng.standard_normal((c, h, w)).astype(np.float32))
+    bufs.load_weights(m, geom, rng.standard_normal((k, c, 3, 3)).astype(np.float32))
+    return m, geom, bufs
+
+
+def model_counts(ph: PhaseModel) -> dict[str, int]:
+    return {c.value: n for c, n in ph.instrs.items() if n}
+
+
+class TestInstructionCountValidation:
+    """Model instruction counts must equal traced counts exactly."""
+
+    @pytest.mark.parametrize("vlen", [512, 1024, 2048])
+    @pytest.mark.parametrize("c,k,h,w", [(5, 6, 12, 14), (16, 8, 20, 26)])
+    def test_winograd_phases(self, c, k, h, w, vlen):
+        phase_pairs = [
+            (filter_transform, filter_transform_model, (), {}),
+            (input_transform, input_transform_model, (), {}),
+            (output_transform, output_transform_model,
+             (filter_transform, input_transform, tuple_multiplication), {}),
+        ]
+        for fn, model_fn, pre, kw in phase_pairs:
+            m, geom, bufs = build_winograd(c, k, h, w, vlen)
+            for p in pre:
+                p(m, geom, bufs)
+            m.tracer.reset()
+            fn(m, geom, bufs, **kw)
+            assert_counts_match(
+                model_counts(model_fn(geom)), m.tracer.counts(), fn.__name__
+            )
+
+    @pytest.mark.parametrize("variant", [INDEXED, SLIDEUP, SLIDEUP_LOG])
+    @pytest.mark.parametrize("vlen", [512, 2048])
+    def test_tuple_mult_variants(self, variant, vlen):
+        m, geom, bufs = build_winograd(5, 6, 12, 14, vlen)
+        filter_transform(m, geom, bufs)
+        input_transform(m, geom, bufs)
+        m.tracer.reset()
+        tuple_multiplication(m, geom, bufs, variant=variant)
+        assert_counts_match(
+            model_counts(tuple_mult_model(geom, variant)),
+            m.tracer.counts(),
+            f"tuple_mult[{variant}]",
+        )
+
+    @pytest.mark.parametrize("ks,s,p", [(3, 1, 1), (3, 2, 1), (1, 1, 0), (5, 2, 2)])
+    def test_im2col(self, ks, s, p):
+        geom = Im2colGeometry(c_in=3, h=11, w=13, ksize=ks, stride=s, pad=p)
+        m = RvvMachine(512, memory=Memory(1 << 24), tracer=Tracer())
+        bufs = Im2colBuffers.allocate(m, geom)
+        bufs.load_input(m, geom, np.zeros((3, 11, 13), np.float32))
+        im2col_kernel(m, geom, bufs)
+        assert_counts_match(
+            model_counts(im2col_model_for(geom, 16)), m.tracer.counts(), "im2col"
+        )
+
+    @pytest.mark.parametrize("M,K,N", [(8, 16, 40), (13, 7, 33), (1, 1, 1)])
+    def test_gemm(self, M, K, N):
+        geom = GemmGeometry(m=M, kd=K, n=N, vlen_elems=16)
+        m = RvvMachine(512, memory=Memory(1 << 24), tracer=Tracer())
+        bufs = GemmBuffers.allocate(m, geom)
+        bufs.load(m, geom, np.zeros((M, K), np.float32), np.zeros((K, N), np.float32))
+        gemm_kernel(m, geom, bufs)
+        assert_counts_match(
+            model_counts(gemm_model(geom)), m.tracer.counts(), "gemm"
+        )
+
+    def test_flops_match_winograd_mathematics(self):
+        """Tuple-mult FMA flops = 2 * 64 * (4K lanes) * TB * C per panel
+        sweep — the 5.06x multiplication reduction over direct conv is
+        visible in the model's flop count."""
+        geom = WinogradGeometry(c_in=8, h=26, w=26, c_out=8, pad=1, vlen_elems=16)
+        ph = tuple_mult_model(geom, SLIDEUP)
+        # 16 quads x vl lanes x C x TB x 64 p x 2 flops, summed over panels.
+        expected = 0
+        for kp in range(geom.k_panels):
+            vl = min(geom.vlen_elems, 4 * geom.c_out - kp * geom.vlen_elems)
+            expected += 2 * 16 * vl * geom.c_in * geom.tile_blocks * 64
+        assert ph.flops == expected
+
+
+class TestTrafficValidation:
+    """Model cache behavior must track exact simulation of the trace."""
+
+    @pytest.mark.parametrize(
+        "c,k,h,w,vlen",
+        [(16, 16, 26, 26, 512), (8, 12, 20, 32, 1024), (32, 24, 30, 30, 512)],
+    )
+    def test_winograd_layer_accuracy(self, c, k, h, w, vlen):
+        m, geom, bufs = build_winograd(c, k, h, w, vlen, capture=True)
+        filter_transform(m, geom, bufs)
+        input_transform(m, geom, bufs)
+        tuple_multiplication(m, geom, bufs, variant=SLIDEUP)
+        output_transform(m, geom, bufs)
+        cfg = SystemConfig(vlen_bits=vlen, l2_mb=1, l1_kb=64)
+        exact = Simulator(cfg).run_trace(m.tracer)
+        model = stats_from_model(winograd_layer_model(geom, SLIDEUP), cfg)
+        assert model.hierarchy.l1.accesses == pytest.approx(
+            exact.hierarchy.l1.accesses, rel=0.02
+        )
+        # L1 misses are dominated by set-conflict effects (the X tile
+        # rows cluster into a fraction of the L1's 128 sets), which a
+        # stack-distance model intentionally abstracts; the paper
+        # reports no L1 numbers, and the quantities it does report (L2
+        # behavior, cycles) must track much tighter.
+        assert model.hierarchy.l1.misses == pytest.approx(
+            exact.hierarchy.l1.misses, rel=0.65
+        )
+        assert model.hierarchy.l2.misses == pytest.approx(
+            exact.hierarchy.l2.misses, rel=0.30
+        )
+        assert model.cycles == pytest.approx(exact.cycles, rel=0.25)
+
+    def test_im2col_gemm_layer_accuracy(self):
+        c, k, h, w = 16, 16, 24, 24
+        ig = Im2colGeometry(c_in=c, h=h, w=w, ksize=3, stride=1, pad=1)
+        gg = GemmGeometry(m=k, kd=ig.rows, n=ig.cols, vlen_elems=16)
+        m = RvvMachine(512, memory=Memory(1 << 26), tracer=Tracer(capture=True))
+        ibufs = Im2colBuffers.allocate(m, ig)
+        rng = np.random.default_rng(0)
+        ibufs.load_input(m, ig, rng.standard_normal((c, h, w)).astype(np.float32))
+        im2col_kernel(m, ig, ibufs)
+        gbufs = GemmBuffers(
+            a=m.memory.alloc_f32(gg.a_size), b=ibufs.cols,
+            c=m.memory.alloc_f32(gg.c_size),
+        )
+        m.memory.write_f32(gbufs.a, np.zeros(gg.a_size, np.float32))
+        gemm_kernel(m, gg, gbufs)
+        cfg = SystemConfig(vlen_bits=512, l2_mb=1, l1_kb=64)
+        exact = Simulator(cfg).run_trace(m.tracer)
+        phases = [
+            im2col_model_for(ig, 16),
+            gemm_model(gg, cols_distance=ig.cols_size * 4.0),
+        ]
+        model = stats_from_model(phases, cfg)
+        # Alignment-expectation line counting is within ~8% of exact.
+        assert model.hierarchy.l1.accesses == pytest.approx(
+            exact.hierarchy.l1.accesses, rel=0.08
+        )
+        assert model.hierarchy.l2.misses == pytest.approx(
+            exact.hierarchy.l2.misses, rel=0.30
+        )
+        assert model.cycles == pytest.approx(exact.cycles, rel=0.25)
+
+
+class TestEvaluateHierarchy:
+    def test_cold_always_misses(self):
+        ph = PhaseModel("t")
+        ph.add_traffic("cold", 100, COLD)
+        h = evaluate_hierarchy([ph], 64 * 1024, 1 << 20)
+        assert h.l1.misses == 100 and h.l2.misses == 100
+
+    def test_distance_thresholds(self):
+        """The smooth criterion: well-separated distances behave like
+        the hard threshold within a few percent."""
+        ph = PhaseModel("t")
+        ph.add_traffic("tiny", 1000, 512)  # << L1
+        ph.add_traffic("mid", 2000, 128 * 1024)  # >> L1, << L2
+        ph.add_traffic("huge", 3000, 1 << 32)  # >> L2
+        h = evaluate_hierarchy([ph], 64 * 1024, 64 << 20)
+        assert h.l1.misses == pytest.approx(5000, rel=0.10)
+        assert h.l2.misses == pytest.approx(3000, rel=0.10)
+        assert h.l2.accesses == h.l1.misses
+
+    def test_hit_probability_is_monotone_in_capacity(self):
+        ph = PhaseModel("t")
+        ph.add_traffic("borderline", 10_000, 700 * 1024)
+        misses = [
+            evaluate_hierarchy([ph], 64 * 1024, mb << 20).l2.misses
+            for mb in (1, 2, 4, 16, 64)
+        ]
+        assert misses == sorted(misses, reverse=True)
+        assert misses[0] > misses[-1]
+
+    def test_dilution_shrinks_effective_capacity(self):
+        ph1 = PhaseModel("t")
+        ph1.add_traffic("strided", 1000, 32 * 1024, dilution=8.0)
+        ph2 = PhaseModel("t")
+        ph2.add_traffic("unit", 1000, 32 * 1024, dilution=1.0)
+        h1 = evaluate_hierarchy([ph1], 64 * 1024, 1 << 20)
+        h2 = evaluate_hierarchy([ph2], 64 * 1024, 1 << 20)
+        assert h1.l1.misses > h2.l1.misses
+
+    def test_writeback_only_for_streaming_regions(self):
+        ph = PhaseModel("t")
+        ph.add_traffic("fits", 10, COLD, is_store=True, region=1024)
+        ph.add_traffic("streams", 20, COLD, is_store=True, region=1 << 30)
+        h = evaluate_hierarchy([ph], 64 * 1024, 1 << 20)
+        assert h.l2.writebacks == 20
+        assert h.dram_lines == 30 + 20
+
+
+class TestLayerModel:
+    def spec(self, **kw):
+        base = dict(
+            name="l", c_in=16, h_in=28, w_in=28, c_out=16, ksize=3,
+            stride=1, pad=1,
+        )
+        base.update(kw)
+        return ConvLayerSpec(**base)
+
+    def test_winograd_layer_has_four_phases(self):
+        from repro.model import layer_phases
+
+        phases = layer_phases(self.spec(), SystemConfig())
+        assert [p.name.split("[")[0] for p in phases] == [
+            "filter_transform",
+            "input_transform",
+            "tuple_mult",
+            "output_transform",
+        ]
+
+    def test_gemm_layer_has_two_phases(self):
+        from repro.model import layer_phases
+
+        phases = layer_phases(self.spec(ksize=1, pad=0), SystemConfig())
+        assert [p.name for p in phases] == ["im2col", "gemm"]
+
+    def test_network_totals_are_sums(self):
+        specs = [self.spec(name="a"), self.spec(name="b", ksize=1, pad=0)]
+        cfg = SystemConfig()
+        result = simulate_network("net", specs, cfg)
+        assert len(result.per_layer) == 2
+        assert result.total.flops == sum(s.flops for s in result.per_layer)
+        assert result.cycles == pytest.approx(
+            sum(s.cycles for s in result.per_layer)
+        )
+
+    def test_hybrid_false_forces_gemm(self):
+        specs = [self.spec()]
+        cfg = SystemConfig()
+        hybrid = simulate_network("h", specs, cfg, hybrid=True)
+        pure = simulate_network("p", specs, cfg, hybrid=False)
+        assert "winograd" in hybrid.per_layer[0].label
+        assert "im2col" in pure.per_layer[0].label
+
+    def test_longer_vl_fewer_instructions(self):
+        """8x longer vectors shrink the dynamic instruction count, but
+        by ~3x rather than 8x with the slideup variant — the linear
+        slide-replication chain grows with VL (the paper's Algorithm 2
+        loop runs to gvl/2)."""
+        spec = self.spec(c_in=64, c_out=64, h_in=40, w_in=40)
+        s512 = simulate_layer(spec, SystemConfig(vlen_bits=512))
+        s4096 = simulate_layer(spec, SystemConfig(vlen_bits=4096))
+        assert s4096.total_instrs < s512.total_instrs / 2.5
+        # The indexed variant has no replication chain: near-linear drop.
+        i512 = simulate_layer(spec, SystemConfig(vlen_bits=512), variant=INDEXED)
+        i4096 = simulate_layer(spec, SystemConfig(vlen_bits=4096), variant=INDEXED)
+        assert i4096.total_instrs < i512.total_instrs / 6

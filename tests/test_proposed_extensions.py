@@ -1,0 +1,158 @@
+"""Tests for the proposed RVV extensions (the paper's "Opportunities")."""
+
+import numpy as np
+import pytest
+
+from repro.conv import direct_conv2d
+from repro.errors import ConfigError, IllegalInstructionError
+from repro.isa import OpClass
+from repro.kernels import (
+    NATIVE,
+    SLIDEUP,
+    interleave4_reference,
+    transpose4_native,
+    tuple_multiplication,
+    winograd_conv2d_sim,
+)
+from repro.model import tuple_mult_model
+from repro.kernels.common import WinogradGeometry
+from repro.rvv import Memory, RvvMachine, RvvPlusMachine, Tracer, has_proposed_extensions
+
+
+@pytest.fixture
+def m():
+    return RvvPlusMachine(512, memory=Memory(1 << 26), tracer=Tracer())
+
+
+class TestVrep4:
+    def test_replicates_selected_quad(self, m):
+        m.setvl(16)
+        m.write_f32(1, np.arange(16))
+        m.vrep4_vi(2, 1, 0)
+        np.testing.assert_array_equal(
+            m.read_f32(2), np.tile([0, 1, 2, 3], 4).astype(np.float32)
+        )
+        m.vrep4_vi(2, 1, 2)
+        np.testing.assert_array_equal(
+            m.read_f32(2), np.tile([8, 9, 10, 11], 4).astype(np.float32)
+        )
+
+    def test_counts_one_permute(self, m):
+        m.setvl(16)
+        m.vrep4_vi(2, 1, 0)
+        assert m.tracer.by_class[OpClass.VPERMUTE].instrs == 1
+
+    def test_overlap_rejected(self, m):
+        m.setvl(16)
+        with pytest.raises(IllegalInstructionError):
+            m.vrep4_vi(1, 1, 0)
+
+    def test_out_of_range_quad_rejected(self, m):
+        m.setvl(16)
+        with pytest.raises(IllegalInstructionError):
+            m.vrep4_vi(2, 1, 4)  # VLMAX is 16 lanes = 4 quads
+
+
+class TestVtrn4:
+    def test_matches_interleave_reference(self, m):
+        vl = m.setvl(16)
+        data = np.random.default_rng(0).standard_normal((4, vl)).astype(np.float32)
+        for r in range(4):
+            m.write_f32(r + 1, data[r])
+        m.vtrn4_vv((10, 11, 12, 13), (1, 2, 3, 4))
+        got = np.stack([m.read_f32(10 + g) for g in range(4)])
+        np.testing.assert_array_equal(got, interleave4_reference(data))
+
+    def test_no_memory_traffic(self, m):
+        m.setvl(16)
+        m.vtrn4_vv((10, 11, 12, 13), (1, 2, 3, 4))
+        counts = m.tracer.counts()
+        assert counts == {"vsetvl": 1, "vpermute": 4}
+
+    def test_overlap_rejected(self, m):
+        m.setvl(16)
+        with pytest.raises(IllegalInstructionError):
+            m.vtrn4_vv((1, 11, 12, 13), (1, 2, 3, 4))
+
+
+class TestNativeKernels:
+    def test_capability_flag(self, m):
+        assert has_proposed_extensions(m)
+        assert not has_proposed_extensions(RvvMachine(512))
+
+    def test_native_transpose(self, m):
+        m.setvl(8)
+        data = np.random.default_rng(1).standard_normal((4, 8)).astype(np.float32)
+        with m.alloc.scoped(8) as regs:
+            for r in range(4):
+                m.write_f32(regs[r], data[r])
+            transpose4_native(m, regs[:4], regs[4:])
+            got = np.stack([m.read_f32(regs[4 + g]) for g in range(4)])
+        np.testing.assert_array_equal(got, interleave4_reference(data))
+
+    def test_native_transpose_requires_capability(self):
+        plain = RvvMachine(512)
+        plain.setvl(8)
+        with plain.alloc.scoped(8) as regs:
+            with pytest.raises(ConfigError):
+                transpose4_native(plain, regs[:4], regs[4:])
+
+    def test_native_tuple_mult_requires_capability(self):
+        plain = RvvMachine(512, memory=Memory(1 << 26))
+        geom = WinogradGeometry(c_in=4, h=12, w=12, c_out=4, pad=1, vlen_elems=16)
+        from repro.kernels import WinogradBuffers
+
+        bufs = WinogradBuffers.allocate(plain, geom)
+        with pytest.raises(ConfigError):
+            tuple_multiplication(plain, geom, bufs, variant=NATIVE)
+
+    def test_native_winograd_matches_direct(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((6, 13, 15)).astype(np.float32)
+        w = rng.standard_normal((5, 6, 3, 3)).astype(np.float32)
+        mach = RvvPlusMachine(512, memory=Memory(1 << 26))
+        got = winograd_conv2d_sim(mach, x, w, pad=1, variant=NATIVE)
+        ref = direct_conv2d(x.astype(np.float64), w.astype(np.float64), pad=1)
+        np.testing.assert_allclose(got, ref, rtol=1e-2, atol=1e-3)
+
+    def test_native_is_bit_identical_to_slideup(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((4, 12, 12)).astype(np.float32)
+        w = rng.standard_normal((4, 4, 3, 3)).astype(np.float32)
+        out_n = winograd_conv2d_sim(
+            RvvPlusMachine(512, memory=Memory(1 << 26)), x, w, pad=1,
+            variant=NATIVE,
+        )
+        out_s = winograd_conv2d_sim(
+            RvvMachine(512, memory=Memory(1 << 26)), x, w, pad=1,
+            variant=SLIDEUP,
+        )
+        np.testing.assert_array_equal(out_n, out_s)
+
+    def test_native_model_matches_trace(self):
+        from repro.rvv import assert_counts_match
+        from repro.kernels import (
+            WinogradBuffers, filter_transform, input_transform,
+        )
+
+        geom = WinogradGeometry(c_in=5, h=12, w=14, c_out=6, pad=1, vlen_elems=16)
+        mach = RvvPlusMachine(512, memory=Memory(1 << 26), tracer=Tracer())
+        bufs = WinogradBuffers.allocate(mach, geom)
+        rng = np.random.default_rng(0)
+        bufs.load_input(mach, geom, rng.standard_normal((5, 12, 14)).astype(np.float32))
+        bufs.load_weights(mach, geom, rng.standard_normal((6, 5, 3, 3)).astype(np.float32))
+        filter_transform(mach, geom, bufs)
+        input_transform(mach, geom, bufs)
+        mach.tracer.reset()
+        tuple_multiplication(mach, geom, bufs, variant=NATIVE)
+        model = {
+            c.value: n for c, n in tuple_mult_model(geom, NATIVE).instrs.items() if n
+        }
+        assert_counts_match(model, mach.tracer.counts(), "tuple_mult[native]")
+
+    def test_native_fewer_instructions_than_slideup(self):
+        geom = WinogradGeometry(c_in=16, h=26, w=26, c_out=16, pad=1,
+                                vlen_elems=64)
+        n = sum(tuple_mult_model(geom, NATIVE).instrs.values())
+        s = sum(tuple_mult_model(geom, SLIDEUP).instrs.values())
+        assert n < s / 2  # the slide chains dominate at 2048-bit

@@ -1,0 +1,151 @@
+"""Tests for the roofline analysis and co-design sweep harness."""
+
+import pytest
+
+from repro.codesign import (
+    PAPER_TABLE2_VGG,
+    Comparison,
+    codesign_sweep,
+    comparison_table,
+    miss_rate_report,
+    runtime_figure,
+)
+from repro.conv import ConvAlgorithm, ConvLayerSpec
+from repro.errors import ConfigError
+from repro.nets import vgg16_conv_layers, vgg16_layers
+from repro.roofline import (
+    RooflineCeilings,
+    ceilings_for,
+    render_roofline,
+    roofline_points,
+)
+from repro.sim import SystemConfig
+
+
+class TestCeilings:
+    def test_paper_base_ceilings(self):
+        ceil = ceilings_for(SystemConfig())
+        assert ceil.peak_gflops == pytest.approx(64.0)
+        assert ceil.dram_gbs == pytest.approx(13.0)
+        assert ceil.ridge_ai == pytest.approx(64 / 13)
+
+    def test_attainable(self):
+        ceil = RooflineCeilings(peak_gflops=64, dram_gbs=13)
+        assert ceil.attainable(1.0) == pytest.approx(13.0)
+        assert ceil.attainable(100.0) == pytest.approx(64.0)
+        with pytest.raises(ConfigError):
+            ceil.attainable(-1.0)
+
+
+class TestRooflinePoints:
+    @pytest.fixture(scope="class")
+    def vgg10(self):
+        return vgg16_conv_layers()[:10]
+
+    def test_winograd_layers_are_memory_bound(self, vgg10):
+        """Figure 5: Winograd VGG16 layers sit left of the ridge.
+
+        The paper reports 10/10 memory-bound; our kernels' L2 reuse
+        capture lifts the deepest layers' AI above the ridge (see
+        EXPERIMENTS.md), but the majority — and every early layer —
+        must stay memory-bound, and Winograd must be strictly more
+        memory-bound than im2col+GEMM.
+        """
+        pts = roofline_points(
+            vgg10, SystemConfig(), ConvAlgorithm.WINOGRAD
+        )
+        assert len(pts) == 10
+        mem_bound = sum(1 for p in pts if p.memory_bound)
+        assert mem_bound >= 6
+        assert all(p.memory_bound for p in pts[:4])  # early layers
+        gemm_pts = roofline_points(
+            vgg10, SystemConfig(), ConvAlgorithm.IM2COL_GEMM
+        )
+        assert mem_bound > sum(1 for p in gemm_pts if p.memory_bound)
+
+    def test_im2col_layers_are_mostly_compute_bound(self, vgg10):
+        """Figure 6: most im2col+GEMM layers sit right of the ridge
+        (the paper: 7 of 10 compute-bound)."""
+        pts = roofline_points(
+            vgg10, SystemConfig(), ConvAlgorithm.IM2COL_GEMM
+        )
+        compute_bound = sum(1 for p in pts if not p.memory_bound)
+        assert compute_bound >= 5
+
+    def test_im2col_has_higher_ai_than_winograd(self, vgg10):
+        wino = roofline_points(vgg10, SystemConfig(), ConvAlgorithm.WINOGRAD)
+        gemm = roofline_points(vgg10, SystemConfig(), ConvAlgorithm.IM2COL_GEMM)
+        # Layer-for-layer, im2col+GEMM does more flops per DRAM byte.
+        higher = sum(1 for w, g in zip(wino, gemm) if g.ai > w.ai)
+        assert higher >= 8
+
+    def test_achieved_below_attainable(self, vgg10):
+        """No point may sit above its ceiling (sanity of the model);
+        the paper notes its kernels sit well below ("scope for further
+        improvement")."""
+        for algo in (ConvAlgorithm.WINOGRAD, ConvAlgorithm.IM2COL_GEMM):
+            for p in roofline_points(vgg10[:4], SystemConfig(), algo):
+                assert p.gflops <= p.attainable_gflops * 1.001
+                assert p.efficiency < 1.0
+
+    def test_render(self, vgg10):
+        pts = roofline_points(vgg10[:3], SystemConfig(), ConvAlgorithm.WINOGRAD)
+        text = render_roofline(pts, "test")
+        assert "ridge AI" in text and "memory-bound" in text
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    # A reduced grid keeps the test quick; full grids run in benches.
+    return codesign_sweep(
+        "vgg-head",
+        vgg16_layers()[:4],
+        vlens=(512, 2048),
+        l2_mbs=(1, 64),
+    )
+
+
+class TestSweep:
+    def test_grid_complete(self, small_sweep):
+        assert len(small_sweep.results) == 4
+        assert small_sweep.at(512, 1).cycles > 0
+
+    def test_unknown_point_raises(self, small_sweep):
+        with pytest.raises(ConfigError):
+            small_sweep.at(1024, 1)
+
+    def test_speedup_baseline_is_one(self, small_sweep):
+        assert small_sweep.speedup(512, 1) == pytest.approx(1.0)
+
+    def test_longer_vector_and_bigger_cache_help(self, small_sweep):
+        """The co-design study's central direction: both knobs help."""
+        assert small_sweep.speedup(2048, 1) > 1.0
+        assert small_sweep.speedup(512, 64) > 1.0
+        assert small_sweep.speedup(2048, 64) > small_sweep.speedup(2048, 1)
+
+    def test_best_is_largest_config(self, small_sweep):
+        assert small_sweep.best() == (2048, 64)
+
+    def test_miss_rate_table(self, small_sweep):
+        table = small_sweep.miss_rate_table(1)
+        assert set(table) == {512, 2048}
+        assert all(0 <= v <= 1 for v in table.values())
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigError):
+            codesign_sweep("x", vgg16_layers()[:1], vlens=(), l2_mbs=(1,))
+
+
+class TestReporting:
+    def test_comparison_table(self):
+        comps = [Comparison("speedup", 1.76, 1.60)]
+        text = comparison_table(comps, "headlines")
+        assert "1.76" in text and "1.60" in text and "0.91x" in text
+
+    def test_miss_rate_report(self, small_sweep):
+        text = miss_rate_report(small_sweep, PAPER_TABLE2_VGG, l2_mb=1)
+        assert "512-bit" in text and "paper" in text
+
+    def test_runtime_figure(self, small_sweep):
+        text = runtime_figure(small_sweep)
+        assert "speedup" in text and "512-bit" in text

@@ -1,0 +1,170 @@
+"""Tests for the cache simulator and the stack-distance profiler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.sim import Cache, CacheHierarchy, reuse_profile
+
+
+class TestCacheBasics:
+    def test_geometry(self):
+        c = Cache(64 * 1024, assoc=8, line_bytes=64)
+        assert c.num_sets == 128
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            Cache(1000, assoc=8, line_bytes=64)
+        with pytest.raises(ConfigError):
+            Cache(0)
+
+    def test_cold_misses_then_hits(self):
+        c = Cache(4096, assoc=4)
+        lines = np.arange(8, dtype=np.int64)
+        m1 = c.access_lines(lines)
+        assert m1.all()
+        m2 = c.access_lines(lines)
+        assert not m2.any()
+        assert c.stats.accesses == 16
+        assert c.stats.misses == 8
+
+    def test_capacity_eviction_lru(self):
+        # 1 set x 2 ways: access A, B, C -> A evicted; A misses again.
+        c = Cache(128, assoc=2, line_bytes=64)
+        c.access_lines(np.array([0, 1, 2], dtype=np.int64) * c.num_sets)
+        m = c.access_lines(np.array([0], dtype=np.int64))
+        assert m[0]
+        assert c.stats.evictions >= 1
+
+    def test_lru_recency_update(self):
+        # 2 ways: A, B, touch A again, then C -> B (LRU) evicted, A stays.
+        c = Cache(128, assoc=2, line_bytes=64)
+        a, b, cc = 0, 2, 4  # same set (num_sets == 1)
+        c.access_lines(np.array([a, b, a, cc], dtype=np.int64))
+        m = c.access_lines(np.array([a, b], dtype=np.int64))
+        assert not m[0]  # A still resident
+        assert m[1]  # B was evicted
+
+    def test_sets_isolate_conflicts(self):
+        c = Cache(2 * 64 * 2, assoc=2, line_bytes=64)  # 2 sets, 2 ways
+        # Lines 0,2,4,6 map to set 0; 1,3 to set 1.
+        c.access_lines(np.array([1, 3], dtype=np.int64))
+        c.access_lines(np.array([0, 2, 4, 6], dtype=np.int64))
+        m = c.access_lines(np.array([1, 3], dtype=np.int64))
+        assert not m.any()  # set 1 undisturbed by set-0 thrashing
+
+    def test_writeback_accounting(self):
+        c = Cache(128, assoc=2, line_bytes=64)
+        stores = np.array([True, True, False], dtype=bool)
+        c.access_lines(np.array([0, 1, 2], dtype=np.int64), stores)
+        # Line 0 was dirty and evicted by line 2's allocation.
+        assert c.stats.writebacks == 1
+
+    def test_store_hit_marks_dirty(self):
+        c = Cache(128, assoc=2, line_bytes=64)
+        c.access_lines(np.array([0], dtype=np.int64))  # clean load
+        c.access_lines(np.array([0], dtype=np.int64), np.array([True]))  # dirty it
+        c.access_lines(np.array([1, 2], dtype=np.int64))  # evict 0
+        assert c.stats.writebacks == 1
+
+    def test_reset_stats_keeps_contents(self):
+        c = Cache(4096, assoc=4)
+        c.access_lines(np.arange(4, dtype=np.int64))
+        c.reset_stats()
+        m = c.access_lines(np.arange(4, dtype=np.int64))
+        assert not m.any()
+        assert c.stats.accesses == 4
+        assert c.stats.misses == 0
+
+    def test_flush_drops_contents(self):
+        c = Cache(4096, assoc=4)
+        c.access_lines(np.arange(4, dtype=np.int64))
+        c.flush()
+        assert c.access_lines(np.arange(4, dtype=np.int64)).all()
+
+    def test_empty_stream(self):
+        c = Cache(4096, assoc=4)
+        assert c.access_lines(np.empty(0, dtype=np.int64)).size == 0
+
+
+class TestHierarchy:
+    def test_l2_sees_only_l1_misses(self):
+        h = CacheHierarchy(l1_kb=1, l2_mb=1, l1_assoc=2)
+        lines = np.arange(8, dtype=np.int64)
+        h.access(lines)  # all cold: 8 L1 misses -> 8 L2 accesses
+        h.access(lines)  # all L1 hits -> no L2 traffic
+        s = h.snapshot()
+        assert s.l1.accesses == 16
+        assert s.l1.misses == 8
+        assert s.l2.accesses == 8
+        assert s.l2.misses == 8
+
+    def test_l2_catches_l1_capacity_misses(self):
+        # Working set bigger than L1 (1 kB = 16 lines) but far below L2.
+        h = CacheHierarchy(l1_kb=1, l2_mb=1, l1_assoc=2)
+        lines = np.arange(64, dtype=np.int64)
+        for _ in range(4):
+            h.access(lines)
+        s = h.snapshot()
+        assert s.l1.miss_rate > 0.9  # streams through tiny L1
+        assert s.l2.misses == 64  # only the cold misses
+
+    def test_dram_bytes(self):
+        h = CacheHierarchy(l1_kb=1, l2_mb=1)
+        h.access(np.arange(10, dtype=np.int64))
+        s = h.snapshot()
+        assert s.dram_bytes == 10 * 64
+
+
+class TestReuseProfile:
+    def test_simple_stream(self):
+        # A B A: distance of second A is 1 (B in between).
+        prof = reuse_profile(np.array([0, 1, 0], dtype=np.int64))
+        assert prof.cold == 2
+        assert prof.histogram[1] == 1
+        assert prof.total == 3
+
+    def test_repeat_distance_zero(self):
+        prof = reuse_profile(np.array([5, 5, 5], dtype=np.int64))
+        assert prof.cold == 1
+        assert prof.histogram[0] == 2
+
+    def test_miss_counts_by_capacity(self):
+        # Cyclic stream of 4 lines repeated: capacity >= 4 -> only cold.
+        stream = np.tile(np.arange(4, dtype=np.int64), 10)
+        prof = reuse_profile(stream)
+        assert prof.misses_for_capacity(4) == 4
+        # Capacity 3 with LRU and cyclic access: everything misses.
+        assert prof.misses_for_capacity(3) == 40
+
+    def test_empty(self):
+        prof = reuse_profile(np.empty(0, dtype=np.int64))
+        assert prof.total == 0
+        assert prof.miss_rate_for_capacity(16) == 0.0
+
+    def test_bad_capacity(self):
+        prof = reuse_profile(np.array([1], dtype=np.int64))
+        with pytest.raises(ConfigError):
+            prof.misses_for_capacity(0)
+
+    @given(
+        seed=st.integers(0, 10**6),
+        nlines=st.integers(2, 40),
+        length=st.integers(10, 400),
+        capacity=st.integers(1, 64),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_fully_associative_lru_simulation(
+        self, seed, nlines, length, capacity
+    ):
+        """Property: the stack-distance miss count equals an exact
+        fully-associative LRU simulation on random streams."""
+        rng = np.random.default_rng(seed)
+        stream = rng.integers(0, nlines, size=length).astype(np.int64)
+        prof = reuse_profile(stream)
+        # Exact fully-associative LRU cache of `capacity` lines.
+        c = Cache(capacity * 64, assoc=capacity, line_bytes=64)
+        assert c.num_sets == 1
+        missed = c.access_lines(stream)
+        assert prof.misses_for_capacity(capacity) == int(missed.sum())

@@ -1,0 +1,157 @@
+"""Tests for loop-nest stream descriptors (repro.sim.events)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa import OpClass
+from repro.sim import BodyInstr, LoopNest, total_counts
+
+
+def unit_load(base, elems=16, dim_strides=()):
+    return BodyInstr(
+        opclass=OpClass.VLOAD_UNIT, elems=elems, base=base,
+        dim_strides=dim_strides, elem_stride=4,
+    )
+
+
+def fma(elems=16):
+    return BodyInstr(opclass=OpClass.VFMA, elems=elems)
+
+
+class TestBodyInstr:
+    def test_flops(self):
+        assert fma(16).flops == 32
+        assert unit_load(0).flops == 0
+
+    def test_bytes(self):
+        assert unit_load(0, elems=16).bytes == 64
+        assert fma().bytes == 0
+
+    def test_offsets_length_checked(self):
+        with pytest.raises(ConfigError):
+            BodyInstr(
+                opclass=OpClass.VLOAD_INDEXED, elems=4, offsets=(0, 4),
+            )
+
+    def test_element_offsets_strided(self):
+        bi = BodyInstr(
+            opclass=OpClass.VLOAD_STRIDED, elems=4, elem_stride=16,
+        )
+        np.testing.assert_array_equal(bi.element_offsets(), [0, 16, 32, 48])
+
+    def test_element_offsets_indexed(self):
+        bi = BodyInstr(
+            opclass=OpClass.VLOAD_INDEXED, elems=4, offsets=(0, 4, 8, 12),
+        )
+        np.testing.assert_array_equal(bi.element_offsets(), [0, 4, 8, 12])
+
+
+class TestLoopNestCounts:
+    def test_instr_counts(self):
+        nest = LoopNest("t", dims=(10, 5), body=(unit_load(0), fma(), fma()))
+        counts = nest.instr_counts()
+        assert counts[OpClass.VLOAD_UNIT] == 50
+        assert counts[OpClass.VFMA] == 100
+        assert nest.trips == 50
+        assert nest.inner_trips == 5
+
+    def test_total_flops(self):
+        nest = LoopNest("t", dims=(3,), body=(fma(8),))
+        assert nest.total_flops() == 3 * 16
+
+    def test_mem_bytes_split(self):
+        store = BodyInstr(
+            opclass=OpClass.VSTORE_UNIT, elems=8, base=0, is_load=False,
+        )
+        nest = LoopNest("t", dims=(2,), body=(unit_load(0, 8), store))
+        ld, st_ = nest.total_mem_bytes()
+        assert ld == 2 * 32
+        assert st_ == 2 * 32
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ConfigError):
+            LoopNest("t", dims=(1,), body=())
+
+    def test_total_counts_aggregates(self):
+        n1 = LoopNest("a", dims=(2,), body=(fma(),))
+        n2 = LoopNest("b", dims=(3,), body=(fma(), unit_load(0)))
+        agg = total_counts([n1, n2])
+        assert agg[OpClass.VFMA] == 5
+        assert agg[OpClass.VLOAD_UNIT] == 3
+
+
+class TestStreams:
+    def test_unit_load_lines(self):
+        # 16 fp32 = 64 B starting at a line boundary: exactly 1 line.
+        nest = LoopNest("t", dims=(1,), body=(unit_load(0, 16),))
+        lines, stores = nest.stream_for_outer(0)
+        np.testing.assert_array_equal(lines, [0])
+        assert not stores[0]
+
+    def test_unaligned_load_spans_two_lines(self):
+        nest = LoopNest("t", dims=(1,), body=(unit_load(32, 16),))
+        lines, _ = nest.stream_for_outer(0)
+        np.testing.assert_array_equal(lines, [0, 1])
+
+    def test_outer_stride_advances_base(self):
+        nest = LoopNest(
+            "t", dims=(4,), body=(unit_load(0, 16, dim_strides=(64,)),)
+        )
+        assert nest.line_stream_for_outer(0)[0] == 0
+        assert nest.line_stream_for_outer(3)[0] == 3
+
+    def test_inner_dims_enumerate_in_order(self):
+        # 2 inner iterations, one load each, advancing by one line.
+        bi = unit_load(0, 16, dim_strides=(1024, 64))
+        nest = LoopNest("t", dims=(1, 2), body=(bi,))
+        lines, _ = nest.stream_for_outer(0)
+        np.testing.assert_array_equal(lines, [0, 1])
+
+    def test_body_order_interleaves(self):
+        a = unit_load(0, 16)
+        b = BodyInstr(
+            opclass=OpClass.VSTORE_UNIT, elems=16, base=4096, is_load=False,
+        )
+        nest = LoopNest("t", dims=(1, 3), body=(a, b))
+        lines, stores = nest.stream_for_outer(0)
+        np.testing.assert_array_equal(lines, [0, 64, 0, 64, 0, 64])
+        np.testing.assert_array_equal(stores, [False, True] * 3)
+
+    def test_strided_access_touches_every_line(self):
+        bi = BodyInstr(
+            opclass=OpClass.VLOAD_STRIDED, elems=8, base=0, elem_stride=64,
+        )
+        nest = LoopNest("t", dims=(1,), body=(bi,))
+        lines, _ = nest.stream_for_outer(0)
+        np.testing.assert_array_equal(lines, np.arange(8))
+
+    def test_indexed_quad_replication_touches_one_line(self):
+        """The Algorithm 1 gather re-reads one quad: a single line."""
+        offs = tuple(int(o) for o in np.tile(np.arange(4) * 4, 8))
+        bi = BodyInstr(
+            opclass=OpClass.VLOAD_INDEXED, elems=32, base=0, offsets=offs,
+        )
+        nest = LoopNest("t", dims=(1,), body=(bi,))
+        lines, _ = nest.stream_for_outer(0)
+        np.testing.assert_array_equal(lines, [0])
+
+    def test_non_mem_body_yields_empty_stream(self):
+        nest = LoopNest("t", dims=(5,), body=(fma(),))
+        lines, stores = nest.stream_for_outer(0)
+        assert lines.size == 0 and stores.size == 0
+
+    def test_outer_index_bounds_checked(self):
+        nest = LoopNest("t", dims=(2,), body=(unit_load(0),))
+        with pytest.raises(ConfigError):
+            nest.stream_for_outer(2)
+
+    def test_ragged_slow_path_matches_fast_path_semantics(self):
+        """A template whose instances straddle lines differently must
+        still produce per-instance deduplicated lines in order."""
+        # elems=16 at base 32: spans 2 lines; with dim stride 32 the
+        # second instance starts at 64: exactly 1 line. Ragged widths.
+        bi = unit_load(32, 16, dim_strides=(0, 32))
+        nest = LoopNest("t", dims=(1, 2), body=(bi,))
+        lines, _ = nest.stream_for_outer(0)
+        np.testing.assert_array_equal(lines, [0, 1, 1])

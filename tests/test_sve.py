@@ -1,0 +1,139 @@
+"""Tests for the ARM-SVE flavor (repro.sve)."""
+
+import numpy as np
+import pytest
+
+from repro.isa import OpClass
+from repro.rvv import RvvMachine, Tracer
+from repro.sve import SveMachine
+
+
+@pytest.fixture
+def m():
+    return SveMachine(vlen_bits=512, tracer=Tracer(capture=True))
+
+
+class TestNativeSurface:
+    def test_whilelt_sets_active_lanes(self, m):
+        assert m.whilelt(0, 100) == 16
+        assert m.whilelt(96, 100) == 4
+
+    def test_whilelt_records_mask_not_vsetvl(self, m):
+        m.whilelt(0, 16)
+        assert OpClass.VMASK in m.tracer.by_class
+        assert OpClass.VSETVL not in m.tracer.by_class
+
+    def test_ld1_st1_roundtrip(self, m):
+        a = m.memory.alloc_f32(16)
+        b = m.memory.alloc_f32(16)
+        m.memory.write_f32(a, np.arange(16, dtype=np.float32))
+        m.whilelt(0, 16)
+        m.ld1w(1, a)
+        m.st1w(1, b)
+        np.testing.assert_array_equal(
+            m.memory.read_f32(b, 16), np.arange(16, dtype=np.float32)
+        )
+
+    def test_fmla(self, m):
+        m.whilelt(0, 8)
+        m.write_f32(1, np.zeros(8))
+        m.write_f32(2, np.arange(8))
+        m.write_f32(3, np.full(8, 3.0))
+        m.fmla(1, 2, 3)
+        np.testing.assert_array_equal(m.read_f32(1), 3.0 * np.arange(8, dtype=np.float32))
+
+    def test_index_instruction(self, m):
+        m.whilelt(0, 8)
+        m.index_u32(1, 100, 4)
+        np.testing.assert_array_equal(
+            m.regs.u32(1)[:8], 100 + 4 * np.arange(8, dtype=np.uint32)
+        )
+
+    def test_tbl_permute(self, m):
+        m.whilelt(0, 8)
+        m.write_f32(1, np.arange(8))
+        m.index_u32(3, 7, -1 & 0xFFFFFFFF)  # 7,6,5,... via wraparound step -1
+        m.tbl(2, 1, 3)
+        np.testing.assert_array_equal(m.read_f32(2), np.arange(7, -1, -1, dtype=np.float32))
+
+
+class TestRvvAdapter:
+    def test_strided_load_becomes_gather(self, m):
+        """SVE has no strided loads; the adapter must emit INDEX+gather."""
+        a = m.memory.alloc_f32(64)
+        m.memory.write_f32(a, np.arange(64, dtype=np.float32))
+        m.setvl(16)
+        m.vlse32(1, a, 16)
+        np.testing.assert_array_equal(m.read_f32(1), np.arange(0, 64, 4, dtype=np.float32))
+        assert m.tracer.by_class[OpClass.VLOAD_INDEXED].instrs == 1
+        assert OpClass.VLOAD_STRIDED not in m.tracer.by_class
+
+    def test_strided_store_becomes_scatter(self, m):
+        dst = m.memory.alloc_f32(64)
+        m.setvl(8)
+        m.vfmv_v_f(2, 9.0)
+        m.vsse32(2, dst, 32)
+        got = m.memory.read_f32(dst, 64)
+        np.testing.assert_array_equal(got[::8], np.full(8, 9.0, np.float32))
+        assert m.tracer.by_class[OpClass.VSTORE_INDEXED].instrs == 1
+
+    def test_slideup_maps_to_ext(self, m):
+        m.setvl(8)
+        m.write_f32(1, np.arange(8))
+        m.write_f32(2, np.full(8, -1.0))
+        m.vslideup_vx(2, 1, 4)
+        got = m.read_f32(2)
+        np.testing.assert_array_equal(got[4:], [0, 1, 2, 3])
+        assert m.tracer.by_class[OpClass.VSLIDE].instrs == 1
+
+    def test_lmul_rejected(self, m):
+        from repro.errors import VectorStateError
+
+        with pytest.raises(VectorStateError):
+            m.setvl(16, lmul=2)
+
+
+class TestCrossIsaEquivalence:
+    """The same kernel code must compute identical results on both ISAs."""
+
+    @staticmethod
+    def saxpy(machine, n, alpha, x_addr, y_addr):
+        done = 0
+        while done < n:
+            vl = machine.setvl(n - done)
+            with machine.alloc.scoped(2) as (vx, vy):
+                machine.vle32(vx, x_addr + 4 * done)
+                machine.vle32(vy, y_addr + 4 * done)
+                machine.vfmacc_vf(vy, alpha, vx)
+                machine.vse32(vy, y_addr + 4 * done)
+            done += vl
+
+    @pytest.mark.parametrize("vlen", [128, 512, 2048])
+    def test_saxpy_matches_across_isas(self, vlen):
+        rng = np.random.default_rng(42)
+        n = 103
+        x = rng.standard_normal(n).astype(np.float32)
+        y = rng.standard_normal(n).astype(np.float32)
+        results = {}
+        for cls in (RvvMachine, SveMachine):
+            mach = cls(vlen_bits=vlen)
+            xa = mach.memory.alloc_f32(n)
+            ya = mach.memory.alloc_f32(n)
+            mach.memory.write_f32(xa, x)
+            mach.memory.write_f32(ya, y)
+            self.saxpy(mach, n, 2.5, xa, ya)
+            results[cls.__name__] = mach.memory.read_f32(ya, n)
+        np.testing.assert_array_equal(results["RvvMachine"], results["SveMachine"])
+        np.testing.assert_allclose(
+            results["RvvMachine"], y + np.float32(2.5) * x, rtol=1e-6
+        )
+
+    def test_instruction_mix_differs_where_isas_differ(self):
+        """Strided access: RVV counts strided ops, SVE counts gathers."""
+        n = 32
+        for cls, expect in ((RvvMachine, OpClass.VLOAD_STRIDED), (SveMachine, OpClass.VLOAD_INDEXED)):
+            mach = cls(vlen_bits=512, tracer=Tracer())
+            a = mach.memory.alloc_f32(4 * n)
+            mach.setvl(n // 4)
+            mach.vlse32(1, a, 16)
+            assert expect in mach.tracer.by_class
