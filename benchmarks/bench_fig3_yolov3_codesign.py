@@ -3,6 +3,10 @@
 Paper findings: ~1.76x speedup from 512- to 4096-bit vectors at 1 MB;
 a further 1.5x (512/1024-bit), 1.54x (2048) and 1.6x (4096) from
 growing the L2 from 1 MB to 256 MB — ~2.6x combined.
+
+The grid comes from the shared ``yolo_sweep`` fixture, which honours
+``REPRO_SWEEP_WORKERS`` / ``REPRO_SWEEP_CHECKPOINT`` (parallel,
+resumable sweeps — see benchmarks/README.md).
 """
 
 from benchmarks.conftest import record

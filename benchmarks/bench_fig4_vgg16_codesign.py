@@ -3,6 +3,10 @@
 Paper findings: ~1.4x speedup from 512- to 4096-bit vectors with no
 significant gain beyond 2048 bits; ~1.3x from growing the L2 to 64 MB,
 with no significant gain beyond.
+
+The grid comes from the shared ``vgg_sweep`` fixture, which honours
+``REPRO_SWEEP_WORKERS`` / ``REPRO_SWEEP_CHECKPOINT`` (parallel,
+resumable sweeps — see benchmarks/README.md).
 """
 
 from benchmarks.conftest import record

@@ -3,20 +3,17 @@
 Paper values: 39 / 47 / 50 / 52 % for 512 / 1024 / 2048 / 4096 bits.
 """
 
-from benchmarks.conftest import record
-from repro.codesign import PAPER_TABLE1_YOLO, miss_rate_report
-from repro.nets import simulate_inference, yolov3_layers
-from repro.sim import SystemConfig
+from benchmarks.conftest import record, sweep_kwargs
+from repro.codesign import PAPER_TABLE1_YOLO, codesign_sweep, miss_rate_report
+from repro.nets import yolov3_layers
 
 
 def _measure():
-    layers = yolov3_layers()
-    return {
-        v: simulate_inference(
-            "yolov3-20L", layers, SystemConfig(vlen_bits=v, l2_mb=1)
-        ).total.l2_miss_rate
-        for v in (512, 1024, 2048, 4096)
-    }
+    sweep = codesign_sweep(
+        "yolov3-20L", yolov3_layers(), vlens=(512, 1024, 2048, 4096),
+        l2_mbs=(1,), **sweep_kwargs("table1-yolov3"),
+    )
+    return sweep.miss_rate_table(1)
 
 
 def test_table1_yolov3_l2_miss_rate(benchmark, yolo_sweep):

@@ -4,20 +4,17 @@ Paper values: 80 / 84 / 85 / 82 % for 512 / 1024 / 2048 / 4096 bits —
 high at every vector length (the transformed tensors stream).
 """
 
-from benchmarks.conftest import record
-from repro.codesign import PAPER_TABLE2_VGG, miss_rate_report
-from repro.nets import simulate_inference, vgg16_layers
-from repro.sim import SystemConfig
+from benchmarks.conftest import record, sweep_kwargs
+from repro.codesign import PAPER_TABLE2_VGG, codesign_sweep, miss_rate_report
+from repro.nets import vgg16_layers
 
 
 def _measure():
-    layers = vgg16_layers()
-    return {
-        v: simulate_inference(
-            "vgg16", layers, SystemConfig(vlen_bits=v, l2_mb=1)
-        ).total.l2_miss_rate
-        for v in (512, 1024, 2048, 4096)
-    }
+    sweep = codesign_sweep(
+        "vgg16", vgg16_layers(), vlens=(512, 1024, 2048, 4096),
+        l2_mbs=(1,), **sweep_kwargs("table2-vgg16"),
+    )
+    return sweep.miss_rate_table(1)
 
 
 def test_table2_vgg16_l2_miss_rate(benchmark, vgg_sweep):

@@ -7,10 +7,19 @@ rates, speedups) are printed and attached to ``benchmark.extra_info``
 so they land in the saved benchmark JSON.
 
 The two network sweeps are session-scoped: Figure 3 and Table 1 share
-the YOLOv3 grid, Figure 4 and Table 2 the VGG16 grid.
+the YOLOv3 grid, Figure 4 and Table 2 the VGG16 grid.  Both honour the
+sweep executor's environment knobs:
+
+- ``REPRO_SWEEP_WORKERS`` — grid points evaluated in parallel
+  (default 1, the serial path; results are identical either way);
+- ``REPRO_SWEEP_CHECKPOINT`` — a checkpoint directory root; each
+  network sweep gets a subdirectory there and an interrupted bench run
+  resumes instead of recomputing finished points.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -18,16 +27,26 @@ from repro.codesign import codesign_sweep
 from repro.nets import vgg16_layers, yolov3_layers
 
 
+def sweep_kwargs(tag: str) -> dict:
+    """Executor arguments for one named sweep, from the environment."""
+    kwargs: dict = {"workers": int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))}
+    root = os.environ.get("REPRO_SWEEP_CHECKPOINT")
+    if root:
+        kwargs["checkpoint_dir"] = os.path.join(root, tag)
+    return kwargs
+
+
 @pytest.fixture(scope="session")
 def yolo_sweep():
     """YOLOv3 (first 20 layers, hybrid) over the paper's full grid."""
-    return codesign_sweep("yolov3-20L", yolov3_layers())
+    return codesign_sweep("yolov3-20L", yolov3_layers(),
+                          **sweep_kwargs("yolov3-20L"))
 
 
 @pytest.fixture(scope="session")
 def vgg_sweep():
     """VGG16 (hybrid = Winograd everywhere eligible) over the grid."""
-    return codesign_sweep("vgg16", vgg16_layers())
+    return codesign_sweep("vgg16", vgg16_layers(), **sweep_kwargs("vgg16"))
 
 
 def record(benchmark, **info) -> None:

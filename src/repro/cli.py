@@ -84,14 +84,21 @@ def cmd_sweep(args) -> int:
     layers = _network(args.network)
     vlens = tuple(int(v) for v in args.vlens.split(","))
     l2s = tuple(int(v) for v in args.l2_sizes.split(","))
+    on_progress = None
+    if args.progress:
+        def on_progress(p):
+            print(p.describe(), file=sys.stderr)
     sweep = codesign_sweep(args.network, layers, vlens=vlens, l2_mbs=l2s,
-                           hybrid=not args.pure_gemm)
+                           hybrid=not args.pure_gemm,
+                           workers=args.workers,
+                           checkpoint_dir=args.checkpoint_dir,
+                           on_progress=on_progress)
     if args.json:
         import json
 
         payload = {
             f"{v}b/{l}MB": sweep.at(v, l).total.to_dict()
-            for v in vlens for l in l2s
+            for v in sweep.vlens for l in sweep.l2_mbs
         }
         print(json.dumps(payload, indent=2))
         return 0
@@ -163,6 +170,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="baseline policy: im2col+GEMM everywhere")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable results")
+    p.add_argument("--workers", type=int, default=1,
+                   help="grid points evaluated in parallel (default 1: "
+                        "serial; results are identical either way)")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="write per-point JSON checkpoints to DIR; "
+                        "re-running with the same DIR resumes an "
+                        "interrupted sweep")
+    p.add_argument("--progress", action="store_true",
+                   help="print a per-point progress/ETA line to stderr")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("roofline", help="Figure 5/6 rooflines")

@@ -9,6 +9,7 @@ from repro.codesign.report import (
     miss_rate_report,
     runtime_figure,
 )
+from repro.codesign.executor import SweepProgress, run_sweep
 from repro.codesign.sweep import (
     PAPER_L2_MBS,
     PAPER_VLENS,
@@ -18,6 +19,8 @@ from repro.codesign.sweep import (
 
 __all__ = [
     "codesign_sweep",
+    "run_sweep",
+    "SweepProgress",
     "SweepResult",
     "PAPER_VLENS",
     "PAPER_L2_MBS",

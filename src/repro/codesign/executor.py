@@ -1,0 +1,306 @@
+"""Parallel, checkpointable executor for the co-design sweep.
+
+The paper's headline artifacts (Figures 3/4, Tables 1/2) each sweep a
+(vector length x L2 size) grid — 20 points per network on the paper's
+grids, far more for the larger co-design studies this repo grows
+toward.  Every point is independent, so this module fans the grid out
+over a :class:`concurrent.futures.ProcessPoolExecutor` and adds the two
+properties a long sweep needs in production:
+
+- **checkpoint/resume** — with ``checkpoint_dir`` set, every finished
+  point is written as one JSON file (atomically, via a temp file and
+  ``os.replace``); re-running an interrupted sweep with the same
+  directory restores finished points instead of recomputing them.  A
+  manifest pins the run's identity (network, policy, variant, base
+  configuration) so a directory can never silently mix results from
+  different setups.
+- **progress reporting** — an ``on_progress`` callback receives a
+  :class:`SweepProgress` (points done, per-point seconds, elapsed and
+  ETA) after every point, which the CLI renders as a live ticker.
+
+Results are bit-identical between the serial and parallel paths: each
+point is evaluated by the same pure function
+(:func:`repro.nets.inference.simulate_inference`) and travels back to
+the parent either in-process or via pickle, neither of which perturbs a
+float.  Checkpointed points round-trip through JSON, which Python
+serializes with shortest-repr floats, so restored grids are
+bit-identical too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.codesign.sweep import SweepResult
+from repro.errors import ConfigError
+from repro.kernels.tuple_mult import SLIDEUP
+from repro.model.layer_model import NetworkResult
+from repro.nets.inference import simulate_inference
+from repro.nets.layers import LayerSpec
+from repro.sim.system import SystemConfig
+
+#: Checkpoint schema version; bumped on incompatible layout changes.
+CHECKPOINT_VERSION = 1
+
+#: Manifest file name inside a checkpoint directory.
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One progress tick of a running sweep.
+
+    Attributes:
+        done: points finished so far (including checkpoint restores).
+        total: points in the grid.
+        vlen/l2_mb: the point that just finished.
+        point_seconds: wall time this point took (0 for restores).
+        elapsed_seconds: wall time since the sweep started.
+        eta_seconds: estimated remaining wall time, extrapolated from
+            the points computed so far (0 until one has finished).
+        from_checkpoint: True when the point was restored, not run.
+    """
+
+    done: int
+    total: int
+    vlen: int
+    l2_mb: int
+    point_seconds: float
+    elapsed_seconds: float
+    eta_seconds: float
+    from_checkpoint: bool
+
+    def describe(self) -> str:
+        """One-line ticker text (the CLI's ``--progress`` output)."""
+        src = "restored" if self.from_checkpoint else f"{self.point_seconds:.2f}s"
+        return (
+            f"[{self.done}/{self.total}] {self.vlen}b/{self.l2_mb}MB "
+            f"{src}  elapsed {self.elapsed_seconds:.1f}s  "
+            f"eta {self.eta_seconds:.1f}s"
+        )
+
+
+ProgressCallback = Callable[[SweepProgress], None]
+
+
+def _evaluate_point(
+    name: str,
+    layers: list[LayerSpec],
+    vlen: int,
+    l2_mb: int,
+    hybrid: bool,
+    variant: str,
+    base_config: SystemConfig,
+) -> tuple[NetworkResult, float]:
+    """Evaluate one grid point (runs in a worker process when pooled)."""
+    t0 = time.perf_counter()
+    cfg = base_config.with_(vlen_bits=vlen, l2_mb=l2_mb)
+    result = simulate_inference(name, layers, cfg, hybrid=hybrid, variant=variant)
+    return result, time.perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
+# Checkpoint directory layout.
+# ----------------------------------------------------------------------
+def _manifest_payload(
+    name: str, hybrid: bool, variant: str, base_config: SystemConfig
+) -> dict:
+    return {
+        "version": CHECKPOINT_VERSION,
+        "name": name,
+        "hybrid": hybrid,
+        "variant": variant,
+        "config": asdict(base_config),
+    }
+
+
+def _point_path(directory: Path, vlen: int, l2_mb: int) -> Path:
+    return directory / f"point_v{vlen}_l2mb{l2_mb}.json"
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    """Write via a sibling temp file so a kill never leaves half a
+    checkpoint behind (a torn file is treated as absent on resume)."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)
+
+
+def _open_checkpoint_dir(
+    directory: Path, manifest: dict
+) -> None:
+    """Create or validate a checkpoint directory for this sweep."""
+    directory.mkdir(parents=True, exist_ok=True)
+    mpath = directory / MANIFEST_NAME
+    if mpath.exists():
+        try:
+            existing = json.loads(mpath.read_text())
+        except (OSError, ValueError) as e:
+            raise ConfigError(
+                f"unreadable sweep manifest {mpath}: {e}"
+            ) from None
+        if existing != manifest:
+            raise ConfigError(
+                f"checkpoint directory {directory} belongs to a different "
+                f"sweep (manifest mismatch); use a fresh directory"
+            )
+    else:
+        _write_json_atomic(mpath, manifest)
+
+
+def _load_point(path: Path) -> NetworkResult | None:
+    """Restore one checkpointed point; None if absent or torn."""
+    try:
+        payload = json.loads(path.read_text())
+        if payload.get("version") != CHECKPOINT_VERSION:
+            return None
+        return NetworkResult.from_dict(payload["result"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def _save_point(
+    path: Path, vlen: int, l2_mb: int, result: NetworkResult
+) -> None:
+    _write_json_atomic(path, {
+        "version": CHECKPOINT_VERSION,
+        "vlen": vlen,
+        "l2_mb": l2_mb,
+        "result": result.to_dict(),
+    })
+
+
+# ----------------------------------------------------------------------
+# The executor.
+# ----------------------------------------------------------------------
+def run_sweep(
+    name: str,
+    layers: list[LayerSpec],
+    vlens: Sequence[int],
+    l2_mbs: Sequence[int],
+    hybrid: bool = True,
+    variant: str = SLIDEUP,
+    base_config: SystemConfig | None = None,
+    workers: int = 1,
+    checkpoint_dir: str | Path | None = None,
+    on_progress: ProgressCallback | None = None,
+) -> SweepResult:
+    """Run a network across the co-design grid (see
+    :func:`repro.codesign.sweep.codesign_sweep` for the argument
+    contract — that wrapper is the public entry point).
+    """
+    if not vlens or not l2_mbs:
+        raise ConfigError("sweep grids must be non-empty")
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    base = base_config if base_config is not None else SystemConfig()
+    grid_vlens = tuple(sorted(set(int(v) for v in vlens)))
+    grid_l2s = tuple(sorted(set(int(l) for l in l2_mbs)))
+    points = [(v, l) for v in grid_vlens for l in grid_l2s]
+    total = len(points)
+    start = time.perf_counter()
+
+    directory: Path | None = None
+    if checkpoint_dir is not None:
+        directory = Path(checkpoint_dir)
+        _open_checkpoint_dir(
+            directory, _manifest_payload(name, hybrid, variant, base)
+        )
+
+    results: dict[tuple[int, int], NetworkResult] = {}
+    done = 0
+    computed = 0
+
+    def tick(vlen: int, l2_mb: int, secs: float, restored: bool) -> None:
+        nonlocal done
+        done += 1
+        if on_progress is None:
+            return
+        elapsed = time.perf_counter() - start
+        remaining = total - done
+        eta = elapsed / computed * remaining if computed else 0.0
+        on_progress(SweepProgress(
+            done=done, total=total, vlen=vlen, l2_mb=l2_mb,
+            point_seconds=secs, elapsed_seconds=elapsed, eta_seconds=eta,
+            from_checkpoint=restored,
+        ))
+
+    # Phase 1: restore finished points from the checkpoint directory.
+    todo: list[tuple[int, int]] = []
+    for v, l in points:
+        restored = (
+            _load_point(_point_path(directory, v, l))
+            if directory is not None else None
+        )
+        if restored is not None:
+            results[(v, l)] = restored
+            tick(v, l, 0.0, restored=True)
+        else:
+            todo.append((v, l))
+
+    def finish(v: int, l: int, result: NetworkResult, secs: float) -> None:
+        nonlocal computed
+        results[(v, l)] = result
+        computed += 1
+        if directory is not None:
+            _save_point(_point_path(directory, v, l), v, l, result)
+        tick(v, l, secs, restored=False)
+
+    # Phase 2: evaluate the remaining points, pooled or serial.  A
+    # pool that cannot actually run (fork blocked, workers killed)
+    # degrades to the serial path for whatever is still missing.
+    pool = _make_pool(workers, len(todo))
+    if pool is not None:
+        try:
+            with pool:
+                futures = {
+                    pool.submit(
+                        _evaluate_point, name, layers, v, l, hybrid,
+                        variant, base,
+                    ): (v, l)
+                    for v, l in todo
+                }
+                pending = set(futures)
+                while pending:
+                    finished, pending = wait(
+                        pending, return_when=FIRST_COMPLETED
+                    )
+                    for fut in finished:
+                        v, l = futures[fut]
+                        result, secs = fut.result()
+                        finish(v, l, result, secs)
+        except (OSError, BrokenProcessPool):
+            pass
+    for v, l in todo:
+        if (v, l) not in results:
+            result, secs = _evaluate_point(
+                name, layers, v, l, hybrid, variant, base
+            )
+            finish(v, l, result, secs)
+
+    return SweepResult(
+        name=name, vlens=grid_vlens, l2_mbs=grid_l2s, results=results
+    )
+
+
+def _make_pool(workers: int, tasks: int) -> ProcessPoolExecutor | None:
+    """A process pool, or None for the serial path.
+
+    Serial when one worker suffices (``workers=1``, or nothing left to
+    compute) or when the platform cannot spawn a pool (restricted
+    environments raise ``OSError``/``NotImplementedError``) — the sweep
+    then degrades gracefully instead of failing.
+    """
+    if workers <= 1 or tasks <= 1:
+        return None
+    try:
+        return ProcessPoolExecutor(max_workers=min(workers, tasks))
+    except (OSError, NotImplementedError, ImportError):
+        return None

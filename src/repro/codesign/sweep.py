@@ -3,22 +3,27 @@
 The paper tunes two hardware parameters on its simulated RISC-VV
 processor: the vector length (512 — 4096 bits, the range the gem5 fork
 supports) and the L2 cache size (1 — 256 MB).  :func:`codesign_sweep`
-runs a network over the full grid and :class:`SweepResult` answers the
+runs a network over the full grid — serially or fanned out over worker
+processes with per-point checkpointing (see
+:mod:`repro.codesign.executor`) — and :class:`SweepResult` answers the
 paper's questions: runtime per point, speedups relative to the
-512-bit / 1 MB baseline, and L2 miss-rate tables.
+smallest configuration, and L2 miss-rate tables.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import ConfigError
 from repro.kernels.tuple_mult import SLIDEUP
 from repro.model.layer_model import NetworkResult
-from repro.nets.inference import simulate_inference
 from repro.nets.layers import LayerSpec
 from repro.sim.system import SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.codesign.executor import SweepProgress
 
 #: The paper's sweep grids.
 PAPER_VLENS = (512, 1024, 2048, 4096)
@@ -27,12 +32,42 @@ PAPER_L2_MBS = (1, 16, 64, 128, 256)
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Results of one network over the (VLEN x L2) grid."""
+    """Results of one network over the (VLEN x L2) grid.
+
+    Grids are normalized at construction (sorted, deduplicated), so the
+    axes read smallest-to-largest regardless of the order the caller
+    listed them in.  ``results`` may cover only part of the grid while
+    a checkpointed run is being resumed; :meth:`merge` combines such
+    partial results and :attr:`is_complete` tells the two apart.
+    """
 
     name: str
     vlens: tuple[int, ...]
     l2_mbs: tuple[int, ...]
     results: dict[tuple[int, int], NetworkResult]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "vlens", tuple(sorted(set(self.vlens))))
+        object.__setattr__(self, "l2_mbs", tuple(sorted(set(self.l2_mbs))))
+        for v, l in self.results:
+            if v not in self.vlens or l not in self.l2_mbs:
+                raise ConfigError(
+                    f"result point ({v} bits, {l} MB) is outside the "
+                    f"sweep grid"
+                )
+
+    @property
+    def points(self) -> tuple[tuple[int, int], ...]:
+        """Every (vlen, l2_mb) point of the grid, row-major."""
+        return tuple((v, l) for v in self.vlens for l in self.l2_mbs)
+
+    def missing_points(self) -> tuple[tuple[int, int], ...]:
+        """Grid points without a result yet (partial/resumed sweeps)."""
+        return tuple(p for p in self.points if p not in self.results)
+
+    @property
+    def is_complete(self) -> bool:
+        return not self.missing_points()
 
     def at(self, vlen: int, l2_mb: int) -> NetworkResult:
         try:
@@ -51,8 +86,8 @@ class SweepResult:
     ) -> float:
         """Speedup of a point relative to a baseline (default: the
         smallest configuration of the sweep)."""
-        bv = base_vlen if base_vlen is not None else self.vlens[0]
-        bl = base_l2_mb if base_l2_mb is not None else self.l2_mbs[0]
+        bv = base_vlen if base_vlen is not None else min(self.vlens)
+        bl = base_l2_mb if base_l2_mb is not None else min(self.l2_mbs)
         return self.seconds(bv, bl) / self.seconds(vlen, l2_mb)
 
     def miss_rate_table(self, l2_mb: int) -> dict[int, float]:
@@ -70,8 +105,57 @@ class SweepResult:
 
     def best(self) -> tuple[int, int]:
         """The fastest configuration of the grid."""
+        if not self.results:
+            raise ConfigError("sweep has no results yet")
         return min(
             self.results, key=lambda k: self.results[k].total.seconds
+        )
+
+    def merge(self, other: "SweepResult") -> "SweepResult":
+        """Union of two (possibly partial) sweeps of the same network.
+
+        Points present in both take this sweep's value.  Used by the
+        resume path to combine checkpointed points with freshly
+        computed ones.
+        """
+        if other.name != self.name:
+            raise ConfigError(
+                f"cannot merge sweep {other.name!r} into {self.name!r}"
+            )
+        results = dict(other.results)
+        results.update(self.results)
+        return SweepResult(
+            name=self.name,
+            vlens=self.vlens + other.vlens,
+            l2_mbs=self.l2_mbs + other.l2_mbs,
+            results=results,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (CLI output, checkpoint summaries)."""
+        return {
+            "name": self.name,
+            "vlens": list(self.vlens),
+            "l2_mbs": list(self.l2_mbs),
+            "results": [
+                {"vlen": v, "l2_mb": l, "network": r.to_dict()}
+                for (v, l), r in sorted(self.results.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SweepResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(d["name"]),
+            vlens=tuple(int(v) for v in d["vlens"]),
+            l2_mbs=tuple(int(l) for l in d["l2_mbs"]),
+            results={
+                (int(e["vlen"]), int(e["l2_mb"])): NetworkResult.from_dict(
+                    e["network"]
+                )
+                for e in d.get("results", [])
+            },
         )
 
 
@@ -83,6 +167,9 @@ def codesign_sweep(
     hybrid: bool = True,
     variant: str = SLIDEUP,
     base_config: SystemConfig | None = None,
+    workers: int = 1,
+    checkpoint_dir: str | Path | None = None,
+    on_progress: "Callable[[SweepProgress], None] | None" = None,
 ) -> SweepResult:
     """Run a network across the co-design grid.
 
@@ -96,17 +183,20 @@ def codesign_sweep(
         variant: tuple-multiplication variant.
         base_config: template for all other parameters (frequency,
             L1, latency constants); defaults to the paper's setup.
+        workers: grid points evaluated concurrently; ``1`` runs
+            serially in-process, more fans out over a process pool
+            (results are bit-identical either way).
+        checkpoint_dir: directory for per-point JSON checkpoints; an
+            interrupted sweep re-run with the same directory resumes
+            without recomputing finished points.
+        on_progress: called with a
+            :class:`~repro.codesign.executor.SweepProgress` after every
+            finished (or checkpoint-restored) point.
     """
-    if not vlens or not l2_mbs:
-        raise ConfigError("sweep grids must be non-empty")
-    base = base_config if base_config is not None else SystemConfig()
-    results: dict[tuple[int, int], NetworkResult] = {}
-    for v in vlens:
-        for l in l2_mbs:
-            cfg = base.with_(vlen_bits=v, l2_mb=l)
-            results[(v, l)] = simulate_inference(
-                name, layers, cfg, hybrid=hybrid, variant=variant
-            )
-    return SweepResult(
-        name=name, vlens=tuple(vlens), l2_mbs=tuple(l2_mbs), results=results
+    from repro.codesign.executor import run_sweep
+
+    return run_sweep(
+        name, layers, vlens=vlens, l2_mbs=l2_mbs, hybrid=hybrid,
+        variant=variant, base_config=base_config, workers=workers,
+        checkpoint_dir=checkpoint_dir, on_progress=on_progress,
     )

@@ -93,6 +93,25 @@ class NetworkResult:
     def cycles(self) -> float:
         return self.total.cycles
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (sweep checkpoints, tooling)."""
+        return {
+            "name": self.name,
+            "per_layer": [s.to_dict() for s in self.per_layer],
+            "total": self.total.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "NetworkResult":
+        """Inverse of :meth:`to_dict` (sweep checkpoint resume)."""
+        return cls(
+            name=str(d["name"]),
+            per_layer=tuple(
+                SimStats.from_dict(s) for s in d.get("per_layer", [])
+            ),
+            total=SimStats.from_dict(d["total"]),
+        )
+
 
 def simulate_network(
     name: str,

@@ -52,6 +52,13 @@ class MaxPoolSpec:
     def __post_init__(self) -> None:
         if min(self.c, self.h, self.w, self.size, self.stride) < 1:
             raise ConfigError(f"bad maxpool spec {self.name}")
+        if self.h < self.stride or self.w < self.stride:
+            # Mirrors conv_out_size: a pool whose window cannot take a
+            # single step produces an empty output tensor.
+            raise ConfigError(
+                f"maxpool {self.name} pools {self.h}x{self.w} to nothing "
+                f"(stride={self.stride})"
+            )
 
     @property
     def h_out(self) -> int:

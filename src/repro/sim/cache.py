@@ -47,12 +47,44 @@ class CacheStats:
         self.writebacks += other.writebacks
 
     def scaled(self, factor: float) -> "CacheStats":
-        """Extrapolated copy (used by the sampling simulator)."""
+        """Extrapolated copy (used by the sampling simulator).
+
+        Each counter is rounded to an integer, then clamped so the copy
+        stays mutually consistent (``misses <= accesses`` and every
+        counter bounded by ``accesses``) — independent rounding of small
+        samples could otherwise report more misses than accesses, i.e.
+        negative hits.
+        """
+        if factor < 0:
+            raise ConfigError(f"scale factor must be non-negative, got {factor}")
+        accesses = int(round(self.accesses * factor))
+        misses = min(int(round(self.misses * factor)), accesses)
+        evictions = min(int(round(self.evictions * factor)), accesses)
+        writebacks = min(int(round(self.writebacks * factor)), accesses)
         return CacheStats(
-            accesses=int(round(self.accesses * factor)),
-            misses=int(round(self.misses * factor)),
-            evictions=int(round(self.evictions * factor)),
-            writebacks=int(round(self.writebacks * factor)),
+            accesses=accesses,
+            misses=misses,
+            evictions=evictions,
+            writebacks=writebacks,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable counters (checkpointing, CLI)."""
+        return {
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CacheStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            accesses=int(d.get("accesses", 0)),
+            misses=int(d.get("misses", 0)),
+            evictions=int(d.get("evictions", 0)),
+            writebacks=int(d.get("writebacks", 0)),
         )
 
 
@@ -96,13 +128,20 @@ class Cache:
 
     # ------------------------------------------------------------------
     def access_lines(
-        self, lines: np.ndarray, is_store: np.ndarray | None = None
+        self,
+        lines: np.ndarray,
+        is_store: np.ndarray | None = None,
+        victims_out: list[tuple[int, int]] | None = None,
     ) -> np.ndarray:
         """Run a line-ID stream through the cache.
 
         Args:
             lines: int64 array of line IDs in access order.
             is_store: aligned boolean store mask; loads assumed if None.
+            victims_out: if given, ``(index, line)`` pairs of dirty
+                victims are appended — the writeback stream the next
+                level must absorb (``index`` is the position of the
+                evicting access in ``lines``).
 
         Returns:
             Boolean array, True where the access missed (these accesses
@@ -132,10 +171,12 @@ class Cache:
                 missed[i] = True
                 miss_count += 1
                 if len(s) >= assoc:
-                    _, victim_dirty = s.popitem(last=False)
+                    victim_line, victim_dirty = s.popitem(last=False)
                     evictions += 1
                     if victim_dirty:
                         writebacks += 1
+                        if victims_out is not None:
+                            victims_out.append((i, victim_line))
                 s[line] = store
             else:
                 s[line] = dirty or store
@@ -176,6 +217,23 @@ class HierarchyStats:
             line_bytes=self.line_bytes,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serializable counters (checkpointing, CLI)."""
+        return {
+            "l1": self.l1.to_dict(),
+            "l2": self.l2.to_dict(),
+            "line_bytes": self.line_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "HierarchyStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            l1=CacheStats.from_dict(d.get("l1", {})),
+            l2=CacheStats.from_dict(d.get("l2", {})),
+            line_bytes=int(d.get("line_bytes", 64)),
+        )
+
 
 class CacheHierarchy:
     """Two-level data cache as in the paper's gem5 configuration.
@@ -204,12 +262,43 @@ class CacheHierarchy:
     def access(
         self, lines: np.ndarray, is_store: np.ndarray | None = None
     ) -> None:
-        """Push a line stream through L1 then L2 (misses only)."""
-        l1_missed = self.l1.access_lines(lines, is_store)
-        if l1_missed.any():
-            l2_lines = lines[l1_missed]
-            l2_stores = is_store[l1_missed] if is_store is not None else None
-            self.l2.access_lines(l2_lines, l2_stores)
+        """Push a line stream through L1 then L2.
+
+        The L2 absorbs two streams: L1 misses (refills, keeping their
+        store mask) and L1 dirty-victim writebacks, which arrive as
+        store accesses right after the miss that evicted them.  Without
+        the writeback stream a line dirtied by an L1 store *hit* would
+        silently vanish on eviction and the L2's accesses, dirty state
+        and downstream DRAM traffic would all be understated.
+        """
+        victims: list[tuple[int, int]] = []
+        l1_missed = self.l1.access_lines(lines, is_store, victims_out=victims)
+        n_miss = int(l1_missed.sum())
+        if n_miss == 0 and not victims:
+            return
+        miss_idx = np.flatnonzero(l1_missed)
+        miss_lines = lines[l1_missed]
+        miss_stores = (
+            is_store[l1_missed]
+            if is_store is not None
+            else np.zeros(n_miss, dtype=bool)
+        )
+        if victims:
+            v_idx = np.array([i for i, _ in victims], dtype=np.int64)
+            v_lines = np.array([l for _, l in victims], dtype=np.int64)
+            # Merge in program order; the stable sort keeps each
+            # writeback just after the miss that evicted its victim.
+            idx = np.concatenate([miss_idx, v_idx])
+            l2_lines = np.concatenate([miss_lines, v_lines])
+            l2_stores = np.concatenate(
+                [miss_stores, np.ones(v_lines.size, dtype=bool)]
+            )
+            order = np.argsort(idx, kind="stable")
+            l2_lines = l2_lines[order]
+            l2_stores = l2_stores[order]
+        else:
+            l2_lines, l2_stores = miss_lines, miss_stores
+        self.l2.access_lines(l2_lines, l2_stores)
 
     def snapshot(self) -> HierarchyStats:
         """Copy of the current counters."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigError
 from repro.isa import OpClass
 from repro.sim.cache import HierarchyStats
 
@@ -83,7 +84,17 @@ class SimStats:
 
     # ------------------------------------------------------------------
     def merge(self, other: "SimStats") -> None:
-        """Accumulate another run's counters into this one (in place)."""
+        """Accumulate another run's counters into this one (in place).
+
+        Both runs must share one clock: ``seconds`` divides merged
+        cycles by ``freq_ghz``, so silently mixing frequencies would
+        corrupt every derived time.
+        """
+        if other.freq_ghz != self.freq_ghz:
+            raise ConfigError(
+                f"cannot merge stats at {other.freq_ghz} GHz into stats at "
+                f"{self.freq_ghz} GHz"
+            )
         self.issue_cycles += other.issue_cycles
         self.l2_stall_cycles += other.l2_stall_cycles
         self.dram_stall_cycles += other.dram_stall_cycles
@@ -99,7 +110,13 @@ class SimStats:
         return baseline.cycles / self.cycles if self.cycles else float("inf")
 
     def to_dict(self) -> dict:
-        """JSON-serializable summary (for tooling and the CLI)."""
+        """JSON-serializable summary (for tooling, the CLI, and sweep
+        checkpoints).
+
+        Carries every raw counter (the flat ``l1_*``/``l2_*`` keys are
+        a readable summary; ``elems`` and ``hierarchy`` complete the
+        state), so :meth:`from_dict` round-trips losslessly.
+        """
         return {
             "label": self.label,
             "freq_ghz": self.freq_ghz,
@@ -109,6 +126,7 @@ class SimStats:
             "l2_stall_cycles": self.l2_stall_cycles,
             "dram_stall_cycles": self.dram_stall_cycles,
             "instructions": dict(self.instrs),
+            "elems": dict(self.elems),
             "flops": self.flops,
             "gflops": self.gflops,
             "l1_accesses": self.hierarchy.l1.accesses,
@@ -120,7 +138,36 @@ class SimStats:
             "arithmetic_intensity": (
                 None if self.dram_bytes == 0 else self.arithmetic_intensity
             ),
+            "hierarchy": self.hierarchy.to_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SimStats":
+        """Inverse of :meth:`to_dict` (sweep checkpoint resume).
+
+        Accepts older summaries without the ``hierarchy`` block by
+        rebuilding the cache counters from the flat keys (eviction and
+        writeback counts are then lost, which only affects reporting).
+        """
+        if "hierarchy" in d:
+            hierarchy = HierarchyStats.from_dict(d["hierarchy"])
+        else:
+            hierarchy = HierarchyStats()
+            hierarchy.l1.accesses = int(d.get("l1_accesses", 0))
+            hierarchy.l1.misses = int(d.get("l1_misses", 0))
+            hierarchy.l2.accesses = int(d.get("l2_accesses", 0))
+            hierarchy.l2.misses = int(d.get("l2_misses", 0))
+        return cls(
+            freq_ghz=float(d["freq_ghz"]),
+            issue_cycles=float(d.get("issue_cycles", 0.0)),
+            l2_stall_cycles=float(d.get("l2_stall_cycles", 0.0)),
+            dram_stall_cycles=float(d.get("dram_stall_cycles", 0.0)),
+            instrs={str(k): int(v) for k, v in d.get("instructions", {}).items()},
+            elems={str(k): int(v) for k, v in d.get("elems", {}).items()},
+            flops=int(d.get("flops", 0)),
+            hierarchy=hierarchy,
+            label=str(d.get("label", "")),
+        )
 
     def report(self) -> str:
         """Multi-line human-readable summary (examples and benches)."""

@@ -51,6 +51,20 @@ class TestMaxpoolModel:
         assert stats.cycles > 0
         assert stats.dram_bytes > 0
 
+    def test_pooled_to_nothing_is_rejected(self):
+        """A window that cannot take a single step (input smaller than
+        the stride) would produce an empty output tensor; the spec must
+        reject it like conv_out_size does, so cfg chains that pool a
+        feature map down to 0x0 raise ConfigError instead of silently
+        degenerating."""
+        with pytest.raises(ConfigError):
+            MaxPoolSpec(name="p", c=8, h=1, w=1, size=2, stride=2)
+        with pytest.raises(ConfigError):
+            MaxPoolSpec(name="p", c=8, h=4, w=1, size=2, stride=2)
+        # The boundary case — exactly one step — is legal.
+        spec = MaxPoolSpec(name="p", c=8, h=2, w=2, size=2, stride=2)
+        assert (spec.h_out, spec.w_out) == (1, 1)
+
     def test_taps_scale_instructions(self):
         s2 = maxpool_model(MaxPoolSpec("a", 4, 16, 16, size=2, stride=2), 16)
         s3 = maxpool_model(MaxPoolSpec("b", 4, 16, 16, size=3, stride=2), 16)

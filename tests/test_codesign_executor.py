@@ -1,0 +1,200 @@
+"""Tests for the parallel sweep executor: serial/parallel equivalence,
+checkpoint/resume, progress reporting, and partial-grid merging."""
+
+import json
+
+import pytest
+
+from repro.codesign import SweepResult, codesign_sweep
+from repro.codesign.executor import (
+    CHECKPOINT_VERSION,
+    MANIFEST_NAME,
+    SweepProgress,
+    _point_path,
+)
+from repro.errors import ConfigError
+from repro.model.layer_model import NetworkResult
+from repro.nets import vgg16_layers
+from repro.sim import SimStats
+
+VLENS = (1024, 2048)
+L2_MBS = (1, 16)
+
+
+@pytest.fixture(scope="module")
+def layers():
+    return vgg16_layers()[:2]
+
+
+@pytest.fixture(scope="module")
+def serial_sweep(layers):
+    """The serial reference grid every executor test compares against."""
+    return codesign_sweep("vgg-head", layers, vlens=VLENS, l2_mbs=L2_MBS)
+
+
+class TestParallelExecution:
+    def test_parallel_matches_serial_bit_identical(self, layers, serial_sweep):
+        """Tier-1 smoke: a 2x2 sweep with workers=2 must reproduce the
+        serial grid bit for bit (results travel back via pickle)."""
+        events = []
+        parallel = codesign_sweep(
+            "vgg-head", layers, vlens=VLENS, l2_mbs=L2_MBS,
+            workers=2, on_progress=events.append,
+        )
+        assert parallel == serial_sweep
+        assert parallel.runtime_grid() == serial_sweep.runtime_grid()
+        # Progress: one tick per point, done counts to completion.
+        assert len(events) == 4
+        assert sorted(e.done for e in events) == [1, 2, 3, 4]
+        assert all(e.total == 4 for e in events)
+        assert all(not e.from_checkpoint for e in events)
+        assert all(e.point_seconds > 0 for e in events)
+        assert all(e.eta_seconds >= 0 for e in events)
+        assert "[4/4]" in [e for e in events if e.done == 4][0].describe()
+
+    def test_workers_must_be_positive(self, layers):
+        with pytest.raises(ConfigError):
+            codesign_sweep("x", layers, vlens=(1024,), l2_mbs=(1,), workers=0)
+
+    def test_empty_grid_rejected(self, layers):
+        with pytest.raises(ConfigError):
+            codesign_sweep("x", layers, vlens=(), l2_mbs=(1,), workers=2)
+
+
+class TestCheckpointResume:
+    def test_resume_skips_finished_points(self, tmp_path, layers, serial_sweep):
+        """Kill-and-rerun: points checkpointed by a first (partial) run
+        are restored, not recomputed, and the merged grid is identical
+        to an uninterrupted serial sweep."""
+        ckpt = tmp_path / "run"
+        codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                       l2_mbs=L2_MBS, checkpoint_dir=ckpt)
+        assert (ckpt / MANIFEST_NAME).exists()
+        events = []
+        resumed = codesign_sweep(
+            "vgg-head", layers, vlens=VLENS, l2_mbs=L2_MBS,
+            checkpoint_dir=ckpt, workers=2, on_progress=events.append,
+        )
+        assert resumed == serial_sweep
+        restored = {(e.vlen, e.l2_mb) for e in events if e.from_checkpoint}
+        assert restored == {(VLENS[0], l) for l in L2_MBS}
+        computed = {(e.vlen, e.l2_mb) for e in events if not e.from_checkpoint}
+        assert computed == {(VLENS[1], l) for l in L2_MBS}
+        # A third run restores everything.
+        events.clear()
+        again = codesign_sweep(
+            "vgg-head", layers, vlens=VLENS, l2_mbs=L2_MBS,
+            checkpoint_dir=ckpt, on_progress=events.append,
+        )
+        assert again == serial_sweep
+        assert all(e.from_checkpoint for e in events)
+
+    def test_torn_checkpoint_recomputed(self, tmp_path, layers, serial_sweep):
+        ckpt = tmp_path / "run"
+        codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                       l2_mbs=(L2_MBS[0],), checkpoint_dir=ckpt)
+        point = _point_path(ckpt, VLENS[0], L2_MBS[0])
+        point.write_text('{"version": 1, "truncated')  # simulated kill
+        sweep = codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                               l2_mbs=(L2_MBS[0],), checkpoint_dir=ckpt)
+        assert sweep.at(*serial_sweep.points[0]) == serial_sweep.results[
+            (VLENS[0], L2_MBS[0])
+        ]
+        assert json.loads(point.read_text())["version"] == CHECKPOINT_VERSION
+
+    def test_manifest_mismatch_rejected(self, tmp_path, layers):
+        ckpt = tmp_path / "run"
+        codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                       l2_mbs=(L2_MBS[0],), checkpoint_dir=ckpt)
+        with pytest.raises(ConfigError):
+            codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                           l2_mbs=(L2_MBS[0],), checkpoint_dir=ckpt,
+                           hybrid=False)
+
+    def test_network_result_json_roundtrip(self, serial_sweep):
+        original = serial_sweep.results[(VLENS[0], L2_MBS[0])]
+        restored = NetworkResult.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        assert restored == original
+        assert restored.total.cycles == original.total.cycles
+        assert restored.total.l2_miss_rate == original.total.l2_miss_rate
+
+    def test_sweep_result_json_roundtrip(self, serial_sweep):
+        restored = SweepResult.from_dict(
+            json.loads(json.dumps(serial_sweep.to_dict()))
+        )
+        assert restored == serial_sweep
+
+
+def _fake_result(name: str, cycles: float) -> NetworkResult:
+    stats = SimStats(freq_ghz=2.0, issue_cycles=cycles, label=name)
+    return NetworkResult(name=name, per_layer=(), total=stats)
+
+
+class TestSweepResultGrid:
+    def _sweep(self, entries, vlens, l2_mbs, name="net"):
+        return SweepResult(
+            name=name, vlens=vlens, l2_mbs=l2_mbs,
+            results={
+                k: _fake_result(name, cyc) for k, cyc in entries.items()
+            },
+        )
+
+    def test_grids_normalized_sorted_unique(self):
+        s = self._sweep({}, vlens=(2048, 512, 2048), l2_mbs=(64, 1))
+        assert s.vlens == (512, 2048)
+        assert s.l2_mbs == (1, 64)
+
+    def test_speedup_baseline_is_smallest_config(self):
+        """The baseline must be min(vlens)/min(l2_mbs) even when the
+        grids were listed largest-first."""
+        s = self._sweep(
+            {(512, 1): 100.0, (512, 64): 80.0,
+             (2048, 1): 50.0, (2048, 64): 40.0},
+            vlens=(2048, 512), l2_mbs=(64, 1),
+        )
+        assert s.speedup(512, 1) == pytest.approx(1.0)
+        assert s.speedup(2048, 64) == pytest.approx(100.0 / 40.0)
+
+    def test_point_outside_grid_rejected(self):
+        with pytest.raises(ConfigError):
+            self._sweep({(4096, 1): 1.0}, vlens=(512,), l2_mbs=(1,))
+
+    def test_partial_grid_and_merge(self):
+        a = self._sweep({(512, 1): 100.0}, vlens=(512, 1024), l2_mbs=(1,))
+        assert not a.is_complete
+        assert a.missing_points() == ((1024, 1),)
+        b = self._sweep({(1024, 1): 50.0}, vlens=(1024,), l2_mbs=(1,))
+        merged = a.merge(b)
+        assert merged.is_complete
+        assert merged.vlens == (512, 1024)
+        assert merged.speedup(1024, 1) == pytest.approx(2.0)
+
+    def test_merge_prefers_own_points(self):
+        a = self._sweep({(512, 1): 100.0}, vlens=(512,), l2_mbs=(1,))
+        b = self._sweep({(512, 1): 999.0}, vlens=(512,), l2_mbs=(1,))
+        assert a.merge(b).at(512, 1).total.issue_cycles == 100.0
+
+    def test_merge_rejects_name_mismatch(self):
+        a = self._sweep({}, vlens=(512,), l2_mbs=(1,), name="a")
+        b = self._sweep({}, vlens=(512,), l2_mbs=(1,), name="b")
+        with pytest.raises(ConfigError):
+            a.merge(b)
+
+    def test_best_requires_results(self):
+        with pytest.raises(ConfigError):
+            self._sweep({}, vlens=(512,), l2_mbs=(1,)).best()
+
+
+class TestProgressDescribe:
+    def test_ticker_line(self):
+        p = SweepProgress(done=3, total=20, vlen=2048, l2_mb=64,
+                          point_seconds=0.52, elapsed_seconds=6.1,
+                          eta_seconds=4.2, from_checkpoint=False)
+        text = p.describe()
+        assert "[3/20]" in text and "2048b/64MB" in text and "eta" in text
+        r = SweepProgress(done=1, total=2, vlen=512, l2_mb=1,
+                          point_seconds=0.0, elapsed_seconds=0.1,
+                          eta_seconds=0.0, from_checkpoint=True)
+        assert "restored" in r.describe()

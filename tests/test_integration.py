@@ -120,12 +120,16 @@ class TestCrossVlenFunctionalAgreement:
 
 
 class TestHierarchyInvariants:
-    def test_l2_accesses_equal_l1_misses(self, kernel_trace):
+    def test_l2_accesses_equal_l1_misses_plus_writebacks(self, kernel_trace):
+        """Every L1 miss (refill) and every L1 dirty-victim writeback
+        appears as exactly one L2 access — the writeback stream used to
+        be dropped, understating L2 traffic."""
         hier = CacheHierarchy(l1_kb=64, l2_mb=1)
         for mem in kernel_trace.mem_events():
             lines = mem.line_addresses(64)
             hier.access(lines, np.full(lines.size, not mem.is_load))
         s = hier.snapshot()
-        assert s.l2.accesses == s.l1.misses
+        assert s.l2.accesses == s.l1.misses + s.l1.writebacks
+        assert s.l1.writebacks <= s.l1.evictions
         assert s.l2.misses <= s.l2.accesses
         assert s.l2.writebacks <= s.l2.evictions

@@ -117,6 +117,109 @@ class TestHierarchy:
         assert s.dram_bytes == 10 * 64
 
 
+class TestWritebackPropagation:
+    """L1 dirty victims must reach the L2 as store accesses."""
+
+    def _hier(self):
+        # Tiny 2-way L1 (8 sets) over the default 1 MB L2.
+        return CacheHierarchy(l1_kb=1, l2_mb=1, l1_assoc=2)
+
+    def test_clean_victims_do_not_touch_l2(self):
+        h = self._hier()
+        same_set = np.array([0, 8, 16], dtype=np.int64)  # all L1 set 0
+        h.access(same_set)  # 3 cold misses, line 0 evicted clean
+        s = h.snapshot()
+        assert s.l1.evictions >= 1 and s.l1.writebacks == 0
+        assert s.l2.accesses == s.l1.misses
+
+    def test_dirty_victim_writes_back_to_l2(self):
+        h = self._hier()
+        h.access(np.array([0], dtype=np.int64))  # clean fill
+        h.access(np.array([0], dtype=np.int64),
+                 np.array([True]))  # store HIT dirties L1 only
+        h.access(np.array([8, 16], dtype=np.int64))  # evict 0 dirty
+        s = h.snapshot()
+        assert s.l1.writebacks == 1
+        # L2 absorbed 3 refills plus the victim writeback...
+        assert s.l2.accesses == s.l1.misses + s.l1.writebacks == 4
+        # ... and the writeback hit the (inclusively resident) line.
+        assert s.l2.misses == s.l1.misses == 3
+
+    def test_l2_access_invariant_under_store_workload(self):
+        """Inclusive-hierarchy invariant: every L1 miss and every L1
+        dirty writeback appears as exactly one L2 access."""
+        rng = np.random.default_rng(7)
+        h = self._hier()
+        for _ in range(4):
+            lines = rng.integers(0, 200, size=500).astype(np.int64)
+            stores = rng.random(500) < 0.3
+            h.access(lines, stores)
+        s = h.snapshot()
+        assert s.l2.accesses == s.l1.misses + s.l1.writebacks
+        assert s.l1.writebacks <= s.l1.evictions
+
+    def test_propagated_dirt_reaches_dram(self):
+        """A line dirtied by an L1 store *hit* must eventually count as
+        DRAM writeback traffic once the L2 evicts it."""
+        h = self._hier()
+        h.access(np.array([0], dtype=np.int64))
+        h.access(np.array([0], dtype=np.int64), np.array([True]))
+        # Thrash L2 set 0 (1024 sets, 16 ways): 18 conflicting lines
+        # evict line 0 from both levels; its dirt arrived via the
+        # propagated L1 writeback.
+        conflict = (np.arange(1, 19, dtype=np.int64)) * 1024
+        h.access(conflict)
+        s = h.snapshot()
+        assert s.l1.writebacks >= 1
+        assert s.l2.writebacks >= 1
+        assert s.dram_lines == s.l2.misses + s.l2.writebacks
+
+
+class TestScaledConsistency:
+    def test_scaled_clamps_to_accesses(self):
+        from repro.sim.cache import CacheStats
+
+        # Deliberately inconsistent counters must come out consistent.
+        s = CacheStats(accesses=2, misses=5, evictions=7, writebacks=9)
+        t = s.scaled(1.0)
+        assert t.misses <= t.accesses
+        assert t.evictions <= t.accesses
+        assert t.writebacks <= t.accesses
+        assert t.hits >= 0
+
+    def test_scaled_rounds(self):
+        from repro.sim.cache import CacheStats
+
+        t = CacheStats(accesses=100, misses=50).scaled(0.1)
+        assert t.accesses == 10 and t.misses == 5
+
+    def test_scaled_rejects_negative_factor(self):
+        from repro.sim.cache import CacheStats
+
+        with pytest.raises(ConfigError):
+            CacheStats(accesses=1).scaled(-0.5)
+
+    @given(
+        accesses=st.integers(0, 1000),
+        miss_frac=st.floats(0.0, 1.0),
+        factor=st.floats(0.0, 3.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scaled_never_negative_hits(self, accesses, miss_frac, factor):
+        from repro.sim.cache import CacheStats
+
+        misses = int(accesses * miss_frac)
+        t = CacheStats(accesses=accesses, misses=misses).scaled(factor)
+        assert 0 <= t.misses <= t.accesses
+        assert t.hits >= 0
+
+    def test_cache_stats_dict_roundtrip(self):
+        from repro.sim.cache import CacheStats
+
+        s = CacheStats(accesses=10, misses=4, evictions=3, writebacks=2)
+        assert CacheStats.from_dict(s.to_dict()) == s
+
+
 class TestReuseProfile:
     def test_simple_stream(self):
         # A B A: distance of second A is 1 (B in between).

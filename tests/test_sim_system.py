@@ -177,6 +177,23 @@ class TestSimulator:
         assert a.flops == total_flops
         assert a.total_instrs == 2 * b.total_instrs
 
+    def test_stats_merge_rejects_frequency_mismatch(self):
+        """Merging runs from different clocks would corrupt seconds."""
+        nest = make_stream_nest(64, 2)
+        a = Simulator(SystemConfig(freq_ghz=2.0)).run([nest])
+        b = Simulator(SystemConfig(freq_ghz=1.5)).run([nest])
+        with pytest.raises(ConfigError):
+            a.merge(b)
+
+    def test_stats_roundtrip_from_dict(self):
+        """to_dict/from_dict is lossless for every counter."""
+        nest = make_stream_nest(64, 2)
+        a = Simulator(SystemConfig()).run([nest], label="rt")
+        b = type(a).from_dict(a.to_dict())
+        assert b == a
+        assert b.cycles == a.cycles
+        assert b.hierarchy.l2.writebacks == a.hierarchy.l2.writebacks
+
     def test_report_renders(self):
         stats = Simulator(SystemConfig()).run([make_stream_nest(16, 1)])
         text = stats.report()
