@@ -1,0 +1,61 @@
+"""Static analysis of traced kernel executions — the kernel verifier.
+
+The paper's central kernel finding — that ``vslideup`` quad replication
+must insert register copies because of RVV 1.0's destination/source
+overlap rule, yet still beats indexed loads — exists precisely because
+RVV imposes spec constraints that are easy to violate silently in a
+functional simulator.  This package turns captured instruction traces
+into an analyzable IR (:mod:`repro.analysis.ir`) and runs a pipeline of
+independent checker passes over it:
+
+- ``overlap``   — RVV 1.0 register-group overlap rules for slides,
+  gathers and LMUL>1 groups (the rule behind Algorithm 2's copies);
+- ``vtype``     — vsetvl/vtype configuration dataflow (no vector op
+  under a stale or never-set vtype, SEW/EEW consistency);
+- ``defuse``    — uninitialized-vector-register reads and dead defs;
+- ``memsafety`` — proofs of every traced access against the declared
+  buffer extents;
+- ``vla``       — vector-length-agnosticism: diffs lifted programs
+  across VLEN and flags hard-coded vector lengths or VLEN-dependent
+  work.
+
+Findings are structured (:class:`~repro.analysis.findings.Finding`),
+aggregated per kernel by
+:class:`~repro.analysis.findings.KernelAuditReport`, and surfaced by the
+``repro lint-kernels`` CLI subcommand, which audits every registered
+kernel variant on both the RVV and SVE machines.
+"""
+
+from repro.analysis.findings import Finding, KernelAuditReport, Severity
+from repro.analysis.ir import LiftedInstr, LiftedProgram, lift
+from repro.analysis.pipeline import (
+    PASS_IDS,
+    analyze_program,
+    analyze_programs,
+)
+from repro.analysis.audit import (
+    KERNEL_SPECS,
+    KernelSpec,
+    audit_kernel,
+    audit_kernels,
+    fast_specs,
+    find_spec,
+)
+
+__all__ = [
+    "Finding",
+    "KernelAuditReport",
+    "Severity",
+    "LiftedInstr",
+    "LiftedProgram",
+    "lift",
+    "PASS_IDS",
+    "analyze_program",
+    "analyze_programs",
+    "KERNEL_SPECS",
+    "KernelSpec",
+    "audit_kernel",
+    "audit_kernels",
+    "fast_specs",
+    "find_spec",
+]

@@ -1,0 +1,79 @@
+"""Structured findings and per-kernel audit reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+
+
+@unique
+class Severity(str, Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings are spec violations or correctness hazards; a
+    kernel with any finding (either severity) fails the lint gate —
+    shipped kernels are expected to audit completely clean.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect located in a lifted program.
+
+    ``index`` is the instruction index in the lifted program (-1 for
+    program-level findings such as VLA work-variance) and ``disasm``
+    the listing line of the offending instruction, so a finding is
+    actionable without re-running the kernel.  ``vlen_bits`` records
+    which VLEN the program was lifted at (None when the finding spans
+    several, as VLA findings do).
+    """
+
+    pass_id: str
+    severity: Severity
+    index: int
+    message: str
+    disasm: str = ""
+    vlen_bits: int | None = None
+
+    def render(self) -> str:
+        where = f"@{self.index}" if self.index >= 0 else "@program"
+        vlen = f" [VLEN={self.vlen_bits}]" if self.vlen_bits else ""
+        line = f"  {self.severity.value:<7} {self.pass_id:<9} {where:>8}{vlen}: {self.message}"
+        if self.disasm:
+            line += f"\n            {self.disasm}"
+        return line
+
+
+@dataclass
+class KernelAuditReport:
+    """All findings for one kernel variant on one machine flavor."""
+
+    kernel: str
+    machine: str
+    vlens: tuple[int, ...]
+    findings: list[Finding] = field(default_factory=list)
+    instr_counts: dict[int, int] = field(default_factory=dict)
+    passes_run: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def by_pass(self, pass_id: str) -> list[Finding]:
+        return [f for f in self.findings if f.pass_id == pass_id]
+
+    def render(self) -> str:
+        instrs = sum(self.instr_counts.values())
+        head = (
+            f"{self.kernel} [{self.machine}] "
+            f"VLEN={','.join(str(v) for v in self.vlens)} "
+            f"({instrs} instrs, passes: {', '.join(self.passes_run)})"
+        )
+        if self.ok:
+            return f"ok    {head}"
+        lines = [f"FAIL  {head}"]
+        lines.extend(f.render() for f in self.findings)
+        return "\n".join(lines)

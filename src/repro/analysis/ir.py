@@ -1,0 +1,132 @@
+"""The lifted instruction IR the analysis passes run over.
+
+A captured :class:`~repro.rvv.tracer.Tracer` is a flat list of retired
+:class:`~repro.rvv.tracer.InstrEvent` objects.  :func:`lift` folds the
+vsetvl/whilelt configuration dataflow over that list, producing a
+:class:`LiftedProgram` in which every instruction knows the vector
+configuration it retired under — which is exactly the state the
+spec-conformance passes need and that the raw trace only carries
+implicitly.
+
+The IR is deliberately trace-shaped rather than CFG-shaped: the
+machines execute straight-line dynamic instruction streams (loops are
+already unrolled by execution), so dataflow analyses over the lifted
+program are exact, not conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.isa import IS_MEM, OpClass
+from repro.rvv.disasm import format_event
+from repro.rvv.memory import Extent
+from repro.rvv.tracer import InstrEvent, MemAccess, Operands, Tracer
+
+
+@dataclass(frozen=True)
+class LiftedInstr:
+    """One dynamic instruction plus the vector state it retired under.
+
+    ``vl``/``sew``/``cfg_lmul`` are the values granted by the most
+    recent configuration instruction (vsetvli or whilelt), or None when
+    no configuration had executed yet.  For the configuration
+    instruction itself they are the newly-established values.
+    """
+
+    index: int
+    event: InstrEvent
+    vl: int | None
+    sew: int | None
+    cfg_lmul: int | None
+
+    @property
+    def opclass(self) -> OpClass:
+        return self.event.opclass
+
+    @property
+    def ops(self) -> Operands | None:
+        return self.event.ops
+
+    @property
+    def mem(self) -> MemAccess | None:
+        return self.event.mem
+
+    @property
+    def lmul(self) -> int:
+        return self.event.lmul
+
+    @property
+    def is_config(self) -> bool:
+        """True for instructions that establish the vector configuration."""
+        if self.opclass is OpClass.VSETVL:
+            return True
+        return (self.opclass is OpClass.VMASK and self.ops is not None
+                and self.ops.avl is not None)
+
+    @property
+    def is_vector(self) -> bool:
+        return self.opclass is not OpClass.SCALAR
+
+    def disasm(self) -> str:
+        """The listing line for this instruction (pass evidence)."""
+        return format_event(self.event)
+
+
+@dataclass(frozen=True)
+class LiftedProgram:
+    """A lifted kernel execution: instructions + the memory it declared.
+
+    ``vlen_bits`` is the hardware vector length of the machine that
+    produced the trace (None for loaded traces of unknown origin) and
+    ``extents`` the labeled allocations of its memory — the ground truth
+    the memory-safety pass proves accesses against.
+    """
+
+    instrs: tuple[LiftedInstr, ...]
+    vlen_bits: int | None = None
+    extents: tuple[Extent, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __iter__(self) -> Iterator[LiftedInstr]:
+        return iter(self.instrs)
+
+    def __getitem__(self, i: int) -> LiftedInstr:
+        return self.instrs[i]
+
+    def vector_instrs(self) -> tuple[LiftedInstr, ...]:
+        return tuple(i for i in self.instrs if i.is_vector)
+
+    def mem_instrs(self) -> tuple[LiftedInstr, ...]:
+        return tuple(i for i in self.instrs if i.opclass in IS_MEM)
+
+
+def lift(
+    tracer: Tracer,
+    vlen_bits: int | None = None,
+    extents: tuple[Extent, ...] = (),
+) -> LiftedProgram:
+    """Lift a captured trace into an analyzable program.
+
+    Raises:
+        ValueError: if the tracer was not capturing (a counts-only
+            tracer has no event stream to lift).
+    """
+    if not tracer.capture:
+        raise ValueError("lift needs a Tracer(capture=True)")
+    instrs: list[LiftedInstr] = []
+    vl: int | None = None
+    sew: int | None = None
+    cfg_lmul: int | None = None
+    for i, ev in enumerate(tracer.events):
+        is_cfg = ev.opclass is OpClass.VSETVL or (
+            ev.opclass is OpClass.VMASK and ev.ops is not None
+            and ev.ops.avl is not None
+        )
+        if is_cfg:
+            vl, sew, cfg_lmul = ev.elems, ev.eew, ev.lmul
+        instrs.append(LiftedInstr(i, ev, vl, sew, cfg_lmul))
+    return LiftedProgram(tuple(instrs), vlen_bits, tuple(extents))

@@ -1,0 +1,12 @@
+"""The checker passes.
+
+Each per-program pass exposes ``PASS_ID`` and
+``check(program) -> list[Finding]``; the cross-VLEN VLA pass exposes
+``check(programs: dict[int, LiftedProgram], fixed_work) -> list[Finding]``.
+Passes are independent: each detects exactly one family of defects, so
+a known-bad fragment is flagged by one pass and one pass only.
+"""
+
+from repro.analysis.passes import defuse, memsafety, overlap, vla, vtype
+
+__all__ = ["defuse", "memsafety", "overlap", "vla", "vtype"]

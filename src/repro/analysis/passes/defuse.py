@@ -1,0 +1,84 @@
+"""Pass 3 — def-use analysis over the vector register file.
+
+The lifted program is a straight-line dynamic instruction stream, so
+def-use chains are exact.  The pass tracks all 32 architectural
+registers at single-register granularity (an LMUL=m operand occupies m
+consecutive units) and reports:
+
+- **uninitialized reads** (ERROR): a source register read before any
+  traced instruction defined it.  The functional machines zero-fill
+  registers, so such kernels "work" in simulation while reading
+  whatever the register file holds on hardware.
+- **dead defs** (WARNING): a register written and then fully
+  overwritten without any intervening use.  Live-out defs (never
+  overwritten) are exempt — the driver may read them back.
+
+Read-modify-write instructions (``vfmacc``, ``vslideup`` with its
+undisturbed low lanes) carry ``merges=True`` in their operand metadata
+and count as a use *and* a def of the destination.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.ir import LiftedInstr, LiftedProgram
+
+PASS_ID = "defuse"
+
+
+def _units(reg: int, lmul: int) -> range:
+    return range(reg, reg + lmul)
+
+
+def _uses_defs(instr: LiftedInstr) -> tuple[set[int], set[int]]:
+    ops = instr.ops
+    assert ops is not None
+    lmul = instr.lmul
+    uses: set[int] = set()
+    defs: set[int] = set()
+    for r in ops.vs:
+        uses.update(_units(r, lmul))
+    if ops.vidx is not None:
+        uses.update(_units(ops.vidx, lmul))
+    if ops.vd is not None:
+        defs.update(_units(ops.vd, lmul))
+        if ops.merges:
+            uses.update(_units(ops.vd, lmul))
+    return uses, defs
+
+
+def check(program: LiftedProgram) -> list[Finding]:
+    findings: list[Finding] = []
+    defined: set[int] = set()
+    # unit -> (def index, disasm, used since that def)
+    live: dict[int, tuple[int, str, bool]] = {}
+    for instr in program:
+        if instr.ops is None or not instr.is_vector or instr.is_config:
+            continue
+        uses, defs = _uses_defs(instr)
+        flagged = False
+        for u in sorted(uses):
+            if u not in defined and not flagged:
+                findings.append(Finding(
+                    PASS_ID, Severity.ERROR, instr.index,
+                    f"v{u} is read but no traced instruction has written "
+                    "it — uninitialized on real hardware",
+                    instr.disasm(), program.vlen_bits,
+                ))
+                flagged = True  # one finding per instruction
+            defined.add(u)  # suppress cascaded reports of the same unit
+            if u in live:
+                di, dd, _ = live[u]
+                live[u] = (di, dd, True)
+        for u in sorted(defs):
+            prev = live.get(u)
+            if prev is not None and not prev[2]:
+                findings.append(Finding(
+                    PASS_ID, Severity.WARNING, prev[0],
+                    f"v{u} defined here is overwritten at instruction "
+                    f"{instr.index} without ever being read — dead def",
+                    prev[1], program.vlen_bits,
+                ))
+            defined.add(u)
+            live[u] = (instr.index, instr.disasm(), False)
+    return findings

@@ -1,0 +1,56 @@
+"""Pass 4 — memory-safety proofs against declared buffer extents.
+
+:class:`~repro.rvv.memory.Memory` hands out labeled extents
+(:class:`~repro.rvv.memory.Extent`) and bounds-checks accesses only
+against the whole simulated address space.  A store that runs a few
+elements past its buffer therefore executes fine — it lands in the
+cache-line alignment gap after the allocation, or silently corrupts
+the next buffer.  This pass proves the stronger property: **every
+element of every traced access lies entirely within a single declared
+extent.**
+
+Programs lifted without extent information (legacy traces) are skipped
+— the pass has nothing to prove against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.ir import LiftedProgram
+
+PASS_ID = "memsafety"
+
+
+def check(program: LiftedProgram) -> list[Finding]:
+    if not program.extents:
+        return []
+    extents = sorted(program.extents, key=lambda e: e.base)
+    bases = np.array([e.base for e in extents], dtype=np.int64)
+    ends = np.array([e.end for e in extents], dtype=np.int64)
+    findings: list[Finding] = []
+    for instr in program.mem_instrs():
+        m = instr.mem
+        assert m is not None
+        if m.kind == "indexed" and m.offsets is None:
+            continue  # counts-only descriptor: addresses unknown
+        addrs = m.element_addresses()
+        slot = np.searchsorted(bases, addrs, side="right") - 1
+        ok = (slot >= 0) & (addrs + m.ebytes <= ends[np.maximum(slot, 0)])
+        if bool(ok.all()):
+            continue
+        bad = int(np.argmin(ok))
+        addr = int(addrs[bad])
+        kind = "load" if m.is_load else "store"
+        # Name the nearest extent below the address for the report.
+        s = int(slot[bad])
+        near = extents[s].label if s >= 0 else None
+        hint = f" (past extent {near!r})" if near else ""
+        findings.append(Finding(
+            PASS_ID, Severity.ERROR, instr.index,
+            f"element {bad} of this {kind} touches {addr:#x}, which is "
+            f"outside every declared buffer extent{hint}",
+            instr.disasm(), program.vlen_bits,
+        ))
+    return findings

@@ -1,0 +1,79 @@
+"""Pass 1 — RVV 1.0 register-group overlap rules.
+
+The RVV 1.0 spec reserves instruction encodings in which the
+destination register group of ``vslideup`` or ``vrgather`` overlaps a
+source group: the destination is written while source elements at
+lower indices are still needed, so hardware is allowed to produce
+garbage.  This is the rule that forced the paper's Algorithm 2 to
+ping-pong its slide chain between two registers.  The proposed
+``vrep4``/``vtrn4`` extensions inherit the same constraint.
+
+For LMUL > 1, operands occupy groups of ``lmul`` consecutive registers
+that must be naturally aligned (``v0, v2, v4, ...`` at LMUL=2); the
+pass also checks that alignment, which a hand-built or loaded trace can
+violate even though the register file rejects it at execution time.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.ir import LiftedInstr, LiftedProgram
+
+PASS_ID = "overlap"
+
+#: Mnemonics whose destination must not overlap the vector source.
+_SLIDEUP_LIKE = frozenset({"vslideup.vx", "ext", "vrep4.vi"})
+
+#: Mnemonics whose destination must not overlap source or index.
+_GATHER_LIKE = frozenset({"vrgather.vv", "tbl", "vtrn4.vv"})
+
+
+def _groups_overlap(a: int, b: int, lmul: int) -> bool:
+    return a < b + lmul and b < a + lmul
+
+
+def _operand_groups(instr: LiftedInstr) -> list[int]:
+    assert instr.ops is not None
+    regs = list(instr.ops.vs)
+    if instr.ops.vd is not None:
+        regs.append(instr.ops.vd)
+    if instr.ops.vidx is not None:
+        regs.append(instr.ops.vidx)
+    return regs
+
+
+def check(program: LiftedProgram) -> list[Finding]:
+    findings: list[Finding] = []
+    for instr in program:
+        ops = instr.ops
+        if ops is None or not instr.is_vector:
+            continue
+        lmul = instr.lmul
+        if lmul > 1:
+            for reg in _operand_groups(instr):
+                if reg % lmul:
+                    findings.append(Finding(
+                        PASS_ID, Severity.ERROR, instr.index,
+                        f"v{reg} is not aligned to the LMUL={lmul} register "
+                        "group size (groups must start at multiples of LMUL)",
+                        instr.disasm(), program.vlen_bits,
+                    ))
+        if ops.vd is None:
+            continue
+        hazards: list[int] = []
+        if ops.mnemonic in _SLIDEUP_LIKE:
+            hazards = list(ops.vs)
+        elif ops.mnemonic in _GATHER_LIKE:
+            hazards = list(ops.vs)
+            if ops.vidx is not None:
+                hazards.append(ops.vidx)
+        for src in hazards:
+            if _groups_overlap(ops.vd, src, lmul):
+                findings.append(Finding(
+                    PASS_ID, Severity.ERROR, instr.index,
+                    f"{ops.mnemonic}: destination group v{ops.vd} overlaps "
+                    f"source group v{src} — reserved in RVV 1.0 (the rule "
+                    "behind Algorithm 2's register copies)",
+                    instr.disasm(), program.vlen_bits,
+                ))
+    return findings

@@ -1,0 +1,99 @@
+"""Pass 5 — VLA portability: diff lifted programs across VLEN.
+
+The paper's kernels are vector-length-agnostic: the same source runs at
+any VLEN, strip-mining through ``vsetvl``.  A kernel that hard-codes a
+vector length "works" at the VLEN it was written for and silently
+wastes (or corrupts) lanes everywhere else.  The pass lifts the same
+kernel at several VLENs (the paper's sweep points 512–4096) and flags:
+
+- **pinned vector length** (ERROR): the maximum granted vl is the same
+  constant at every VLEN *and* that constant saturates VLMAX at the
+  smallest VLEN while VLMAX grows — the signature of a loop written
+  against one machine's vector length instead of against ``vsetvl``'s
+  grant.  Genuinely small fixed trip counts (avl < every VLMAX) are
+  not flagged.
+- **VLEN-dependent work** (ERROR, ``fixed_work`` kernels only): the
+  total number of compute elements (FMA/arith/reduce) or stored
+  elements differs between VLENs.  A fixed-size problem must do the
+  same arithmetic at every vector length; varying totals mean some
+  address pattern or trip count is derived from VLEN outside vsetvl.
+
+Per-vector-register primitives (the in-register transposes) do more
+work per call at larger VLEN by design; their specs set
+``fixed_work=False`` and only the pinned-length check applies.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.ir import LiftedProgram
+from repro.isa import IS_STORE, OpClass
+from repro.isa.encoding import vsetvl
+
+PASS_ID = "vla"
+
+#: Classes whose element totals must be VLEN-invariant for fixed work.
+_COMPUTE = (OpClass.VFMA, OpClass.VFARITH, OpClass.VREDUCE)
+
+
+def _granted_vls(program: LiftedProgram) -> list[int]:
+    return [i.event.elems for i in program if i.is_config]
+
+
+def _elem_total(program: LiftedProgram, classes: Collection[OpClass]) -> int:
+    return sum(i.event.elems for i in program if i.opclass in classes)
+
+
+def check(
+    programs: dict[int, LiftedProgram],
+    fixed_work: bool = True,
+) -> list[Finding]:
+    if len(programs) < 2:
+        return []
+    findings: list[Finding] = []
+    vlens = sorted(programs)
+
+    # Pinned vector length: same max grant everywhere, saturating the
+    # smallest machine while larger machines offer more lanes.
+    max_grants = {v: max(_granted_vls(programs[v]), default=0) for v in vlens}
+    grants = set(max_grants.values())
+    vlmaxes = {v: vsetvl(1 << 30, v, 32, 1) for v in vlens}
+    if (len(grants) == 1 and len(set(vlmaxes.values())) > 1
+            and max_grants[vlens[0]] == vlmaxes[vlens[0]]
+            and max_grants[vlens[0]] > 0):
+        pinned = max_grants[vlens[0]]
+        # Point at the first config instruction that granted the pinned vl.
+        idx, snippet = -1, ""
+        for instr in programs[vlens[-1]]:
+            if instr.is_config and instr.event.elems == pinned:
+                idx, snippet = instr.index, instr.disasm()
+                break
+        findings.append(Finding(
+            PASS_ID, Severity.ERROR, idx,
+            f"granted vector length is pinned at {pinned} for every VLEN in "
+            f"{vlens} although VLMAX grows to {vlmaxes[vlens[-1]]} — "
+            "hard-coded vector length instead of vsetvl strip-mining",
+            snippet,
+        ))
+
+    if fixed_work:
+        compute = {v: _elem_total(programs[v], _COMPUTE) for v in vlens}
+        if len(set(compute.values())) > 1:
+            detail = ", ".join(f"{v}b:{compute[v]}" for v in vlens)
+            findings.append(Finding(
+                PASS_ID, Severity.ERROR, -1,
+                "total compute elements vary with VLEN on a fixed-size "
+                f"problem ({detail}) — work is derived from VLEN outside "
+                "vsetvl",
+            ))
+        stores = {v: _elem_total(programs[v], IS_STORE) for v in vlens}
+        if len(set(stores.values())) > 1:
+            detail = ", ".join(f"{v}b:{stores[v]}" for v in vlens)
+            findings.append(Finding(
+                PASS_ID, Severity.ERROR, -1,
+                f"total stored elements vary with VLEN ({detail}) — the "
+                "kernel's memory footprint is VLEN-dependent",
+            ))
+    return findings

@@ -1,0 +1,62 @@
+"""Pass 2 — vsetvl/vtype configuration dataflow.
+
+Every RVV vector instruction executes under the vtype/vl established by
+the most recent ``vsetvli`` (``whilelt`` on the SVE flavor).  Executing
+a vector op before any configuration, or under a configuration whose
+granted vl / SEW / LMUL disagrees with what the instruction actually
+retired with, means the trace was produced (or patched) outside the
+architectural contract — on hardware the op would use whatever stale
+vtype the CSR held.  Indexed accesses additionally require the index
+EEW to be consistent with the data SEW (this package's kernels are all
+EEW=SEW=32).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.ir import LiftedProgram
+
+PASS_ID = "vtype"
+
+
+def check(program: LiftedProgram) -> list[Finding]:
+    findings: list[Finding] = []
+    for instr in program:
+        if not instr.is_vector or instr.is_config:
+            continue
+        if instr.vl is None:
+            findings.append(Finding(
+                PASS_ID, Severity.ERROR, instr.index,
+                "vector instruction executed before any vsetvl/whilelt: "
+                "vtype is never-set",
+                instr.disasm(), program.vlen_bits,
+            ))
+            continue
+        ev = instr.event
+        if ev.elems != instr.vl:
+            findings.append(Finding(
+                PASS_ID, Severity.ERROR, instr.index,
+                f"instruction retired {ev.elems} elements but the active "
+                f"configuration granted vl={instr.vl} — stale vtype",
+                instr.disasm(), program.vlen_bits,
+            ))
+        if instr.sew is not None and ev.eew != instr.sew:
+            findings.append(Finding(
+                PASS_ID, Severity.ERROR, instr.index,
+                f"instruction EEW={ev.eew} under active SEW={instr.sew}",
+                instr.disasm(), program.vlen_bits,
+            ))
+        if instr.cfg_lmul is not None and ev.lmul != instr.cfg_lmul:
+            findings.append(Finding(
+                PASS_ID, Severity.ERROR, instr.index,
+                f"instruction LMUL={ev.lmul} under active LMUL={instr.cfg_lmul}",
+                instr.disasm(), program.vlen_bits,
+            ))
+        if ev.mem is not None and instr.sew is not None and ev.mem.sew != instr.sew:
+            findings.append(Finding(
+                PASS_ID, Severity.ERROR, instr.index,
+                f"memory access recorded SEW={ev.mem.sew} under active "
+                f"SEW={instr.sew} (indexed EEW inconsistency)",
+                instr.disasm(), program.vlen_bits,
+            ))
+    return findings

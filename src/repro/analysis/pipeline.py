@@ -1,0 +1,54 @@
+"""Pass pipeline: run the checkers over lifted programs.
+
+:func:`analyze_program` runs the four per-program passes over one
+lifted execution; :func:`analyze_programs` additionally runs the
+cross-VLEN VLA pass over a family of executions of the same kernel.
+Passes are independent — the pipeline concatenates their findings in
+pass order, then in instruction order within each pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.findings import Finding
+from repro.analysis.ir import LiftedProgram
+from repro.analysis.passes import defuse, memsafety, overlap, vla, vtype
+
+#: The per-program passes, in pipeline order.
+PER_PROGRAM_PASSES: tuple[tuple[str, Callable[[LiftedProgram], list[Finding]]], ...] = (
+    (overlap.PASS_ID, overlap.check),
+    (vtype.PASS_ID, vtype.check),
+    (defuse.PASS_ID, defuse.check),
+    (memsafety.PASS_ID, memsafety.check),
+)
+
+#: Every pass id the pipeline can emit findings for.
+PASS_IDS: tuple[str, ...] = tuple(p for p, _ in PER_PROGRAM_PASSES) + (vla.PASS_ID,)
+
+
+def analyze_program(
+    program: LiftedProgram,
+    passes: tuple[str, ...] | None = None,
+) -> list[Finding]:
+    """Run the per-program passes (optionally a subset, by pass id)."""
+    findings: list[Finding] = []
+    for pass_id, run in PER_PROGRAM_PASSES:
+        if passes is not None and pass_id not in passes:
+            continue
+        findings.extend(run(program))
+    return findings
+
+
+def analyze_programs(
+    programs: dict[int, LiftedProgram],
+    fixed_work: bool = True,
+    passes: tuple[str, ...] | None = None,
+) -> list[Finding]:
+    """Per-program passes at every VLEN plus the cross-VLEN VLA pass."""
+    findings: list[Finding] = []
+    for vlen in sorted(programs):
+        findings.extend(analyze_program(programs[vlen], passes))
+    if passes is None or vla.PASS_ID in passes:
+        findings.extend(vla.check(programs, fixed_work=fixed_work))
+    return findings

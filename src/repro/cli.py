@@ -8,8 +8,10 @@ workflow:
                timing model and print its statistics;
 - ``sweep``    run a network over the co-design grid (Figures 3/4,
                Tables 1/2);
-- ``roofline`` print the Figure 5/6 rooflines;
-- ``info``     describe a system configuration.
+- ``roofline``     print the Figure 5/6 rooflines;
+- ``lint-kernels`` audit every kernel variant with the trace-lifted
+                   verifier (spec conformance, hazards, VLA portability);
+- ``info``         describe a system configuration.
 """
 
 from __future__ import annotations
@@ -131,6 +133,39 @@ def cmd_disasm(args) -> int:
     return 0
 
 
+def cmd_lint_kernels(args) -> int:
+    from repro.analysis import KERNEL_SPECS, audit_kernel, fast_specs, find_spec
+
+    vlens = tuple(int(v) for v in args.vlens.split(","))
+    if args.kernel:
+        specs = [find_spec(name) for name in args.kernel]
+    elif args.fast:
+        specs = list(fast_specs())
+    else:
+        specs = list(KERNEL_SPECS)
+
+    failed = 0
+    for spec in specs:
+        flavors = spec.machines
+        if args.machine:
+            flavors = tuple(f for f in flavors if f in args.machine)
+        for flavor in flavors:
+            report = audit_kernel(spec, flavor, vlens)
+            if report.ok and not args.verbose:
+                print(report.render().splitlines()[0])
+            else:
+                print(report.render())
+            if not report.ok:
+                failed += 1
+    print()
+    if failed:
+        print(f"FAIL: {failed} kernel audit(s) reported findings")
+        return 1
+    print(f"ok: {len(specs)} kernel(s) audited clean at VLEN "
+          f"{','.join(str(v) for v in vlens)}")
+    return 0
+
+
 def cmd_info(args) -> int:
     cfg = _config(args)
     print(cfg.describe())
@@ -195,6 +230,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--summary", action="store_true",
                    help="collapse runs of identical instruction classes")
     p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser(
+        "lint-kernels",
+        help="audit kernels with the trace-lifted verifier passes")
+    p.add_argument("--all", action="store_true",
+                   help="audit the full registry (default)")
+    p.add_argument("--kernel", action="append", metavar="NAME",
+                   help="audit only this kernel (repeatable)")
+    p.add_argument("--machine", action="append",
+                   choices=["rvv", "rvv+", "sve"],
+                   help="restrict to this machine flavor (repeatable)")
+    p.add_argument("--vlens", default="512,1024,2048,4096",
+                   help="comma-separated VLENs to lift and diff across")
+    p.add_argument("--fast", action="store_true",
+                   help="audit only the fast subset (skips full conv "
+                        "drivers)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print per-pass detail even for clean kernels")
+    p.set_defaults(func=cmd_lint_kernels)
 
     p = sub.add_parser("info", help="describe a system configuration")
     _add_system_args(p)

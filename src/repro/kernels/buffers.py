@@ -27,13 +27,14 @@ class WinogradBuffers:
     def allocate(cls, machine: VectorEngine, geom: WinogradGeometry) -> "WinogradBuffers":
         mem = machine.memory
         return cls(
-            x=mem.alloc_f32(geom.x_size),
-            weights=mem.alloc_f32(geom.c_out * geom.c_in * 9),
-            v=mem.alloc_f32(geom.v_size),
-            u=mem.alloc_f32(geom.u_size),
-            m=mem.alloc_f32(geom.m_size),
-            y=mem.alloc_f32(geom.y_size),
-            scratch=mem.alloc_f32(geom.scratch_size),
+            x=mem.alloc_f32(geom.x_size, label="winograd.x"),
+            weights=mem.alloc_f32(geom.c_out * geom.c_in * 9,
+                                  label="winograd.weights"),
+            v=mem.alloc_f32(geom.v_size, label="winograd.v"),
+            u=mem.alloc_f32(geom.u_size, label="winograd.u"),
+            m=mem.alloc_f32(geom.m_size, label="winograd.m"),
+            y=mem.alloc_f32(geom.y_size, label="winograd.y"),
+            scratch=mem.alloc_f32(geom.scratch_size, label="winograd.scratch"),
         )
 
     def load_input(
@@ -81,9 +82,9 @@ class GemmBuffers:
     def allocate(cls, machine: VectorEngine, geom: GemmGeometry) -> "GemmBuffers":
         mem = machine.memory
         return cls(
-            a=mem.alloc_f32(geom.a_size),
-            b=mem.alloc_f32(geom.b_size),
-            c=mem.alloc_f32(geom.c_size),
+            a=mem.alloc_f32(geom.a_size, label="gemm.a"),
+            b=mem.alloc_f32(geom.b_size, label="gemm.b"),
+            c=mem.alloc_f32(geom.c_size, label="gemm.c"),
         )
 
     def load(self, machine: VectorEngine, geom: GemmGeometry,
@@ -114,8 +115,8 @@ class Im2colBuffers:
     def allocate(cls, machine: VectorEngine, geom: Im2colGeometry) -> "Im2colBuffers":
         mem = machine.memory
         return cls(
-            x=mem.alloc_f32(geom.x_size),
-            cols=mem.alloc_f32(geom.cols_size),
+            x=mem.alloc_f32(geom.x_size, label="im2col.x"),
+            cols=mem.alloc_f32(geom.cols_size, label="im2col.cols"),
         )
 
     def load_input(

@@ -91,9 +91,9 @@ class Direct1x1Buffers:
     def allocate(cls, machine: VectorEngine, geom: Direct1x1Geometry):
         mem = machine.memory
         return cls(
-            x=mem.alloc_f32(geom.x_size),
-            weights=mem.alloc_f32(geom.w_size),
-            y=mem.alloc_f32(geom.y_size),
+            x=mem.alloc_f32(geom.x_size, label="direct.x"),
+            weights=mem.alloc_f32(geom.w_size, label="direct.weights"),
+            y=mem.alloc_f32(geom.y_size, label="direct.y"),
         )
 
 

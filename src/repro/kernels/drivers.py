@@ -93,9 +93,9 @@ def im2col_gemm_conv2d_sim(
         m=k, kd=ig.rows, n=ig.cols, vlen_elems=machine.vlen_bits // 32,
     )
     gbufs = GemmBuffers(
-        a=machine.memory.alloc_f32(gg.a_size),
+        a=machine.memory.alloc_f32(gg.a_size, label="gemm.a"),
         b=ibufs.cols,  # GEMM reads the column matrix in place
-        c=machine.memory.alloc_f32(gg.c_size),
+        c=machine.memory.alloc_f32(gg.c_size, label="gemm.c"),
     )
     machine.memory.write_f32(
         gbufs.a, np.asarray(weights, dtype=np.float32).reshape(k, -1)

@@ -89,8 +89,8 @@ def run_streaming(
     rng = np.random.default_rng(seed)
     xv = rng.standard_normal(n).astype(np.float32)
     yv = rng.standard_normal(n).astype(np.float32)
-    x = machine.memory.alloc_f32(n)
-    y = machine.memory.alloc_f32(n)
+    x = machine.memory.alloc_f32(n, label="streaming.x")
+    y = machine.memory.alloc_f32(n, label="streaming.y")
     machine.memory.write_f32(x, xv)
     machine.memory.write_f32(y, yv)
     if kernel == "memcpy":

@@ -101,8 +101,11 @@ def _replicate_quad_slideup(
 ) -> int:
     """Replicate the quad in ``a``'s leading lanes using slide-ups.
 
-    RVV 1.0 reserves overlapping source/destination for ``vslideup``,
-    and the destination's lanes below the offset are preserved, so each
+    RVV 1.0 reserves overlapping source/destination for ``vslideup``
+    (a strict :class:`~repro.rvv.machine.RvvMachine` raises
+    :class:`~repro.errors.VectorStateError` on it, and the ``overlap``
+    verifier pass in :mod:`repro.analysis` flags it in any trace), and
+    the destination's lanes below the offset are preserved, so each
     step is a register copy plus a slide, ping-ponging between ``a``
     and ``b``.  Returns the register holding the replicated quad.
     """

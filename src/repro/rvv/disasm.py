@@ -10,10 +10,11 @@ giving the package a debugging surface for kernel work:
     vfmacc.vf       vl=16
     ...
 
-Events carry opcode class and memory descriptors rather than register
-numbers (the tracer deliberately abstracts those), so listings show the
-dynamic behaviour — lengths, addresses, strides — which is what trace
-inspection is for.
+Events recorded by current machines carry full operand metadata
+(:class:`~repro.rvv.tracer.Operands`), so listings show exact mnemonics
+and register numbers; legacy version-1 traces fall back to per-opclass
+mnemonics and show only the dynamic behaviour — lengths, addresses,
+strides.
 """
 
 from __future__ import annotations
@@ -22,7 +23,7 @@ from typing import Iterator
 
 from repro.errors import ConfigError
 from repro.isa import OpClass
-from repro.rvv.tracer import InstrEvent, Tracer
+from repro.rvv.tracer import InstrEvent, Operands, Tracer
 
 #: Mnemonics per opcode class (EEW-32 forms; the kernels are fp32).
 _MNEMONIC = {
@@ -45,11 +46,31 @@ _MNEMONIC = {
 }
 
 
+def _operand_str(ops: Operands) -> str:
+    """Assembly-style operand list: destination, sources, index, imm."""
+    parts: list[str] = []
+    if ops.vd is not None:
+        parts.append(f"v{ops.vd}")
+    parts.extend(f"v{r}" for r in ops.vs)
+    if ops.vidx is not None:
+        parts.append(f"v{ops.vidx}")
+    if ops.imm is not None:
+        parts.append(str(ops.imm))
+    if ops.avl is not None:
+        parts.append(f"avl={ops.avl}")
+    return ", ".join(parts)
+
+
 def format_event(ev: InstrEvent) -> str:
     """One listing line for a dynamic instruction."""
-    mnem = _MNEMONIC.get(ev.opclass, ev.opclass.value)
+    if ev.ops is not None:
+        mnem = ev.ops.mnemonic
+        regs = _operand_str(ev.ops)
+        head = f"{mnem:<20} {regs}  " if regs else f"{mnem:<20} "
+    else:
+        head = f"{_MNEMONIC.get(ev.opclass, ev.opclass.value):<20} "
     if ev.mem is None:
-        return f"{mnem:<20} vl={ev.elems}"
+        return f"{head}vl={ev.elems}"
     m = ev.mem
     if m.kind == "unit":
         detail = f"base={m.base:#x}"
@@ -60,7 +81,7 @@ def format_event(ev: InstrEvent) -> str:
         if m.offsets:
             span = f", offs[0..{len(m.offsets) - 1}]={m.offsets[0]}..{m.offsets[-1]}"
         detail = f"base={m.base:#x}{span}"
-    return f"{mnem:<20} {detail}, vl={ev.elems}"
+    return f"{head}{detail}, vl={ev.elems}"
 
 
 def disassemble(

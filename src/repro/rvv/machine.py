@@ -28,7 +28,7 @@ from repro.isa import OpClass, vsetvl as isa_vsetvl
 from repro.isa.encoding import VType, validate_vlen
 from repro.rvv.memory import Memory
 from repro.rvv.registers import RegAlloc, VRegFile
-from repro.rvv.tracer import MemAccess, Tracer
+from repro.rvv.tracer import MemAccess, Operands, Tracer
 
 
 class VectorEngine:
@@ -39,6 +39,13 @@ class VectorEngine:
         memory: the simulated memory; a private one is created if omitted.
         tracer: instruction tracer; a counting-only one is created if
             omitted.
+        strict: when True, the engine raises :class:`VectorStateError`
+            at execution time on RVV 1.0 register-group overlap
+            violations (vslideup/vrgather destination overlapping a
+            source group).  The default is permissive — the engine
+            computes through the overlap with a source snapshot so
+            existing traces keep replaying — and the overlap pass of
+            :mod:`repro.analysis` flags the violation statically.
     """
 
     def __init__(
@@ -46,12 +53,14 @@ class VectorEngine:
         vlen_bits: int = 512,
         memory: Memory | None = None,
         tracer: Tracer | None = None,
+        strict: bool = False,
     ) -> None:
         validate_vlen(vlen_bits)
         self.vlen_bits = vlen_bits
         self.vlen_bytes = vlen_bits // 8
         self.memory = memory if memory is not None else Memory()
         self.tracer = tracer if tracer is not None else Tracer(capture=False)
+        self.strict = strict
         self.regs = VRegFile(vlen_bits)
         self.alloc = RegAlloc()
         self.vtype = VType(sew=32, lmul=1)
@@ -73,12 +82,20 @@ class VectorEngine:
             )
         return self.vl
 
-    def _set_vl(self, avl: int, sew: int, lmul: int) -> int:
+    def _set_vl(self, avl: int, sew: int, lmul: int,
+                mn: str = "vsetvli") -> int:
         self.vtype = VType(sew=sew, lmul=lmul)
         self.vl = isa_vsetvl(avl, self.vlen_bits, sew, lmul)
         self._configured = True
-        self.tracer.record(OpClass.VSETVL, self.vl, sew)
+        self.tracer.record(OpClass.VSETVL, self.vl, sew, lmul=lmul,
+                           ops=Operands(mn, avl=avl))
         return self.vl
+
+    def _group_overlaps(self, a: int, b: int) -> bool:
+        """True when register groups starting at ``a`` and ``b`` share
+        any of the ``lmul`` architectural registers each occupies."""
+        m = self.vtype.lmul
+        return a < b + m and b < a + m
 
     # ------------------------------------------------------------------
     # Register views (fp32 / int32 over the active group)
@@ -116,69 +133,86 @@ class VectorEngine:
         return MemAccess(kind=kind, base=base, elems=elems, ebytes=4,
                          stride=stride, offsets=offs, is_load=is_load)
 
-    def _ld_unit(self, vd: int, addr: int) -> None:
+    def _ld_unit(self, vd: int, addr: int, mn: str = "vle32.v") -> None:
         vl = self._require_vl()
         self._f32(vd)[:vl] = self.memory.view(addr, vl, np.float32)
         self.tracer.record(OpClass.VLOAD_UNIT, vl, 32,
-                           self._mem_desc("unit", addr, vl))
+                           self._mem_desc("unit", addr, vl),
+                           lmul=self.vtype.lmul, ops=Operands(mn, vd=vd))
 
-    def _st_unit(self, vs: int, addr: int) -> None:
+    def _st_unit(self, vs: int, addr: int, mn: str = "vse32.v") -> None:
         vl = self._require_vl()
         self.memory.view(addr, vl, np.float32)[:] = self._f32(vs)[:vl]
         self.tracer.record(OpClass.VSTORE_UNIT, vl, 32,
-                           self._mem_desc("unit", addr, vl, is_load=False))
+                           self._mem_desc("unit", addr, vl, is_load=False),
+                           lmul=self.vtype.lmul, ops=Operands(mn, vs=(vs,)))
 
-    def _ld_strided(self, vd: int, addr: int, stride_bytes: int) -> None:
+    def _ld_strided(self, vd: int, addr: int, stride_bytes: int,
+                    mn: str = "vlse32.v") -> None:
         vl = self._require_vl()
         self._f32(vd)[:vl] = self.memory.strided_view_f32(addr, vl, stride_bytes)
         self.tracer.record(OpClass.VLOAD_STRIDED, vl, 32,
-                           self._mem_desc("strided", addr, vl, stride=stride_bytes))
+                           self._mem_desc("strided", addr, vl, stride=stride_bytes),
+                           lmul=self.vtype.lmul,
+                           ops=Operands(mn, vd=vd, imm=stride_bytes))
 
-    def _st_strided(self, vs: int, addr: int, stride_bytes: int) -> None:
+    def _st_strided(self, vs: int, addr: int, stride_bytes: int,
+                    mn: str = "vsse32.v") -> None:
         vl = self._require_vl()
         self.memory.strided_view_f32(addr, vl, stride_bytes)[:] = self._f32(vs)[:vl]
         self.tracer.record(OpClass.VSTORE_STRIDED, vl, 32,
                            self._mem_desc("strided", addr, vl, stride=stride_bytes,
-                                          is_load=False))
+                                          is_load=False),
+                           lmul=self.vtype.lmul,
+                           ops=Operands(mn, vs=(vs,), imm=stride_bytes))
 
-    def _ld_indexed(self, vd: int, base: int, vidx: int) -> None:
+    def _ld_indexed(self, vd: int, base: int, vidx: int,
+                    mn: str = "vluxei32.v") -> None:
         vl = self._require_vl()
         offsets = self._u32(vidx)[:vl].astype(np.int64)
         self._f32(vd)[:vl] = self.memory.gather_f32(base, offsets)
         self.tracer.record(OpClass.VLOAD_INDEXED, vl, 32,
-                           self._mem_desc("indexed", base, vl, offsets=offsets))
+                           self._mem_desc("indexed", base, vl, offsets=offsets),
+                           lmul=self.vtype.lmul,
+                           ops=Operands(mn, vd=vd, vidx=vidx))
 
-    def _st_indexed(self, vs: int, base: int, vidx: int) -> None:
+    def _st_indexed(self, vs: int, base: int, vidx: int,
+                    mn: str = "vsuxei32.v") -> None:
         vl = self._require_vl()
         offsets = self._u32(vidx)[:vl].astype(np.int64)
         self.memory.scatter_f32(base, offsets, self._f32(vs)[:vl])
         self.tracer.record(OpClass.VSTORE_INDEXED, vl, 32,
                            self._mem_desc("indexed", base, vl, offsets=offsets,
-                                          is_load=False))
+                                          is_load=False),
+                           lmul=self.vtype.lmul,
+                           ops=Operands(mn, vs=(vs,), vidx=vidx))
 
     # ------------------------------------------------------------------
     # Arithmetic semantics
     # ------------------------------------------------------------------
-    def _fma(self, vd: int, vs1: int, vs2: int) -> None:
+    def _fma(self, vd: int, vs1: int, vs2: int, mn: str = "vfmacc.vv") -> None:
         """vd[i] += vs1[i] * vs2[i]  (vfmacc.vv)."""
         vl = self._require_vl()
         d = self._f32(vd)
         d[:vl] += self._f32(vs1)[:vl] * self._f32(vs2)[:vl]
-        self.tracer.record(OpClass.VFMA, vl, 32)
+        self.tracer.record(OpClass.VFMA, vl, 32, lmul=self.vtype.lmul,
+                           ops=Operands(mn, vd=vd, vs=(vs1, vs2), merges=True))
 
-    def _fma_f(self, vd: int, f: float, vs: int) -> None:
+    def _fma_f(self, vd: int, f: float, vs: int, mn: str = "vfmacc.vf") -> None:
         """vd[i] += f * vs[i]  (vfmacc.vf)."""
         vl = self._require_vl()
         d = self._f32(vd)
         d[:vl] += np.float32(f) * self._f32(vs)[:vl]
-        self.tracer.record(OpClass.VFMA, vl, 32)
+        self.tracer.record(OpClass.VFMA, vl, 32, lmul=self.vtype.lmul,
+                           ops=Operands(mn, vd=vd, vs=(vs,), merges=True))
 
-    def _nfms_f(self, vd: int, f: float, vs: int) -> None:
+    def _nfms_f(self, vd: int, f: float, vs: int, mn: str = "vfnmsac.vf") -> None:
         """vd[i] -= f * vs[i]  (vfnmsac.vf)."""
         vl = self._require_vl()
         d = self._f32(vd)
         d[:vl] -= np.float32(f) * self._f32(vs)[:vl]
-        self.tracer.record(OpClass.VFMA, vl, 32)
+        self.tracer.record(OpClass.VFMA, vl, 32, lmul=self.vtype.lmul,
+                           ops=Operands(mn, vd=vd, vs=(vs,), merges=True))
 
     _ARITH = {
         "add": np.add,
@@ -186,77 +220,100 @@ class VectorEngine:
         "mul": np.multiply,
     }
 
-    def _arith(self, op: str, vd: int, vs1: int, vs2: int) -> None:
+    def _arith(self, op: str, vd: int, vs1: int, vs2: int,
+               mn: str | None = None) -> None:
         vl = self._require_vl()
         fn = self._ARITH[op]
         self._f32(vd)[:vl] = fn(self._f32(vs1)[:vl], self._f32(vs2)[:vl])
-        self.tracer.record(OpClass.VFARITH, vl, 32)
+        self.tracer.record(OpClass.VFARITH, vl, 32, lmul=self.vtype.lmul,
+                           ops=Operands(mn or f"vf{op}.vv", vd=vd,
+                                        vs=(vs1, vs2)))
 
-    def _arith_f(self, op: str, vd: int, vs: int, f: float) -> None:
+    def _arith_f(self, op: str, vd: int, vs: int, f: float,
+                 mn: str | None = None) -> None:
         vl = self._require_vl()
         fn = self._ARITH[op]
         self._f32(vd)[:vl] = fn(self._f32(vs)[:vl], np.float32(f))
-        self.tracer.record(OpClass.VFARITH, vl, 32)
+        self.tracer.record(OpClass.VFARITH, vl, 32, lmul=self.vtype.lmul,
+                           ops=Operands(mn or f"vf{op}.vf", vd=vd, vs=(vs,)))
 
-    def _splat_f(self, vd: int, f: float) -> None:
+    def _splat_f(self, vd: int, f: float, mn: str = "vfmv.v.f") -> None:
         vl = self._require_vl()
         self._f32(vd)[:vl] = np.float32(f)
-        self.tracer.record(OpClass.VMOVE, vl, 32)
+        self.tracer.record(OpClass.VMOVE, vl, 32, lmul=self.vtype.lmul,
+                           ops=Operands(mn, vd=vd))
 
-    def _mov(self, vd: int, vs: int) -> None:
+    def _mov(self, vd: int, vs: int, mn: str = "vmv.v.v") -> None:
         vl = self._require_vl()
         self._f32(vd)[:vl] = self._f32(vs)[:vl]
-        self.tracer.record(OpClass.VMOVE, vl, 32)
+        self.tracer.record(OpClass.VMOVE, vl, 32, lmul=self.vtype.lmul,
+                           ops=Operands(mn, vd=vd, vs=(vs,)))
 
-    def _iota(self, vd: int) -> None:
+    def _iota(self, vd: int, mn: str = "vid.v") -> None:
         vl = self._require_vl()
         self._u32(vd)[:vl] = np.arange(vl, dtype=np.uint32)
-        self.tracer.record(OpClass.VMOVE, vl, 32)
+        self.tracer.record(OpClass.VMOVE, vl, 32, lmul=self.vtype.lmul,
+                           ops=Operands(mn, vd=vd))
 
-    def _iadd_x(self, vd: int, vs: int, x: int) -> None:
+    def _iadd_x(self, vd: int, vs: int, x: int, mn: str = "vadd.vx") -> None:
         vl = self._require_vl()
         self._u32(vd)[:vl] = self._u32(vs)[:vl] + np.uint32(x)
-        self.tracer.record(OpClass.VIARITH, vl, 32)
+        self.tracer.record(OpClass.VIARITH, vl, 32, lmul=self.vtype.lmul,
+                           ops=Operands(mn, vd=vd, vs=(vs,), imm=x))
 
-    def _imul_x(self, vd: int, vs: int, x: int) -> None:
+    def _imul_x(self, vd: int, vs: int, x: int, mn: str = "vmul.vx") -> None:
         vl = self._require_vl()
         self._u32(vd)[:vl] = self._u32(vs)[:vl] * np.uint32(x)
-        self.tracer.record(OpClass.VIARITH, vl, 32)
+        self.tracer.record(OpClass.VIARITH, vl, 32, lmul=self.vtype.lmul,
+                           ops=Operands(mn, vd=vd, vs=(vs,), imm=x))
 
-    def _iand_x(self, vd: int, vs: int, x: int) -> None:
+    def _iand_x(self, vd: int, vs: int, x: int, mn: str = "vand.vx") -> None:
         vl = self._require_vl()
         self._u32(vd)[:vl] = self._u32(vs)[:vl] & np.uint32(x)
-        self.tracer.record(OpClass.VIARITH, vl, 32)
+        self.tracer.record(OpClass.VIARITH, vl, 32, lmul=self.vtype.lmul,
+                           ops=Operands(mn, vd=vd, vs=(vs,), imm=x))
 
-    def _redsum(self, vs: int) -> float:
+    def _redsum(self, vs: int, mn: str = "vfredusum.vs") -> float:
         vl = self._require_vl()
         total = float(np.sum(self._f32(vs)[:vl], dtype=np.float64))
-        self.tracer.record(OpClass.VREDUCE, vl, 32)
+        self.tracer.record(OpClass.VREDUCE, vl, 32, lmul=self.vtype.lmul,
+                           ops=Operands(mn, vs=(vs,)))
         return total
 
     # ------------------------------------------------------------------
     # Register movement semantics
     # ------------------------------------------------------------------
-    def _slideup(self, vd: int, vs: int, offset: int) -> None:
+    def _slideup(self, vd: int, vs: int, offset: int,
+                 mn: str = "vslideup.vx") -> None:
         """vd[i] = vs[i - offset] for offset <= i < vl; lower lanes kept.
 
         RVV 1.0 reserves overlapping source/destination groups for
-        ``vslideup``; the engine enforces that, which is why the slideup
-        tuple-multiplication kernel ping-pongs between two registers.
+        ``vslideup`` — the rule that forces the paper's Algorithm 2
+        register copies, which is why the slideup tuple-multiplication
+        kernel ping-pongs between two registers.  A ``strict`` engine
+        raises at execution time; the permissive default computes
+        through a source snapshot and leaves detection to the overlap
+        pass of :mod:`repro.analysis`.
         """
         vl = self._require_vl()
-        if vd == vs:
-            raise IllegalInstructionError(
-                "vslideup with overlapping vd and vs is reserved in RVV 1.0"
-            )
         if offset < 0:
             raise IllegalInstructionError(f"slide offset must be >= 0, got {offset}")
         d, s = self._f32(vd), self._f32(vs)
+        if self._group_overlaps(vd, vs):
+            if self.strict:
+                raise VectorStateError(
+                    f"vslideup v{vd}, v{vs}: overlapping source and "
+                    "destination groups are reserved in RVV 1.0"
+                )
+            s = s[:vl].copy()
         if offset < vl:
             d[offset:vl] = s[: vl - offset]
-        self.tracer.record(OpClass.VSLIDE, vl, 32)
+        self.tracer.record(OpClass.VSLIDE, vl, 32, lmul=self.vtype.lmul,
+                           ops=Operands(mn, vd=vd, vs=(vs,), imm=offset,
+                                        merges=True))
 
-    def _slidedown(self, vd: int, vs: int, offset: int) -> None:
+    def _slidedown(self, vd: int, vs: int, offset: int,
+                   mn: str = "vslidedown.vx") -> None:
         """vd[i] = vs[i + offset], zero beyond VLMAX."""
         vl = self._require_vl()
         if offset < 0:
@@ -267,22 +324,27 @@ class VectorEngine:
         out = np.zeros(vl, dtype=np.float32)
         out[:take] = s[offset : offset + take]
         d[:vl] = out
-        self.tracer.record(OpClass.VSLIDE, vl, 32)
+        self.tracer.record(OpClass.VSLIDE, vl, 32, lmul=self.vtype.lmul,
+                           ops=Operands(mn, vd=vd, vs=(vs,), imm=offset))
 
-    def _gather_reg(self, vd: int, vs: int, vidx: int) -> None:
+    def _gather_reg(self, vd: int, vs: int, vidx: int,
+                    mn: str = "vrgather.vv") -> None:
         """vd[i] = vs[vidx[i]] (vrgather.vv / SVE TBL); OOB lanes read 0."""
         vl = self._require_vl()
-        if vd in (vs, vidx):
-            raise IllegalInstructionError(
-                "vrgather destination cannot overlap its sources"
+        if self.strict and (self._group_overlaps(vd, vs)
+                            or self._group_overlaps(vd, vidx)):
+            raise VectorStateError(
+                f"vrgather v{vd}, v{vs}, v{vidx}: destination overlapping "
+                "a source group is reserved in RVV 1.0"
             )
         idx = self._u32(vidx)[:vl].astype(np.int64)
-        src = self._f32(vs)
+        src = self._f32(vs)[: self.vlmax].copy()
         out = np.zeros(vl, dtype=np.float32)
         ok = idx < self.vlmax
         out[ok] = src[idx[ok]]
         self._f32(vd)[:vl] = out
-        self.tracer.record(OpClass.VPERMUTE, vl, 32)
+        self.tracer.record(OpClass.VPERMUTE, vl, 32, lmul=self.vtype.lmul,
+                           ops=Operands(mn, vd=vd, vs=(vs,), vidx=vidx))
 
     # ------------------------------------------------------------------
     def scalar_ops(self, n: int = 1) -> None:
@@ -399,13 +461,15 @@ class RvvMachine(VectorEngine):
                 f"index array has {offs.size} entries but vl={vl}"
             )
         if not hasattr(self, "_index_scratch") or self._index_scratch_cap < vl:
-            self._index_scratch = self.memory.alloc(4 * self.vlmax)
+            self._index_scratch = self.memory.alloc(4 * self.vlmax,
+                                                    label="index_scratch")
             self._index_scratch_cap = self.vlmax
         self.memory.view(self._index_scratch, vl, np.uint32)[:] = offs[:vl]
         self._u32(vd)[:vl] = offs[:vl]
         self.tracer.record(
             OpClass.VLOAD_UNIT, vl, 32,
             self._mem_desc("unit", self._index_scratch, vl),
+            lmul=self.vtype.lmul, ops=Operands("vle32.v", vd=vd),
         )
 
     # --- register movement ------------------------------------------------

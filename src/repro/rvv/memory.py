@@ -12,12 +12,36 @@ writes in a simulator would invalidate every result built on top of it.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.errors import AlignmentError, AllocationError, MemoryError_
 
 #: Default allocation alignment: one cache line.
 LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class Extent:
+    """One allocation's declared footprint: ``[base, base + size)``.
+
+    The memory-safety pass of :mod:`repro.analysis` proves every traced
+    access against these extents — alignment gaps between allocations
+    are deliberately *not* part of any extent, so a store running past a
+    buffer's end is flagged even though the flat memory accepts it.
+    """
+
+    label: str | None
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int, nbytes: int = 1) -> bool:
+        return self.base <= addr and addr + nbytes <= self.end
 
 
 class Memory:
@@ -37,11 +61,13 @@ class Memory:
         self._buf = np.zeros(self.size, dtype=np.uint8)
         self._brk = self.base
         self._allocations: list[tuple[int, int]] = []  # (addr, nbytes)
+        self._labels: list[str | None] = []
 
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
-    def alloc(self, nbytes: int, align: int = LINE_BYTES) -> int:
+    def alloc(self, nbytes: int, align: int = LINE_BYTES,
+              label: str | None = None) -> int:
         """Allocate ``nbytes`` and return the simulated address.
 
         Raises:
@@ -60,16 +86,26 @@ class Memory:
             )
         self._brk = addr + nbytes
         self._allocations.append((addr, nbytes))
+        self._labels.append(label)
         return addr
 
-    def alloc_f32(self, nelems: int, align: int = LINE_BYTES) -> int:
+    def alloc_f32(self, nelems: int, align: int = LINE_BYTES,
+                  label: str | None = None) -> int:
         """Allocate space for ``nelems`` float32 values."""
-        return self.alloc(4 * nelems, align)
+        return self.alloc(4 * nelems, align, label=label)
 
     @property
     def bytes_allocated(self) -> int:
         """Total bytes handed out so far (excluding alignment gaps)."""
         return sum(n for _, n in self._allocations)
+
+    @property
+    def allocations(self) -> tuple[Extent, ...]:
+        """Every allocation made so far, as labeled extents."""
+        return tuple(
+            Extent(label, addr, nbytes)
+            for (addr, nbytes), label in zip(self._allocations, self._labels)
+        )
 
     # ------------------------------------------------------------------
     # Typed access

@@ -31,6 +31,7 @@ from repro.errors import IllegalInstructionError
 from repro.isa import OpClass
 from repro.kernels.common import QUAD
 from repro.rvv.machine import RvvMachine
+from repro.rvv.tracer import Operands
 
 
 class RvvPlusMachine(RvvMachine):
@@ -58,7 +59,8 @@ class RvvPlusMachine(RvvMachine):
         s = self._f32(vs)
         quad = s[QUAD * q : QUAD * q + QUAD]
         self._f32(vd)[:vl] = np.tile(quad, -(-vl // QUAD))[:vl]
-        self.tracer.record(OpClass.VPERMUTE, vl, 32)
+        self.tracer.record(OpClass.VPERMUTE, vl, 32, lmul=self.vtype.lmul,
+                           ops=Operands("vrep4.vi", vd=vd, vs=(vs,), imm=q))
 
     def vtrn4_vv(
         self, vd: tuple[int, int, int, int], vs: tuple[int, int, int, int]
@@ -86,7 +88,8 @@ class RvvPlusMachine(RvvMachine):
         )
         for g in range(QUAD):
             self._f32(vd[g])[:vl] = out[g]
-            self.tracer.record(OpClass.VPERMUTE, vl, 32)
+            self.tracer.record(OpClass.VPERMUTE, vl, 32, lmul=self.vtype.lmul,
+                               ops=Operands("vtrn4.vv", vd=vd[g], vs=vs))
 
 
 def has_proposed_extensions(machine) -> bool:

@@ -11,10 +11,17 @@ decoupling for this package: :func:`save_trace` serializes a captured
 configurations, or shipped to another machine.
 
 Format: one JSON object per line.
-- header: ``{"repro_trace": 1, "capture": true}``
+- header: ``{"repro_trace": 2}``
 - events: ``{"o": opclass, "e": elems, "w": eew}`` plus, for memory
   events, ``{"k": kind, "b": base, "s": stride, "x": [offsets...],
-  "l": is_load}`` (offsets only for indexed accesses).
+  "l": is_load, "q": seq, "ms": sew, "ml": lmul}`` (offsets only for
+  indexed accesses), plus ``{"m": lmul}`` when LMUL differs from 1 and
+  ``{"op": {"mn", "vd", "vs", "vi", "im", "mg", "a"}}`` operand
+  metadata when the recording machine attached any.
+
+Version 1 files (no sequence/vtype/operand metadata) still load; their
+events simply carry ``ops=None``, which the analysis passes treat as
+"metadata unavailable".
 """
 
 from __future__ import annotations
@@ -24,10 +31,13 @@ from pathlib import Path
 
 from repro.errors import ConfigError
 from repro.isa import OpClass
-from repro.rvv.tracer import MemAccess, Tracer
+from repro.rvv.tracer import MemAccess, Operands, Tracer
 
 #: Format version written in the header line.
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+
+#: Versions load_trace accepts.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_trace(tracer: Tracer, path: str | Path) -> int:
@@ -45,6 +55,8 @@ def save_trace(tracer: Tracer, path: str | Path) -> int:
         fh.write(json.dumps({"repro_trace": TRACE_VERSION}) + "\n")
         for ev in tracer.events:
             rec: dict = {"o": ev.opclass.value, "e": ev.elems, "w": ev.eew}
+            if ev.lmul != 1:
+                rec["m"] = ev.lmul
             if ev.mem is not None:
                 rec["k"] = ev.mem.kind
                 rec["b"] = ev.mem.base
@@ -52,6 +64,25 @@ def save_trace(tracer: Tracer, path: str | Path) -> int:
                 rec["l"] = ev.mem.is_load
                 if ev.mem.offsets is not None:
                     rec["x"] = list(ev.mem.offsets)
+                if ev.mem.seq >= 0:
+                    rec["q"] = ev.mem.seq
+                rec["ms"] = ev.mem.sew
+                rec["ml"] = ev.mem.lmul
+            if ev.ops is not None:
+                op: dict = {"mn": ev.ops.mnemonic}
+                if ev.ops.vd is not None:
+                    op["vd"] = ev.ops.vd
+                if ev.ops.vs:
+                    op["vs"] = list(ev.ops.vs)
+                if ev.ops.vidx is not None:
+                    op["vi"] = ev.ops.vidx
+                if ev.ops.imm is not None:
+                    op["im"] = ev.ops.imm
+                if ev.ops.merges:
+                    op["mg"] = True
+                if ev.ops.avl is not None:
+                    op["a"] = ev.ops.avl
+                rec["op"] = op
             fh.write(json.dumps(rec) + "\n")
             n += 1
     return n
@@ -71,7 +102,7 @@ def load_trace(path: str | Path) -> Tracer:
             header = json.loads(header_line)
         except json.JSONDecodeError as exc:
             raise ConfigError(f"{p}: not a repro trace file") from exc
-        if header.get("repro_trace") != TRACE_VERSION:
+        if header.get("repro_trace") not in SUPPORTED_VERSIONS:
             raise ConfigError(
                 f"{p}: unsupported trace version {header.get('repro_trace')!r}"
             )
@@ -81,6 +112,7 @@ def load_trace(path: str | Path) -> Tracer:
             try:
                 rec = json.loads(line)
                 opclass = OpClass(rec["o"])
+                lmul = int(rec.get("m", 1))
                 mem = None
                 if "k" in rec:
                     mem = MemAccess(
@@ -93,8 +125,24 @@ def load_trace(path: str | Path) -> Tracer:
                             tuple(rec["x"]) if "x" in rec else None
                         ),
                         is_load=bool(rec.get("l", True)),
+                        seq=int(rec["q"]) if "q" in rec else -1,
+                        sew=int(rec.get("ms", rec["w"])),
+                        lmul=int(rec.get("ml", lmul)),
                     )
-                tracer.record(opclass, int(rec["e"]), int(rec["w"]), mem)
+                ops = None
+                if "op" in rec:
+                    op = rec["op"]
+                    ops = Operands(
+                        mnemonic=str(op["mn"]),
+                        vd=int(op["vd"]) if "vd" in op else None,
+                        vs=tuple(int(r) for r in op.get("vs", ())),
+                        vidx=int(op["vi"]) if "vi" in op else None,
+                        imm=int(op["im"]) if "im" in op else None,
+                        merges=bool(op.get("mg", False)),
+                        avl=int(op["a"]) if "a" in op else None,
+                    )
+                tracer.record(opclass, int(rec["e"]), int(rec["w"]), mem,
+                              lmul=lmul, ops=ops)
             except (KeyError, ValueError) as exc:
                 raise ConfigError(f"{p}:{lineno}: malformed event") from exc
     return tracer

@@ -15,6 +15,7 @@ and gem5's statistics play in the paper's toolchain:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -24,12 +25,43 @@ from repro.isa import FLOPS_PER_ELEM, OpClass
 
 
 @dataclass(frozen=True)
+class Operands:
+    """Register-level operand metadata for one retired intrinsic.
+
+    Machines attach one of these to every :class:`InstrEvent` so the
+    static-analysis passes in :mod:`repro.analysis` can reason about
+    register groups, def-use chains and vtype dataflow without guessing
+    from opcode classes alone.
+
+    ``vd`` is the destination vector register (or None for stores and
+    configuration instructions), ``vs`` the tuple of vector source
+    registers, ``vidx`` the index-vector register of an indexed access,
+    ``imm`` a scalar immediate such as a slide amount, ``merges`` marks
+    read-modify-write destinations (vfmacc, vslideup tails), and ``avl``
+    the application vector length requested by a vsetvl.
+    """
+
+    mnemonic: str
+    vd: int | None = None
+    vs: tuple[int, ...] = ()
+    vidx: int | None = None
+    imm: int | None = None
+    merges: bool = False
+    avl: int | None = None
+
+
+@dataclass(frozen=True)
 class MemAccess:
     """A compact descriptor of one vector memory instruction's footprint.
 
     ``kind`` is "unit", "strided" or "indexed".  For unit and strided
     accesses the elements are at ``base + i*stride`` for ``i in
     range(elems)``; for indexed accesses they are at ``base + offsets[i]``.
+
+    ``seq``, ``sew`` and ``lmul`` are stamped by the tracer in capture
+    mode: the event's sequence number in program order and the vtype
+    active when the access retired, so the cache replay and the analysis
+    IR share one source of truth.
     """
 
     kind: str
@@ -39,6 +71,9 @@ class MemAccess:
     stride: int = 0
     offsets: tuple[int, ...] | None = None
     is_load: bool = True
+    seq: int = -1
+    sew: int = 32
+    lmul: int = 1
 
     def element_addresses(self) -> np.ndarray:
         """Byte addresses of every element touched, in access order."""
@@ -71,12 +106,19 @@ class MemAccess:
 
 @dataclass(frozen=True)
 class InstrEvent:
-    """One dynamic instruction, as reported by a machine."""
+    """One dynamic instruction, as reported by a machine.
+
+    ``lmul`` is the register-group multiplier active at retirement and
+    ``ops`` the operand metadata (None for legacy traces loaded from
+    version-1 files, which predate operand capture).
+    """
 
     opclass: OpClass
     elems: int
     eew: int
     mem: MemAccess | None = None
+    lmul: int = 1
+    ops: Operands | None = None
 
 
 @dataclass
@@ -119,6 +161,9 @@ class Tracer:
         elems: int,
         eew: int,
         mem: MemAccess | None = None,
+        *,
+        lmul: int = 1,
+        ops: Operands | None = None,
     ) -> None:
         """Account one dynamic instruction."""
         st = self.by_class.get(opclass)
@@ -133,7 +178,11 @@ class Tracer:
             else:
                 st.bytes_stored += mem.bytes
         if self.capture:
-            self.events.append(InstrEvent(opclass, elems, eew, mem))
+            if mem is not None and mem.seq < 0:
+                mem = dataclasses.replace(
+                    mem, seq=len(self.events), sew=eew, lmul=lmul
+                )
+            self.events.append(InstrEvent(opclass, elems, eew, mem, lmul, ops))
 
     # ------------------------------------------------------------------
     # Aggregates

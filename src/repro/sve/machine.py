@@ -29,6 +29,7 @@ from repro.isa import OpClass
 from repro.isa.encoding import VType
 from repro.isa import vsetvl as isa_vsetvl
 from repro.rvv.machine import VectorEngine
+from repro.rvv.tracer import Operands
 from repro.errors import VectorStateError
 
 
@@ -54,53 +55,54 @@ class SveMachine(VectorEngine):
         self.vtype = VType(sew=32, lmul=1)
         self.vl = isa_vsetvl(n - i, self.vlen_bits, 32, 1)
         self._configured = True
-        self.tracer.record(OpClass.VMASK, self.vl, 32)
+        self.tracer.record(OpClass.VMASK, self.vl, 32,
+                           ops=Operands("whilelt", avl=n - i))
         return self.vl
 
     def ld1w(self, vd: int, addr: int) -> None:
         """Contiguous predicated load (``ld1w``)."""
-        self._ld_unit(vd, addr)
+        self._ld_unit(vd, addr, mn="ld1w")
 
     def st1w(self, vs: int, addr: int) -> None:
         """Contiguous predicated store (``st1w``)."""
-        self._st_unit(vs, addr)
+        self._st_unit(vs, addr, mn="st1w")
 
     def ld1w_gather(self, vd: int, base: int, vidx: int) -> None:
         """Gather load with a vector of uint32 byte offsets."""
-        self._ld_indexed(vd, base, vidx)
+        self._ld_indexed(vd, base, vidx, mn="ld1w_gather")
 
     def st1w_scatter(self, vs: int, base: int, vidx: int) -> None:
         """Scatter store with a vector of uint32 byte offsets."""
-        self._st_indexed(vs, base, vidx)
+        self._st_indexed(vs, base, vidx, mn="st1w_scatter")
 
     def fmla(self, vd: int, vs1: int, vs2: int) -> None:
         """``vd += vs1 * vs2`` (FMLA)."""
-        self._fma(vd, vs1, vs2)
+        self._fma(vd, vs1, vs2, mn="fmla")
 
     def fmla_f(self, vd: int, f: float, vs: int) -> None:
         """FMLA against a replicated scalar."""
-        self._fma_f(vd, f, vs)
+        self._fma_f(vd, f, vs, mn="fmla")
 
     def fadd(self, vd: int, vs1: int, vs2: int) -> None:
-        self._arith("add", vd, vs1, vs2)
+        self._arith("add", vd, vs1, vs2, mn="fadd")
 
     def fsub(self, vd: int, vs1: int, vs2: int) -> None:
-        self._arith("sub", vd, vs1, vs2)
+        self._arith("sub", vd, vs1, vs2, mn="fsub")
 
     def fmul(self, vd: int, vs1: int, vs2: int) -> None:
-        self._arith("mul", vd, vs1, vs2)
+        self._arith("mul", vd, vs1, vs2, mn="fmul")
 
     def dup(self, vd: int, f: float) -> None:
         """Broadcast a scalar to every active lane."""
-        self._splat_f(vd, f)
+        self._splat_f(vd, f, mn="dup")
 
     def tbl(self, vd: int, vs: int, vidx: int) -> None:
         """Table permute (``TBL``): vd[i] = vs[vidx[i]], OOB lanes 0."""
-        self._gather_reg(vd, vs, vidx)
+        self._gather_reg(vd, vs, vidx, mn="tbl")
 
     def ext(self, vd: int, vs: int, offset_elems: int) -> None:
         """``EXT``-style lane shift used to emulate a slide-up."""
-        self._slideup(vd, vs, offset_elems)
+        self._slideup(vd, vs, offset_elems, mn="ext")
 
     def index_u32(self, vd: int, start: int, step: int) -> None:
         """``INDEX``: vd[i] = start + i*step (uint32)."""
@@ -108,7 +110,8 @@ class SveMachine(VectorEngine):
         self._u32(vd)[:vl] = (
             np.uint32(start) + np.arange(vl, dtype=np.uint32) * np.uint32(step)
         )
-        self.tracer.record(OpClass.VIARITH, vl, 32)
+        self.tracer.record(OpClass.VIARITH, vl, 32,
+                           ops=Operands("index", vd=vd, imm=step))
 
     # --- RVV-compatible adapter (single-source kernels) ---------------------
     def setvl(self, avl: int, sew: int = 32, lmul: int = 1) -> int:
@@ -149,7 +152,7 @@ class SveMachine(VectorEngine):
         self.fmla_f(vd, f, vs)
 
     def vfnmsac_vf(self, vd: int, f: float, vs: int) -> None:
-        self._nfms_f(vd, f, vs)
+        self._nfms_f(vd, f, vs, mn="fnmls")
 
     def vfadd_vv(self, vd: int, vs1: int, vs2: int) -> None:
         self.fadd(vd, vs1, vs2)
@@ -161,31 +164,31 @@ class SveMachine(VectorEngine):
         self.fmul(vd, vs1, vs2)
 
     def vfadd_vf(self, vd: int, vs: int, f: float) -> None:
-        self._arith_f("add", vd, vs, f)
+        self._arith_f("add", vd, vs, f, mn="fadd")
 
     def vfmul_vf(self, vd: int, vs: int, f: float) -> None:
-        self._arith_f("mul", vd, vs, f)
+        self._arith_f("mul", vd, vs, f, mn="fmul")
 
     def vfredusum(self, vs: int) -> float:
-        return self._redsum(vs)
+        return self._redsum(vs, mn="faddv")
 
     def vfmv_v_f(self, vd: int, f: float) -> None:
         self.dup(vd, f)
 
     def vmv_v_v(self, vd: int, vs: int) -> None:
-        self._mov(vd, vs)
+        self._mov(vd, vs, mn="mov")
 
     def vid_v(self, vd: int) -> None:
         self.index_u32(vd, 0, 1)
 
     def vadd_vx(self, vd: int, vs: int, x: int) -> None:
-        self._iadd_x(vd, vs, x)
+        self._iadd_x(vd, vs, x, mn="add")
 
     def vmul_vx(self, vd: int, vs: int, x: int) -> None:
-        self._imul_x(vd, vs, x)
+        self._imul_x(vd, vs, x, mn="mul")
 
     def vand_vx(self, vd: int, vs: int, x: int) -> None:
-        self._iand_x(vd, vs, x)
+        self._iand_x(vd, vs, x, mn="and")
 
     def load_index_u32(self, vd: int, offsets: np.ndarray) -> None:
         """Load precomputed byte offsets into an index register.
@@ -198,7 +201,8 @@ class SveMachine(VectorEngine):
         if offs.size < vl:
             raise VectorStateError(f"index array has {offs.size} entries but vl={vl}")
         if not hasattr(self, "_index_scratch") or self._index_scratch_cap < vl:
-            self._index_scratch = self.memory.alloc(4 * self.vlmax)
+            self._index_scratch = self.memory.alloc(4 * self.vlmax,
+                                                    label="index_scratch")
             self._index_scratch_cap = self.vlmax
         self.memory.view(self._index_scratch, vl, np.uint32)[:] = offs[:vl]
         self._u32(vd)[:vl] = offs[:vl]
@@ -208,6 +212,7 @@ class SveMachine(VectorEngine):
             OpClass.VLOAD_UNIT, vl, 32,
             MemAccess(kind="unit", base=self._index_scratch, elems=vl,
                       ebytes=4, stride=4, is_load=True),
+            ops=Operands("ld1w", vd=vd),
         )
 
     def vslideup_vx(self, vd: int, vs: int, offset: int) -> None:
@@ -215,7 +220,7 @@ class SveMachine(VectorEngine):
         self.ext(vd, vs, offset)
 
     def vslidedown_vx(self, vd: int, vs: int, offset: int) -> None:
-        self._slidedown(vd, vs, offset)
+        self._slidedown(vd, vs, offset, mn="ext")
 
     def vrgather_vv(self, vd: int, vs: int, vidx: int) -> None:
         self.tbl(vd, vs, vidx)

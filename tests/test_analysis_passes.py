@@ -1,0 +1,215 @@
+"""Golden known-bad fragments for the kernel verifier.
+
+Each fragment violates exactly one rule and must be caught by exactly
+its intended pass, at the right instruction, with the offending
+disassembly attached — the contract that makes `repro lint-kernels`
+reports actionable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_program, analyze_programs, lift
+from repro.analysis.passes import defuse, memsafety, overlap, vla, vtype
+from repro.isa import OpClass
+from repro.rvv import Memory, RvvMachine, Tracer
+from repro.rvv.tracer import Operands
+
+
+def _machine(vlen=512):
+    return RvvMachine(vlen, memory=Memory(1 << 20), tracer=Tracer(capture=True))
+
+
+def test_lift_requires_capture():
+    with pytest.raises(ValueError):
+        lift(Tracer(capture=False))
+
+
+def test_lift_folds_configuration():
+    m = _machine()
+    m.setvl(10)
+    x = m.memory.alloc_f32(10, label="x")
+    m.memory.write_f32(x, np.zeros(10, dtype=np.float32))
+    with m.alloc.scoped(1) as (r,):
+        m.vle32(r, x)
+        m.vse32(r, x)
+    prog = lift(m.tracer, vlen_bits=512, extents=m.memory.allocations)
+    assert prog[0].is_config and prog[0].vl == 10
+    assert not prog[1].is_config and prog[1].vl == 10 and prog[1].sew == 32
+    assert "vle32.v" in prog[1].disasm()
+
+
+# ----------------------------------------------------------------------
+# Fragment 1: vslideup with vd == vs — reserved by RVV 1.0.
+# ----------------------------------------------------------------------
+def test_overlap_fragment_caught_by_overlap_pass_only():
+    m = _machine()
+    m.setvl(16)
+    buf = m.memory.alloc_f32(16, label="buf")
+    m.memory.write_f32(buf, np.arange(16, dtype=np.float32))
+    with m.alloc.scoped(1) as (r,):
+        m.vle32(r, buf)
+        m.vslideup_vx(r, r, 4)  # permissive engine computes through
+        m.vse32(r, buf)
+    prog = lift(m.tracer, vlen_bits=512, extents=m.memory.allocations)
+    findings = analyze_program(prog)
+    assert [f.pass_id for f in findings] == [overlap.PASS_ID]
+    (f,) = findings
+    assert f.index == 2
+    assert "vslideup.vx" in f.disasm
+    assert "Algorithm 2" in f.message
+
+
+def test_vrgather_overlap_fragment():
+    m = _machine()
+    m.setvl(16)
+    buf = m.memory.alloc_f32(16, label="buf")
+    m.memory.write_f32(buf, np.arange(16, dtype=np.float32))
+    with m.alloc.scoped(2) as (r, idx):
+        m.vle32(r, buf)
+        m.vid_v(idx)
+        m.vrgather_vv(r, r, idx)
+        m.vse32(r, buf)
+    prog = lift(m.tracer, vlen_bits=512, extents=m.memory.allocations)
+    findings = analyze_program(prog)
+    assert {f.pass_id for f in findings} == {overlap.PASS_ID}
+    assert all("vrgather" in f.disasm for f in findings)
+
+
+# ----------------------------------------------------------------------
+# Fragment 2: stale / never-set vtype (hand-recorded stream — the
+# engine itself refuses to execute one, which is the point).
+# ----------------------------------------------------------------------
+def test_stale_vtype_fragment_caught_by_vtype_pass_only():
+    tr = Tracer(capture=True)
+    tr.record(OpClass.VSETVL, 8, 32, ops=Operands("vsetvli", avl=16))
+    tr.record(OpClass.VMOVE, 8, 32, ops=Operands("vfmv.v.f", vd=0))
+    tr.record(OpClass.VMOVE, 8, 32, ops=Operands("vfmv.v.f", vd=1))
+    # Retires 12 elements under a configuration that granted vl=8.
+    tr.record(OpClass.VFARITH, 12, 32,
+              ops=Operands("vfadd.vv", vd=2, vs=(0, 1)))
+    findings = analyze_program(lift(tr))
+    assert [f.pass_id for f in findings] == [vtype.PASS_ID]
+    (f,) = findings
+    assert f.index == 3
+    assert "vfadd" in f.disasm
+    assert "stale vtype" in f.message
+
+
+def test_never_set_vtype_fragment():
+    tr = Tracer(capture=True)
+    tr.record(OpClass.VMOVE, 8, 32, ops=Operands("vfmv.v.f", vd=0))
+    findings = analyze_program(lift(tr))
+    assert [f.pass_id for f in findings] == [vtype.PASS_ID]
+    assert findings[0].index == 0
+    assert "never-set" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# Fragment 3: vfmacc accumulating into a register nothing ever wrote.
+# ----------------------------------------------------------------------
+def test_uninitialized_read_fragment_caught_by_defuse_pass_only():
+    m = _machine()
+    m.setvl(16)
+    x = m.memory.alloc_f32(16, label="x")
+    y = m.memory.alloc_f32(16, label="y")
+    m.memory.write_f32(x, np.ones(16, dtype=np.float32))
+    with m.alloc.scoped(2) as (v, acc):
+        m.vle32(v, x)
+        m.vfmacc_vv(acc, v, v)  # acc was never initialized
+        m.vse32(acc, y)
+    prog = lift(m.tracer, vlen_bits=512, extents=m.memory.allocations)
+    findings = analyze_program(prog)
+    assert [f.pass_id for f in findings] == [defuse.PASS_ID]
+    (f,) = findings
+    assert f.severity == "error"
+    assert f.index == 2
+    assert "vfmacc" in f.disasm
+    assert "uninitialized" in f.message
+
+
+def test_dead_def_fragment_warns_at_the_dead_def():
+    m = _machine()
+    m.setvl(16)
+    x = m.memory.alloc_f32(16, label="x")
+    m.memory.write_f32(x, np.ones(16, dtype=np.float32))
+    with m.alloc.scoped(1) as (r,):
+        m.vfmv_v_f(r, 3.0)  # dead: overwritten before any use
+        m.vle32(r, x)
+        m.vse32(r, x)
+    prog = lift(m.tracer, vlen_bits=512, extents=m.memory.allocations)
+    findings = analyze_program(prog)
+    assert [f.pass_id for f in findings] == [defuse.PASS_ID]
+    (f,) = findings
+    assert f.severity == "warning"
+    assert f.index == 1  # reported at the def that died, not the killer
+    assert "dead def" in f.message
+
+
+# ----------------------------------------------------------------------
+# Fragment 4: store past its buffer into the alignment gap — executes
+# fine on the flat memory, proven unsafe against declared extents.
+# ----------------------------------------------------------------------
+def test_oob_store_fragment_caught_by_memsafety_pass_only():
+    m = _machine()
+    m.setvl(8)
+    buf = m.memory.alloc_f32(10, label="small")  # 40B, line-padded
+    with m.alloc.scoped(1) as (r,):
+        m.vfmv_v_f(r, 1.0)
+        m.vse32(r, buf + 4 * 8)  # elements 8..15: last 6 past the extent
+    prog = lift(m.tracer, vlen_bits=512, extents=m.memory.allocations)
+    findings = analyze_program(prog)
+    assert [f.pass_id for f in findings] == [memsafety.PASS_ID]
+    (f,) = findings
+    assert f.index == 2
+    assert "vse32.v" in f.disasm
+    assert "element 2" in f.message  # first element breaking the proof
+    assert "'small'" in f.message
+
+
+# ----------------------------------------------------------------------
+# Fragment 5: a loop strip-mined against VLEN=512's VLMAX instead of
+# vsetvl's grant — identical at 512, wasteful everywhere else.
+# ----------------------------------------------------------------------
+def _pinned_vl_kernel(machine):
+    x = machine.memory.alloc_f32(64, label="x")
+    y = machine.memory.alloc_f32(64, label="y")
+    machine.memory.write_f32(x, np.arange(64, dtype=np.float32))
+    with machine.alloc.scoped(1) as (r,):
+        for i in range(0, 64, 16):
+            machine.setvl(16)  # hard-coded: VLMAX at VLEN=512
+            machine.vle32(r, x + 4 * i)
+            machine.vse32(r, y + 4 * i)
+
+
+def test_pinned_vlen_fragment_caught_by_vla_pass_only():
+    programs = {}
+    for vlen in (512, 1024, 2048, 4096):
+        m = _machine(vlen)
+        _pinned_vl_kernel(m)
+        programs[vlen] = lift(m.tracer, vlen_bits=vlen,
+                              extents=m.memory.allocations)
+    findings = analyze_programs(programs, fixed_work=True)
+    assert [f.pass_id for f in findings] == [vla.PASS_ID]
+    (f,) = findings
+    assert f.index == 0  # first pinned vsetvli in the largest-VLEN program
+    assert "vsetvli" in f.disasm
+    assert "pinned at 16" in f.message
+
+
+def test_vla_pass_quiet_on_strip_mined_loop():
+    programs = {}
+    for vlen in (512, 1024, 2048, 4096):
+        m = _machine(vlen)
+        x = m.memory.alloc_f32(100, label="x")
+        m.memory.write_f32(x, np.zeros(100, dtype=np.float32))
+        with m.alloc.scoped(1) as (r,):
+            i = 0
+            while i < 100:
+                vl = m.setvl(100 - i)  # proper VLA strip-mining
+                m.vle32(r, x + 4 * i)
+                m.vse32(r, x + 4 * i)
+                i += vl
+        programs[vlen] = lift(m.tracer, vlen_bits=vlen,
+                              extents=m.memory.allocations)
+    assert analyze_programs(programs, fixed_work=True) == []

@@ -1,0 +1,92 @@
+"""Tier-1 gate: every shipped kernel variant audits clean.
+
+The parametrized ``lint`` tests are the fast deterministic gate (the
+same audits ``repro lint-kernels --fast`` runs); the hypothesis test
+samples (kernel, VLEN) pairs across the full supported sweep so larger
+vector lengths stay covered without auditing everything everywhere on
+every run.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    analyze_program,
+    audit_kernel,
+    fast_specs,
+    find_spec,
+    lift,
+)
+from repro.analysis.audit import DEFAULT_VLENS, MACHINE_FLAVORS, _lift_run
+from repro.cli import main
+from repro.errors import ConfigError
+
+_FAST = [(s, flavor) for s in fast_specs() for flavor in s.machines]
+
+
+@pytest.mark.lint
+@pytest.mark.parametrize(
+    "spec,flavor", _FAST, ids=[f"{s.name}@{f}" for s, f in _FAST])
+def test_fast_kernels_audit_clean(spec, flavor):
+    report = audit_kernel(spec, flavor, vlens=(512, 1024))
+    assert report.ok, report.render()
+    assert report.instr_counts[512] > 0
+    assert set(report.passes_run) == {
+        "overlap", "vtype", "defuse", "memsafety", "vla"}
+
+
+# Cheap strategies over the registry; lifts are cached because
+# hypothesis re-runs examples and kernel execution dominates the cost.
+_lift_cache = {}
+
+
+def _cached_program(name, flavor, vlen):
+    key = (name, flavor, vlen)
+    if key not in _lift_cache:
+        _lift_cache[key] = _lift_run(find_spec(name), flavor, vlen)
+    return _lift_cache[key]
+
+
+@settings(max_examples=10, deadline=None, database=None)
+@given(
+    spec=st.sampled_from(fast_specs()),
+    vlen=st.sampled_from(DEFAULT_VLENS),
+    data=st.data(),
+)
+def test_any_shipped_kernel_is_clean_at_any_vlen(spec, vlen, data):
+    flavor = data.draw(st.sampled_from(spec.machines))
+    program = _cached_program(spec.name, flavor, vlen)
+    assert program.vlen_bits == vlen
+    assert len(program) > 0
+    findings = analyze_program(program)
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_unknown_kernel_name_rejected():
+    with pytest.raises(ConfigError, match="unknown kernel"):
+        find_spec("no/such/kernel")
+    with pytest.raises(ConfigError, match="unknown machine flavor"):
+        audit_kernel(find_spec("gemm"), "avx512", vlens=(512,))
+
+
+def test_lift_run_exposes_extents():
+    program = _lift_run(find_spec("streaming/axpy"), "rvv", 512)
+    labels = {e.label for e in program.extents}
+    assert {"streaming.x", "streaming.y"} <= labels
+
+
+def test_machine_flavor_registry():
+    assert set(MACHINE_FLAVORS) == {"rvv", "rvv+", "sve"}
+
+
+@pytest.mark.lint
+def test_cli_lint_kernels_smoke(capsys):
+    rc = main(["lint-kernels", "--kernel", "streaming/memcpy",
+               "--kernel", "transpose4/strided", "--machine", "rvv",
+               "--vlens", "512,1024"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "streaming/memcpy [rvv]" in out
+    assert "transpose4/strided [rvv]" in out
+    assert "audited clean" in out

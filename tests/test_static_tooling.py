@@ -1,0 +1,47 @@
+"""Static-tooling gate for the verifier package.
+
+Runs ruff and mypy over ``src/repro/analysis`` when the tools are
+installed (the ``dev`` extra) and skips cleanly when they are not, so
+the tier-1 suite has no dependencies beyond numpy/pytest/hypothesis.
+The configuration itself lives in pyproject.toml; these tests just
+keep it honest.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+ANALYSIS = REPO / "src" / "repro" / "analysis"
+
+
+def _run(cmd):
+    return subprocess.run(
+        cmd, cwd=REPO, capture_output=True, text=True, timeout=300)
+
+
+def test_pyproject_configures_the_tools():
+    text = (REPO / "pyproject.toml").read_text()
+    assert "[tool.ruff]" in text
+    assert "[tool.mypy]" in text
+    assert 'module = "repro.analysis.*"' in text
+    assert "strict = true" in text
+
+
+def test_ruff_clean_on_analysis_package():
+    if shutil.which("ruff") is None:
+        pytest.skip("ruff not installed (dev extra)")
+    proc = _run(["ruff", "check", str(ANALYSIS)])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_mypy_clean_on_analysis_package():
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        pytest.skip("mypy not installed (dev extra)")
+    proc = _run([sys.executable, "-m", "mypy", "-p", "repro.analysis"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
