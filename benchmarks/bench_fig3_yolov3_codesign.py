@@ -9,8 +9,19 @@ The grid comes from the shared ``yolo_sweep`` fixture, which honours
 resumable sweeps — see benchmarks/README.md).
 """
 
+import time
+
 from benchmarks.conftest import record
-from repro.codesign import PAPER_HEADLINES, Comparison, comparison_table, runtime_figure
+from repro.codesign import (
+    MISS_RATE_BOUND,
+    PAPER_HEADLINES,
+    Comparison,
+    backend_timing_report,
+    codesign_sweep,
+    comparison_table,
+    runtime_figure,
+)
+from repro.nets import yolov3_layers
 
 
 def test_fig3_yolov3_codesign(benchmark, yolo_sweep):
@@ -39,3 +50,54 @@ def test_fig3_yolov3_codesign(benchmark, yolo_sweep):
     assert all(a >= b for a, b in zip(times_vl, times_vl[1:]))
     times_l2 = [sweep.seconds(4096, l) for l in sweep.l2_mbs]
     assert all(a >= b for a, b in zip(times_l2, times_l2[1:]))
+
+
+def test_fig3_fastpath_vs_exact(benchmark, yolo_sweep):
+    """Fast-vs-exact backend on the Figure 3 grid.
+
+    YOLOv3's working set saturates inside the swept L2 range, so under
+    the fast backend's sharp Mattson criterion the largest capacities
+    tie bit-for-bit and ``best()`` picks the smallest of the tied
+    plateau — the assertion is therefore tie-tolerant: the exact best
+    must lie on the fast backend's optimal plateau."""
+    layers = yolov3_layers()
+    l2s = yolo_sweep.l2_mbs
+    t0 = time.perf_counter()
+    exact_col = benchmark.pedantic(
+        lambda: codesign_sweep("yolov3-20L", layers, vlens=(512,),
+                               l2_mbs=l2s, mode="exact"),
+        rounds=1, iterations=1)
+    exact_seconds = time.perf_counter() - t0
+    fast_seconds = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        codesign_sweep("yolov3-20L", layers, vlens=(512,), l2_mbs=l2s,
+                       mode="fast")
+        fast_seconds = min(fast_seconds, time.perf_counter() - t0)
+    fast_full = codesign_sweep("yolov3-20L", layers,
+                               vlens=yolo_sweep.vlens, l2_mbs=l2s,
+                               mode="fast")
+    deltas = {
+        p: abs(fast_full.at(*p).total.l2_miss_rate
+               - yolo_sweep.at(*p).total.l2_miss_rate)
+        for p in yolo_sweep.points
+    }
+    max_delta = max(deltas.values())
+    on_plateau = (fast_full.seconds(*yolo_sweep.best())
+                  <= fast_full.seconds(*fast_full.best()) * (1 + 1e-9))
+    speedup = exact_seconds / fast_seconds
+    print()
+    print(backend_timing_report("YOLOv3 @ 512-bit", exact_seconds,
+                                fast_seconds, len(l2s), max_delta,
+                                on_plateau))
+    record(benchmark, exact_axis_seconds=round(exact_seconds, 2),
+           fast_axis_seconds=round(fast_seconds, 2),
+           l2_axis_speedup=round(speedup, 2),
+           max_miss_rate_delta=round(max_delta, 4),
+           best_exact=list(yolo_sweep.best()),
+           best_fast=list(fast_full.best()))
+    for l2 in l2s:
+        assert exact_col.at(512, l2) == yolo_sweep.at(512, l2)
+    assert on_plateau, (fast_full.best(), yolo_sweep.best())
+    assert speedup >= 5.0, speedup
+    assert max_delta <= MISS_RATE_BOUND

@@ -9,8 +9,19 @@ The grid comes from the shared ``vgg_sweep`` fixture, which honours
 resumable sweeps — see benchmarks/README.md).
 """
 
+import time
+
 from benchmarks.conftest import record
-from repro.codesign import PAPER_HEADLINES, Comparison, comparison_table, runtime_figure
+from repro.codesign import (
+    MISS_RATE_BOUND,
+    PAPER_HEADLINES,
+    Comparison,
+    backend_timing_report,
+    codesign_sweep,
+    comparison_table,
+    runtime_figure,
+)
+from repro.nets import vgg16_layers
 
 
 def test_fig4_vgg16_codesign(benchmark, vgg_sweep):
@@ -41,3 +52,60 @@ def test_fig4_vgg16_codesign(benchmark, vgg_sweep):
     assert vl_beyond < vl_2048 ** 0.5  # diminishing returns
     assert l2_64 > 1.05
     assert l2_beyond < l2_64
+
+
+def test_fig4_fastpath_vs_exact(benchmark, vgg_sweep):
+    """Fast-vs-exact backend on the Figure 4 grid: the stack-distance
+    fast path must reproduce the exact best (VLEN, L2) point and
+    collapse the L2 axis at least 5x (one profiling pass instead of
+    len(l2_mbs) simulations)."""
+    layers = vgg16_layers()
+    l2s = vgg_sweep.l2_mbs
+    # Time the exact L2 axis at the narrowest (most expensive) VLEN —
+    # this is the benchmark target.
+    t0 = time.perf_counter()
+    exact_col = benchmark.pedantic(
+        lambda: codesign_sweep("vgg16", layers, vlens=(512,), l2_mbs=l2s,
+                               mode="exact"),
+        rounds=1, iterations=1)
+    exact_seconds = time.perf_counter() - t0
+    # The fast column, min of 3 runs (timer noise only ever slows a
+    # run down; the minimum is the honest cost of the profiling pass).
+    fast_seconds = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        fast_col = codesign_sweep("vgg16", layers, vlens=(512,),
+                                  l2_mbs=l2s, mode="fast")
+        fast_seconds = min(fast_seconds, time.perf_counter() - t0)
+    # Accuracy over the full grid, against the session's exact sweep.
+    fast_full = codesign_sweep("vgg16", layers, vlens=vgg_sweep.vlens,
+                               l2_mbs=l2s, mode="fast")
+    deltas = {
+        p: abs(fast_full.at(*p).total.l2_miss_rate
+               - vgg_sweep.at(*p).total.l2_miss_rate)
+        for p in vgg_sweep.points
+    }
+    max_delta = max(deltas.values())
+    best_agrees = fast_full.best() == vgg_sweep.best()
+    speedup = exact_seconds / fast_seconds
+    print()
+    print(backend_timing_report("VGG16 @ 512-bit", exact_seconds,
+                                fast_seconds, len(l2s), max_delta,
+                                best_agrees))
+    record(benchmark, exact_axis_seconds=round(exact_seconds, 2),
+           fast_axis_seconds=round(fast_seconds, 2),
+           l2_axis_speedup=round(speedup, 2),
+           max_miss_rate_delta=round(max_delta, 4),
+           best_exact=list(vgg_sweep.best()),
+           best_fast=list(fast_full.best()))
+    # The exact column is deterministic: it must reproduce the session
+    # sweep's points bit for bit.
+    for l2 in l2s:
+        assert exact_col.at(512, l2) == vgg_sweep.at(512, l2)
+    # Acceptance: same best point, >=5x on the L2 axis, bounded error.
+    assert best_agrees, (fast_full.best(), vgg_sweep.best())
+    assert speedup >= 5.0, speedup
+    assert max_delta <= MISS_RATE_BOUND
+    # The fast column agrees with the fast full grid on shared points.
+    for l2 in l2s:
+        assert fast_col.at(512, l2) == fast_full.at(512, l2)

@@ -22,11 +22,13 @@ import sys
 import numpy as np
 
 from repro.codesign import (
+    MODES,
     PAPER_TABLE1_YOLO,
     PAPER_TABLE2_VGG,
     codesign_sweep,
     miss_rate_report,
     runtime_figure,
+    validate_codesign_sweep,
 )
 from repro.conv import ConvAlgorithm, direct_conv2d
 from repro.kernels import im2col_gemm_conv2d_sim, winograd_conv2d_sim
@@ -90,18 +92,36 @@ def cmd_sweep(args) -> int:
     if args.progress:
         def on_progress(p):
             print(p.describe(), file=sys.stderr)
-    sweep = codesign_sweep(args.network, layers, vlens=vlens, l2_mbs=l2s,
-                           hybrid=not args.pure_gemm,
-                           workers=args.workers,
-                           checkpoint_dir=args.checkpoint_dir,
-                           on_progress=on_progress)
+    common = dict(hybrid=not args.pure_gemm, workers=args.workers,
+                  checkpoint_dir=args.checkpoint_dir,
+                  on_progress=on_progress)
+    if args.mode == "validate":
+        validation = validate_codesign_sweep(
+            args.network, layers, vlens=vlens, l2_mbs=l2s, **common)
+        sweep = validation.exact
+    else:
+        validation = None
+        sweep = codesign_sweep(args.network, layers, vlens=vlens,
+                               l2_mbs=l2s, mode=args.mode, **common)
     if args.json:
         import json
 
         payload = {
-            f"{v}b/{l}MB": sweep.at(v, l).total.to_dict()
-            for v in sweep.vlens for l in sweep.l2_mbs
+            "backend": sweep.backend,
+            "points": {
+                f"{v}b/{l}MB": sweep.at(v, l).total.to_dict()
+                for v in sweep.vlens for l in sweep.l2_mbs
+            },
         }
+        if validation is not None:
+            payload["validation"] = {
+                "max_miss_rate_delta": validation.max_miss_rate_delta,
+                "best_agrees": validation.best_agrees,
+                "deltas": {
+                    f"{v}b/{l}MB": d
+                    for (v, l), d in validation.miss_rate_deltas.items()
+                },
+            }
         print(json.dumps(payload, indent=2))
         return 0
     print(runtime_figure(sweep))
@@ -110,6 +130,9 @@ def cmd_sweep(args) -> int:
                  else PAPER_TABLE2_VGG)
         print()
         print(miss_rate_report(sweep, table, l2_mb=1))
+    if validation is not None:
+        print()
+        print(validation.summary())
     return 0
 
 
@@ -203,6 +226,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated L2 sizes in MB")
     p.add_argument("--pure-gemm", action="store_true",
                    help="baseline policy: im2col+GEMM everywhere")
+    p.add_argument("--mode", choices=list(MODES), default="exact",
+                   help="exact: simulate every grid point; fast: one "
+                        "stack-distance profiling pass per VLEN answers "
+                        "the whole L2 axis; validate: run both and "
+                        "report per-point miss-rate deltas")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable results")
     p.add_argument("--workers", type=int, default=1,

@@ -1,33 +1,65 @@
-"""The co-design study: vector-length x L2-size sweeps and reporting."""
+"""The co-design study: vector-length x L2-size sweeps and reporting.
 
+Two backends answer the (VLEN x L2) grid: the exact per-point
+simulation and the stack-distance fast path
+(:mod:`repro.codesign.fastpath`), which collapses the L2 axis into one
+Mattson profiling pass per VLEN.  ``codesign_sweep(mode=...)`` selects
+the backend; :func:`validate_codesign_sweep` runs both and reports
+per-point miss-rate deltas.
+"""
+
+from repro.codesign.executor import SweepProgress, run_sweep
+from repro.codesign.fastpath import (
+    MISS_RATE_BOUND,
+    LayerProfile,
+    NetworkProfile,
+    profile_network,
+)
 from repro.codesign.report import (
     PAPER_HEADLINES,
     PAPER_TABLE1_YOLO,
     PAPER_TABLE2_VGG,
     Comparison,
+    backend_timing_report,
     comparison_table,
     miss_rate_report,
     runtime_figure,
 )
-from repro.codesign.executor import SweepProgress, run_sweep
 from repro.codesign.sweep import (
+    BACKEND_EXACT,
+    BACKEND_FAST,
+    BACKENDS,
+    MODES,
     PAPER_L2_MBS,
     PAPER_VLENS,
     SweepResult,
+    SweepValidation,
     codesign_sweep,
+    validate_codesign_sweep,
 )
 
 __all__ = [
     "codesign_sweep",
+    "validate_codesign_sweep",
     "run_sweep",
+    "profile_network",
+    "NetworkProfile",
+    "LayerProfile",
+    "MISS_RATE_BOUND",
     "SweepProgress",
     "SweepResult",
+    "SweepValidation",
+    "BACKEND_EXACT",
+    "BACKEND_FAST",
+    "BACKENDS",
+    "MODES",
     "PAPER_VLENS",
     "PAPER_L2_MBS",
     "Comparison",
     "comparison_table",
     "miss_rate_report",
     "runtime_figure",
+    "backend_timing_report",
     "PAPER_TABLE1_YOLO",
     "PAPER_TABLE2_VGG",
     "PAPER_HEADLINES",

@@ -12,11 +12,20 @@ properties a long sweep needs in production:
   ``os.replace``); re-running an interrupted sweep with the same
   directory restores finished points instead of recomputing them.  A
   manifest pins the run's identity (network, policy, variant, base
-  configuration) so a directory can never silently mix results from
-  different setups.
+  configuration, *and backend*) so a directory can never silently mix
+  results from different setups — in particular, fast- and
+  exact-backend points never share a directory.
 - **progress reporting** — an ``on_progress`` callback receives a
   :class:`SweepProgress` (points done, per-point seconds, elapsed and
   ETA) after every point, which the CLI renders as a live ticker.
+
+Two backends evaluate the grid (``mode``): the exact backend runs
+:func:`~repro.nets.inference.simulate_inference` per point and
+parallelizes over points; the fast backend
+(:mod:`repro.codesign.fastpath`) runs one stack-distance profiling
+pass per VLEN — answering the whole L2 axis analytically — and
+parallelizes over VLEN columns.  Every checkpoint records which
+backend produced it.
 
 Results are bit-identical between the serial and parallel paths: each
 point is evaluated by the same pure function
@@ -38,7 +47,8 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.codesign.sweep import SweepResult
+from repro.codesign.fastpath import profile_network
+from repro.codesign.sweep import BACKEND_EXACT, BACKEND_FAST, BACKENDS, SweepResult
 from repro.errors import ConfigError
 from repro.kernels.tuple_mult import SLIDEUP
 from repro.model.layer_model import NetworkResult
@@ -46,8 +56,9 @@ from repro.nets.inference import simulate_inference
 from repro.nets.layers import LayerSpec
 from repro.sim.system import SystemConfig
 
-#: Checkpoint schema version; bumped on incompatible layout changes.
-CHECKPOINT_VERSION = 1
+#: Checkpoint schema version; bumped on incompatible layout changes
+#: (v2 added backend provenance to the manifest and every point).
+CHECKPOINT_VERSION = 2
 
 #: Manifest file name inside a checkpoint directory.
 MANIFEST_NAME = "manifest.json"
@@ -106,15 +117,47 @@ def _evaluate_point(
     return result, time.perf_counter() - t0
 
 
+def _evaluate_vlen_fast(
+    name: str,
+    layers: list[LayerSpec],
+    vlen: int,
+    l2_mbs: tuple[int, ...],
+    hybrid: bool,
+    variant: str,
+    base_config: SystemConfig,
+) -> list[tuple[int, NetworkResult, float]]:
+    """Evaluate one VLEN column of the grid via the fast backend.
+
+    One stack-distance profiling pass answers every requested L2 size;
+    the pass's wall time is attributed to the column's first point so
+    per-point seconds still sum to the column's true cost.
+    """
+    t0 = time.perf_counter()
+    cfg = base_config.with_(vlen_bits=vlen)
+    profile = profile_network(name, layers, cfg, hybrid=hybrid, variant=variant)
+    profile_secs = time.perf_counter() - t0
+    out: list[tuple[int, NetworkResult, float]] = []
+    for i, l2_mb in enumerate(l2_mbs):
+        t1 = time.perf_counter()
+        result = profile.evaluate(l2_mb)
+        secs = time.perf_counter() - t1
+        if i == 0:
+            secs += profile_secs
+        out.append((l2_mb, result, secs))
+    return out
+
+
 # ----------------------------------------------------------------------
 # Checkpoint directory layout.
 # ----------------------------------------------------------------------
 def _manifest_payload(
-    name: str, hybrid: bool, variant: str, base_config: SystemConfig
+    name: str, hybrid: bool, variant: str, base_config: SystemConfig,
+    backend: str,
 ) -> dict:
     return {
         "version": CHECKPOINT_VERSION,
         "name": name,
+        "backend": backend,
         "hybrid": hybrid,
         "variant": variant,
         "config": asdict(base_config),
@@ -155,11 +198,16 @@ def _open_checkpoint_dir(
         _write_json_atomic(mpath, manifest)
 
 
-def _load_point(path: Path) -> NetworkResult | None:
-    """Restore one checkpointed point; None if absent or torn."""
+def _load_point(path: Path, backend: str) -> NetworkResult | None:
+    """Restore one checkpointed point; None if absent, torn, from an
+    older schema, or produced by a different backend (the manifest
+    already hard-rejects cross-backend directories; this is the
+    per-file belt to that suspender)."""
     try:
         payload = json.loads(path.read_text())
         if payload.get("version") != CHECKPOINT_VERSION:
+            return None
+        if payload.get("backend") != backend:
             return None
         return NetworkResult.from_dict(payload["result"])
     except (OSError, ValueError, KeyError, TypeError):
@@ -167,10 +215,11 @@ def _load_point(path: Path) -> NetworkResult | None:
 
 
 def _save_point(
-    path: Path, vlen: int, l2_mb: int, result: NetworkResult
+    path: Path, vlen: int, l2_mb: int, result: NetworkResult, backend: str
 ) -> None:
     _write_json_atomic(path, {
         "version": CHECKPOINT_VERSION,
+        "backend": backend,
         "vlen": vlen,
         "l2_mb": l2_mb,
         "result": result.to_dict(),
@@ -191,11 +240,17 @@ def run_sweep(
     workers: int = 1,
     checkpoint_dir: str | Path | None = None,
     on_progress: ProgressCallback | None = None,
+    mode: str = BACKEND_EXACT,
 ) -> SweepResult:
     """Run a network across the co-design grid (see
     :func:`repro.codesign.sweep.codesign_sweep` for the argument
     contract — that wrapper is the public entry point).
     """
+    if mode not in BACKENDS:
+        raise ConfigError(
+            f"unknown sweep mode {mode!r} (expected one of {BACKENDS}; "
+            f"'validate' is served by validate_codesign_sweep)"
+        )
     if not vlens or not l2_mbs:
         raise ConfigError("sweep grids must be non-empty")
     if workers < 1:
@@ -211,7 +266,7 @@ def run_sweep(
     if checkpoint_dir is not None:
         directory = Path(checkpoint_dir)
         _open_checkpoint_dir(
-            directory, _manifest_payload(name, hybrid, variant, base)
+            directory, _manifest_payload(name, hybrid, variant, base, mode)
         )
 
     results: dict[tuple[int, int], NetworkResult] = {}
@@ -236,7 +291,7 @@ def run_sweep(
     todo: list[tuple[int, int]] = []
     for v, l in points:
         restored = (
-            _load_point(_point_path(directory, v, l))
+            _load_point(_point_path(directory, v, l), mode)
             if directory is not None else None
         )
         if restored is not None:
@@ -250,43 +305,80 @@ def run_sweep(
         results[(v, l)] = result
         computed += 1
         if directory is not None:
-            _save_point(_point_path(directory, v, l), v, l, result)
+            _save_point(_point_path(directory, v, l), v, l, result, mode)
         tick(v, l, secs, restored=False)
 
-    # Phase 2: evaluate the remaining points, pooled or serial.  A
-    # pool that cannot actually run (fork blocked, workers killed)
-    # degrades to the serial path for whatever is still missing.
-    pool = _make_pool(workers, len(todo))
-    if pool is not None:
-        try:
-            with pool:
-                futures = {
-                    pool.submit(
-                        _evaluate_point, name, layers, v, l, hybrid,
-                        variant, base,
-                    ): (v, l)
-                    for v, l in todo
-                }
-                pending = set(futures)
-                while pending:
-                    finished, pending = wait(
-                        pending, return_when=FIRST_COMPLETED
-                    )
-                    for fut in finished:
-                        v, l = futures[fut]
-                        result, secs = fut.result()
-                        finish(v, l, result, secs)
-        except (OSError, BrokenProcessPool):
-            pass
-    for v, l in todo:
-        if (v, l) not in results:
-            result, secs = _evaluate_point(
-                name, layers, v, l, hybrid, variant, base
-            )
-            finish(v, l, result, secs)
+    # Phase 2: evaluate the remaining work, pooled or serial.  A pool
+    # that cannot actually run (fork blocked, workers killed) degrades
+    # to the serial path for whatever is still missing.  Exact mode's
+    # unit of work is one grid point; fast mode's is one VLEN column
+    # (a single profiling pass answers the column's whole L2 axis).
+    if mode == BACKEND_FAST:
+        columns: dict[int, list[int]] = {}
+        for v, l in todo:
+            columns.setdefault(v, []).append(l)
+        pool = _make_pool(workers, len(columns))
+        if pool is not None:
+            try:
+                with pool:
+                    futures = {
+                        pool.submit(
+                            _evaluate_vlen_fast, name, layers, v,
+                            tuple(l2s), hybrid, variant, base,
+                        ): v
+                        for v, l2s in columns.items()
+                    }
+                    pending = set(futures)
+                    while pending:
+                        finished, pending = wait(
+                            pending, return_when=FIRST_COMPLETED
+                        )
+                        for fut in finished:
+                            v = futures[fut]
+                            for l, result, secs in fut.result():
+                                finish(v, l, result, secs)
+            except (OSError, BrokenProcessPool):
+                pass
+        for v, l2s in columns.items():
+            missing = tuple(l for l in l2s if (v, l) not in results)
+            if missing:
+                for l, result, secs in _evaluate_vlen_fast(
+                    name, layers, v, missing, hybrid, variant, base
+                ):
+                    finish(v, l, result, secs)
+    else:
+        pool = _make_pool(workers, len(todo))
+        if pool is not None:
+            try:
+                with pool:
+                    futures_pt = {
+                        pool.submit(
+                            _evaluate_point, name, layers, v, l, hybrid,
+                            variant, base,
+                        ): (v, l)
+                        for v, l in todo
+                    }
+                    pending = set(futures_pt)
+                    while pending:
+                        finished, pending = wait(
+                            pending, return_when=FIRST_COMPLETED
+                        )
+                        for fut in finished:
+                            v, l = futures_pt[fut]
+                            result, secs = fut.result()
+                            finish(v, l, result, secs)
+            except (OSError, BrokenProcessPool):
+                pass
+        for v, l in todo:
+            if (v, l) not in results:
+                result, secs = _evaluate_point(
+                    name, layers, v, l, hybrid, variant, base
+                )
+                finish(v, l, result, secs)
 
     return SweepResult(
-        name=name, vlens=grid_vlens, l2_mbs=grid_l2s, results=results
+        name=name, vlens=grid_vlens, l2_mbs=grid_l2s, results=results,
+        backend=mode,
     )
 
 

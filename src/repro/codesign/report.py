@@ -73,6 +73,33 @@ def miss_rate_report(
     return "\n".join(rows)
 
 
+def backend_timing_report(
+    name: str,
+    exact_seconds: float,
+    fast_seconds: float,
+    l2_points: int,
+    max_miss_rate_delta: float,
+    best_agrees: bool,
+) -> str:
+    """Render a fast-vs-exact wall-clock and accuracy summary.
+
+    ``exact_seconds``/``fast_seconds`` time the same L2 axis
+    (``l2_points`` capacities at one VLEN) through each backend; the
+    speedup line is the benchmark evidence that the fast path collapsed
+    the axis from N simulations to one profiling pass.
+    """
+    speedup = exact_seconds / fast_seconds if fast_seconds else float("inf")
+    agree = "agrees" if best_agrees else "DISAGREES"
+    return "\n".join([
+        f"fast-path timing — {name} ({l2_points}-point L2 axis)",
+        f"  exact backend   {exact_seconds:8.2f} s  ({l2_points} simulations)",
+        f"  fast backend    {fast_seconds:8.2f} s  (1 profiling pass)",
+        f"  L2-axis speedup {speedup:8.2f}x",
+        f"  max miss-rate delta {100 * max_miss_rate_delta:.2f}%; "
+        f"best point {agree}",
+    ])
+
+
 def runtime_figure(sweep: SweepResult, title: str = "") -> str:
     """Render a Figure 3/4-style runtime grid with speedups."""
     grid = sweep.runtime_grid()

@@ -29,6 +29,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 PAPER_VLENS = (512, 1024, 2048, 4096)
 PAPER_L2_MBS = (1, 16, 64, 128, 256)
 
+#: Sweep backends (provenance recorded on every result and checkpoint).
+BACKEND_EXACT = "exact"
+BACKEND_FAST = "fast"
+BACKENDS = (BACKEND_EXACT, BACKEND_FAST)
+
+#: Sweep modes accepted by :func:`codesign_sweep`'s ``mode`` argument
+#: (``validate`` is served by :func:`validate_codesign_sweep`, which
+#: runs both backends and reports their deltas).
+MODES = (BACKEND_EXACT, BACKEND_FAST, "validate")
+
 
 @dataclass(frozen=True)
 class SweepResult:
@@ -39,16 +49,29 @@ class SweepResult:
     listed them in.  ``results`` may cover only part of the grid while
     a checkpointed run is being resumed; :meth:`merge` combines such
     partial results and :attr:`is_complete` tells the two apart.
+
+    ``backend`` records which backend produced the points — the exact
+    per-point simulation or the stack-distance fast path
+    (:mod:`repro.codesign.fastpath`).  The two answer the same grid
+    with different L2 criteria, so mixing their points in one grid
+    would silently corrupt cross-point comparisons; :meth:`merge`
+    rejects it.
     """
 
     name: str
     vlens: tuple[int, ...]
     l2_mbs: tuple[int, ...]
     results: dict[tuple[int, int], NetworkResult]
+    backend: str = BACKEND_EXACT
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "vlens", tuple(sorted(set(self.vlens))))
         object.__setattr__(self, "l2_mbs", tuple(sorted(set(self.l2_mbs))))
+        if self.backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown sweep backend {self.backend!r} "
+                f"(expected one of {BACKENDS})"
+            )
         for v, l in self.results:
             if v not in self.vlens or l not in self.l2_mbs:
                 raise ConfigError(
@@ -122,6 +145,12 @@ class SweepResult:
             raise ConfigError(
                 f"cannot merge sweep {other.name!r} into {self.name!r}"
             )
+        if other.backend != self.backend:
+            raise ConfigError(
+                f"cannot merge a {other.backend!r}-backend sweep into a "
+                f"{self.backend!r}-backend sweep: the backends apply "
+                f"different L2 criteria, so mixed grids are not comparable"
+            )
         results = dict(other.results)
         results.update(self.results)
         return SweepResult(
@@ -129,12 +158,14 @@ class SweepResult:
             vlens=self.vlens + other.vlens,
             l2_mbs=self.l2_mbs + other.l2_mbs,
             results=results,
+            backend=self.backend,
         )
 
     def to_dict(self) -> dict:
         """JSON-serializable form (CLI output, checkpoint summaries)."""
         return {
             "name": self.name,
+            "backend": self.backend,
             "vlens": list(self.vlens),
             "l2_mbs": list(self.l2_mbs),
             "results": [
@@ -145,7 +176,11 @@ class SweepResult:
 
     @classmethod
     def from_dict(cls, d: dict) -> "SweepResult":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Summaries written before backends existed carry no ``backend``
+        key; they were produced by the exact per-point simulation.
+        """
         return cls(
             name=str(d["name"]),
             vlens=tuple(int(v) for v in d["vlens"]),
@@ -156,6 +191,7 @@ class SweepResult:
                 )
                 for e in d.get("results", [])
             },
+            backend=str(d.get("backend", BACKEND_EXACT)),
         )
 
 
@@ -170,6 +206,7 @@ def codesign_sweep(
     workers: int = 1,
     checkpoint_dir: str | Path | None = None,
     on_progress: "Callable[[SweepProgress], None] | None" = None,
+    mode: str = BACKEND_EXACT,
 ) -> SweepResult:
     """Run a network across the co-design grid.
 
@@ -183,20 +220,132 @@ def codesign_sweep(
         variant: tuple-multiplication variant.
         base_config: template for all other parameters (frequency,
             L1, latency constants); defaults to the paper's setup.
-        workers: grid points evaluated concurrently; ``1`` runs
+        workers: units of work evaluated concurrently; ``1`` runs
             serially in-process, more fans out over a process pool
-            (results are bit-identical either way).
+            (results are bit-identical either way).  Exact mode
+            parallelizes over grid points, fast mode over VLEN columns
+            (each column is one profiling pass).
         checkpoint_dir: directory for per-point JSON checkpoints; an
             interrupted sweep re-run with the same directory resumes
-            without recomputing finished points.
+            without recomputing finished points.  Checkpoints record
+            the backend that produced them, and a directory never
+            mixes backends.
         on_progress: called with a
             :class:`~repro.codesign.executor.SweepProgress` after every
             finished (or checkpoint-restored) point.
+        mode: ``"exact"`` re-simulates every grid point; ``"fast"``
+            runs one stack-distance profiling pass per VLEN and
+            answers the whole L2 axis analytically (see
+            :mod:`repro.codesign.fastpath` for the error model).  For
+            ``"validate"`` — both backends plus a delta report — use
+            :func:`validate_codesign_sweep`.
     """
+    if mode == "validate":
+        raise ConfigError(
+            "mode='validate' returns a SweepValidation, not a "
+            "SweepResult; call validate_codesign_sweep instead"
+        )
     from repro.codesign.executor import run_sweep
 
     return run_sweep(
         name, layers, vlens=vlens, l2_mbs=l2_mbs, hybrid=hybrid,
         variant=variant, base_config=base_config, workers=workers,
-        checkpoint_dir=checkpoint_dir, on_progress=on_progress,
+        checkpoint_dir=checkpoint_dir, on_progress=on_progress, mode=mode,
     )
+
+
+@dataclass(frozen=True)
+class SweepValidation:
+    """Fast-vs-exact differential report of one sweep grid.
+
+    Produced by :func:`validate_codesign_sweep` (the CLI's
+    ``--mode validate``): both backends run the same grid, and the
+    deltas quantify the fast path's stated associativity/smoothing
+    error (see :mod:`repro.codesign.fastpath`).
+    """
+
+    exact: SweepResult
+    fast: SweepResult
+
+    def __post_init__(self) -> None:
+        if self.exact.points != self.fast.points:
+            raise ConfigError("validation requires identical grids")
+
+    @property
+    def miss_rate_deltas(self) -> dict[tuple[int, int], float]:
+        """|fast - exact| total L2 miss rate per grid point."""
+        return {
+            (v, l): abs(
+                self.fast.at(v, l).total.l2_miss_rate
+                - self.exact.at(v, l).total.l2_miss_rate
+            )
+            for v, l in self.exact.points
+        }
+
+    @property
+    def max_miss_rate_delta(self) -> float:
+        deltas = self.miss_rate_deltas
+        return max(deltas.values()) if deltas else 0.0
+
+    @property
+    def best_agrees(self) -> bool:
+        """Whether both backends elect the same (VLEN, L2) optimum."""
+        return self.exact.best() == self.fast.best()
+
+    def summary(self) -> str:
+        """Per-point delta table plus the headline max-delta line."""
+        rows = [
+            f"fast-vs-exact validation — {self.exact.name}",
+            f"{'point':<18}{'exact miss %':>14}{'fast miss %':>13}"
+            f"{'delta':>9}",
+        ]
+        deltas = self.miss_rate_deltas
+        for v, l in self.exact.points:
+            e = self.exact.at(v, l).total.l2_miss_rate
+            f = self.fast.at(v, l).total.l2_miss_rate
+            rows.append(
+                f"{f'{v}b/{l}MB':<18}{100 * e:>13.2f}%{100 * f:>12.2f}%"
+                f"{100 * deltas[(v, l)]:>8.2f}%"
+            )
+        agree = "agree" if self.best_agrees else "DISAGREE"
+        rows.append(
+            f"max miss-rate delta {100 * self.max_miss_rate_delta:.2f}% "
+            f"over {len(deltas)} points; best points {agree} "
+            f"(exact {self.exact.best()}, fast {self.fast.best()})"
+        )
+        return "\n".join(rows)
+
+
+def validate_codesign_sweep(
+    name: str,
+    layers: list[LayerSpec],
+    vlens: Sequence[int] = PAPER_VLENS,
+    l2_mbs: Sequence[int] = PAPER_L2_MBS,
+    hybrid: bool = True,
+    variant: str = SLIDEUP,
+    base_config: SystemConfig | None = None,
+    workers: int = 1,
+    checkpoint_dir: str | Path | None = None,
+    on_progress: "Callable[[SweepProgress], None] | None" = None,
+) -> SweepValidation:
+    """Run the grid through both backends and report their deltas.
+
+    Checkpoints (when enabled) go to ``<dir>/exact`` and ``<dir>/fast``
+    so the two runs can never share point files.
+    """
+    def subdir(tag: str) -> Path | None:
+        return Path(checkpoint_dir) / tag if checkpoint_dir else None
+
+    exact = codesign_sweep(
+        name, layers, vlens=vlens, l2_mbs=l2_mbs, hybrid=hybrid,
+        variant=variant, base_config=base_config, workers=workers,
+        checkpoint_dir=subdir(BACKEND_EXACT), on_progress=on_progress,
+        mode=BACKEND_EXACT,
+    )
+    fast = codesign_sweep(
+        name, layers, vlens=vlens, l2_mbs=l2_mbs, hybrid=hybrid,
+        variant=variant, base_config=base_config, workers=workers,
+        checkpoint_dir=subdir(BACKEND_FAST), on_progress=on_progress,
+        mode=BACKEND_FAST,
+    )
+    return SweepValidation(exact=exact, fast=fast)

@@ -28,15 +28,18 @@ def gemm_model(geom: GemmGeometry, cols_distance: float | None = None) -> PhaseM
         j0 = pn * geom.vlen_elems
         vl = min(geom.vlen_elems, geom.n - j0)
         b_lines = lines_per_access(vl, 4)
+        # Instruction counts for the whole M loop of this panel, batched:
+        # the blocks tile M exactly (sum of rows over blocks == m), so
+        # the per-block counts collapse to closed forms with identical
+        # totals.
+        ph.add_instr(OpClass.VSETVL, geom.m_blocks, vl)
+        ph.add_instr(OpClass.VMOVE, geom.m, vl)  # accumulator init
+        ph.add_instr(OpClass.VLOAD_UNIT, geom.kd * geom.m_blocks, vl)  # B
+        ph.add_instr(OpClass.SCALAR, geom.kd * geom.m, 1)  # A loads
+        ph.add_instr(OpClass.VFMA, geom.kd * geom.m, vl)
+        ph.add_instr(OpClass.VSTORE_UNIT, geom.m, vl)  # C rows
         for mb in range(geom.m_blocks):
             rows = min(geom.mr, geom.m - mb * geom.mr)
-            ph.add_instr(OpClass.VSETVL, 1, vl)
-            ph.add_instr(OpClass.VMOVE, rows, vl)  # accumulator init
-            ph.add_instr(OpClass.VLOAD_UNIT, geom.kd, vl)  # B panel
-            ph.add_instr(OpClass.SCALAR, geom.kd * rows, 1)  # A loads
-            ph.add_instr(OpClass.VFMA, geom.kd * rows, vl)
-            ph.add_instr(OpClass.VSTORE_UNIT, rows, vl)  # C rows
-
             # Traffic volumes.
             d_mb = geom.kd * (vl * 4 + rows * 4.0 / 16) + rows * vl * 4
             b_acc = geom.kd * b_lines

@@ -13,10 +13,34 @@ from repro.errors import ConfigError
 from repro.kernels.tuple_mult import SLIDEUP
 from repro.model.aux_model import maxpool_model, shortcut_model
 from repro.model.layer_model import NetworkResult, layer_phases
-from repro.model.traffic import stats_from_model
+from repro.model.traffic import PhaseModel, stats_from_model
 from repro.nets.layers import LayerSpec, MaxPoolSpec, ShortcutSpec
 from repro.sim.stats import SimStats
 from repro.sim.system import SystemConfig
+
+
+def layer_phase_models(
+    layer: LayerSpec,
+    config: SystemConfig,
+    hybrid: bool = True,
+    variant: str = SLIDEUP,
+) -> tuple[str, list[PhaseModel]]:
+    """Label and phase models of one layer under the sweep's policy.
+
+    The phase models depend on the configuration only through the
+    vector length (``config.lanes``), never the cache sizes — the
+    property the co-design sweep's fast backend exploits by building
+    them once per VLEN and reusing them across the whole L2 axis.
+    """
+    if isinstance(layer, ConvLayerSpec):
+        algo = choose_algorithm(layer, hybrid=hybrid)
+        phases = layer_phases(layer, config, algorithm=algo, variant=variant)
+        return f"{layer.name}[{algo.value}]", phases
+    if isinstance(layer, ShortcutSpec):
+        return f"{layer.name}[shortcut]", [shortcut_model(layer, config.lanes)]
+    if isinstance(layer, MaxPoolSpec):
+        return f"{layer.name}[maxpool]", [maxpool_model(layer, config.lanes)]
+    raise ConfigError(f"unknown layer type {type(layer).__name__}")
 
 
 def simulate_inference(
@@ -44,18 +68,9 @@ def simulate_inference(
     per_layer: list[SimStats] = []
     total = SimStats(freq_ghz=config.freq_ghz, label=f"{name} total")
     for layer in layers:
-        if isinstance(layer, ConvLayerSpec):
-            algo = choose_algorithm(layer, hybrid=hybrid)
-            phases = layer_phases(layer, config, algorithm=algo, variant=variant)
-            label = f"{layer.name}[{algo.value}]"
-        elif isinstance(layer, ShortcutSpec):
-            phases = [shortcut_model(layer, config.lanes)]
-            label = f"{layer.name}[shortcut]"
-        elif isinstance(layer, MaxPoolSpec):
-            phases = [maxpool_model(layer, config.lanes)]
-            label = f"{layer.name}[maxpool]"
-        else:
-            raise ConfigError(f"unknown layer type {type(layer).__name__}")
+        label, phases = layer_phase_models(
+            layer, config, hybrid=hybrid, variant=variant
+        )
         stats = stats_from_model(phases, config, label=label)
         per_layer.append(stats)
         total.merge(stats)

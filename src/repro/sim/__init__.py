@@ -6,7 +6,9 @@
   descriptors produced by :mod:`repro.model`;
 - :class:`Cache` / :class:`CacheHierarchy` — exact set-associative LRU
   cache simulation;
-- :func:`reuse_profile` — one-pass stack-distance miss curves;
+- :func:`reuse_profile` — one-pass stack-distance miss curves, with
+  :class:`SparseReuseProfile` as the weighted sparse form the sweep's
+  fast backend queries per L2 capacity;
 - :class:`LatencyModel` / :class:`MemoryTimings` — issue occupancy
   (constant-latency vector mode, per the paper's gem5 fork) and stall
   modeling;
@@ -17,7 +19,7 @@ from repro.sim.cache import Cache, CacheHierarchy, CacheStats, HierarchyStats
 from repro.sim.core import CONSTANT, THROUGHPUT, LatencyModel, MemoryTimings
 from repro.sim.energy import EnergyBreakdown, EnergyModel, estimate_energy
 from repro.sim.events import BodyInstr, LoopNest, total_counts
-from repro.sim.stackdist import ReuseProfile, reuse_profile
+from repro.sim.stackdist import ReuseProfile, SparseReuseProfile, reuse_profile
 from repro.sim.stats import SimStats
 from repro.sim.system import Simulator, SystemConfig
 
@@ -33,6 +35,7 @@ __all__ = [
     "CacheStats",
     "HierarchyStats",
     "ReuseProfile",
+    "SparseReuseProfile",
     "reuse_profile",
     "LatencyModel",
     "MemoryTimings",

@@ -8,13 +8,20 @@ line) is at least the capacity in lines.  This is the classical Mattson
 et al. result and a standard, well-validated approximation for highly
 associative caches like the paper's L2.
 
-The co-design harness uses it as a fast cross-check of the exact
-set-associative simulation across the paper's 1 — 256 MB L2 sweep (one
-profiling pass answers every capacity at once), and the test suite uses
-it to validate the exact simulator and vice versa.
+Two representations share that criterion:
 
-The implementation is the Fenwick-tree (binary indexed tree) algorithm:
-O(N log N) with NumPy-backed bulk operations where possible.
+- :class:`ReuseProfile` — the dense histogram an empirical pass over a
+  line-ID stream produces (:func:`reuse_profile`, the Fenwick-tree
+  O(N log N) algorithm);
+- :class:`SparseReuseProfile` — a weighted, sorted (distance, weight)
+  form with O(log N) capacity queries via precomputed suffix sums.  The
+  co-design sweep's fast backend (:mod:`repro.codesign.fastpath`) builds
+  one per layer from the analytical traffic classes and answers the
+  whole 1 — 256 MB L2 axis from that single profiling pass; the dense
+  form converts losslessly via :meth:`ReuseProfile.to_sparse`.
+
+The test suite uses both to validate the exact set-associative
+simulator and vice versa (differential and property-based campaigns).
 """
 
 from __future__ import annotations
@@ -79,6 +86,119 @@ class ReuseProfile:
     def miss_curve(self, capacities_lines: list[int]) -> dict[int, float]:
         """Miss rate for each capacity — the whole sweep from one pass."""
         return {c: self.miss_rate_for_capacity(c) for c in capacities_lines}
+
+    def to_sparse(self) -> "SparseReuseProfile":
+        """Lossless sparse form (cold accesses become infinite distance)."""
+        idx = np.nonzero(self.histogram)[0]
+        distances = idx.astype(np.float64)
+        weights = self.histogram[idx].astype(np.float64)
+        if self.cold:
+            distances = np.append(distances, np.inf)
+            weights = np.append(weights, float(self.cold))
+        return SparseReuseProfile(distances=distances, weights=weights)
+
+
+@dataclass(frozen=True)
+class SparseReuseProfile:
+    """A weighted stack-distance profile in sparse form.
+
+    ``weights[i]`` accesses were observed (or analytically derived) at
+    stack distance ``distances[i]``, counted in distinct cache lines;
+    a distance of ``inf`` marks cold (first-touch) accesses, which miss
+    in every finite cache.  Distances must be sorted ascending and
+    unique — build via :meth:`from_distances` for arbitrary input.
+
+    Weights may be fractional: the analytical traffic models hand the
+    L2 a *expected* number of line touches per reuse-distance class,
+    and the Mattson criterion is linear in the weights, so fractional
+    mass composes exactly.
+
+    Capacity queries are O(log N): a suffix-sum table is precomputed,
+    and the misses of a capacity-``C`` fully-associative LRU cache are
+    the total weight at distances >= ``C``.
+    """
+
+    distances: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        d = np.asarray(self.distances, dtype=np.float64)
+        w = np.asarray(self.weights, dtype=np.float64)
+        if d.shape != w.shape or d.ndim != 1:
+            raise ConfigError(
+                "distances and weights must be 1-D arrays of equal length"
+            )
+        if d.size and (np.any(np.diff(d) <= 0) or d[0] < 0):
+            raise ConfigError(
+                "distances must be non-negative, sorted and unique "
+                "(use SparseReuseProfile.from_distances)"
+            )
+        if np.any(w < 0) or np.any(np.isnan(w)):
+            raise ConfigError("weights must be non-negative")
+        object.__setattr__(self, "distances", d)
+        object.__setattr__(self, "weights", w)
+        # suffix[i] = total weight at distances[i:]; suffix[N] = 0.
+        suffix = np.zeros(d.size + 1, dtype=np.float64)
+        if d.size:
+            suffix[:-1] = np.cumsum(w[::-1])[::-1]
+        object.__setattr__(self, "_suffix", suffix)
+
+    @classmethod
+    def from_distances(
+        cls, distances: np.ndarray, weights: np.ndarray
+    ) -> "SparseReuseProfile":
+        """Build from unordered, possibly duplicated distances.
+
+        Duplicate distances have their weights coalesced; zero-weight
+        entries are dropped.
+        """
+        d = np.asarray(distances, dtype=np.float64)
+        w = np.asarray(weights, dtype=np.float64)
+        if d.shape != w.shape or d.ndim != 1:
+            raise ConfigError(
+                "distances and weights must be 1-D arrays of equal length"
+            )
+        uniq, inverse = np.unique(d, return_inverse=True)
+        mass = np.bincount(inverse, weights=w, minlength=uniq.size)
+        keep = mass > 0
+        return cls(distances=uniq[keep], weights=mass[keep])
+
+    @property
+    def total(self) -> float:
+        """Total access weight in the profile."""
+        return float(self._suffix[0])  # type: ignore[attr-defined]
+
+    @property
+    def cold(self) -> float:
+        """Weight of cold (infinite-distance) accesses."""
+        if self.distances.size and np.isinf(self.distances[-1]):
+            return float(self.weights[-1])
+        return 0.0
+
+    def misses_for_capacity(self, capacity_lines: float) -> float:
+        """Miss weight of a fully-associative LRU cache of that capacity."""
+        if capacity_lines <= 0:
+            raise ConfigError(f"capacity must be positive, got {capacity_lines}")
+        i = int(np.searchsorted(self.distances, capacity_lines, side="left"))
+        return float(self._suffix[i])  # type: ignore[attr-defined]
+
+    def miss_rate_for_capacity(self, capacity_lines: float) -> float:
+        return (
+            self.misses_for_capacity(capacity_lines) / self.total
+            if self.total
+            else 0.0
+        )
+
+    def miss_curve(self, capacities_lines: list[int]) -> dict[int, float]:
+        """Miss rate for each capacity — the whole sweep from one pass."""
+        return {c: self.miss_rate_for_capacity(c) for c in capacities_lines}
+
+    def merge(self, other: "SparseReuseProfile") -> "SparseReuseProfile":
+        """The profile of the concatenated access populations."""
+        return SparseReuseProfile.from_distances(
+            np.concatenate([self.distances, other.distances]),
+            np.concatenate([self.weights, other.weights]),
+        )
 
 
 def reuse_profile(lines: np.ndarray) -> ReuseProfile:

@@ -106,6 +106,13 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Table 2" in out or "miss rate" in out
 
+    def test_sweep_validate_prints_summary(self, capsys):
+        rc = main(["sweep", "vgg16", "--vlens", "512",
+                   "--l2-sizes", "1", "--mode", "validate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "max miss-rate delta" in out
+
     def test_unknown_network(self):
         with pytest.raises(SystemExit):
             main(["sweep", "resnet"])
@@ -119,10 +126,37 @@ class TestJsonOutput:
                    "--l2-sizes", "1", "--json"])
         assert rc == 0
         payload = json.loads(capsys.readouterr().out)
-        entry = payload["512b/1MB"]
+        assert payload["backend"] == "exact"
+        entry = payload["points"]["512b/1MB"]
         assert entry["cycles"] > 0
         assert 0 <= entry["l2_miss_rate"] <= 1
         assert entry["instructions"]
+        assert "validation" not in payload
+
+    def test_sweep_json_fast_mode(self, capsys):
+        import json
+
+        rc = main(["sweep", "vgg16", "--vlens", "512",
+                   "--l2-sizes", "1", "--mode", "fast", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "fast"
+        assert payload["points"]["512b/1MB"]["cycles"] > 0
+
+    def test_sweep_json_validate_mode(self, capsys):
+        import json
+
+        from repro.codesign import MISS_RATE_BOUND
+
+        rc = main(["sweep", "vgg16", "--vlens", "512",
+                   "--l2-sizes", "1,16", "--mode", "validate", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "exact"
+        val = payload["validation"]
+        assert set(val["deltas"]) == {"512b/1MB", "512b/16MB"}
+        assert 0 <= val["max_miss_rate_delta"] <= MISS_RATE_BOUND
+        assert isinstance(val["best_agrees"], bool)
 
     def test_stats_to_dict_roundtrips_via_json(self):
         import json

@@ -187,6 +187,87 @@ class TestSweepResultGrid:
             self._sweep({}, vlens=(512,), l2_mbs=(1,)).best()
 
 
+class TestBackendProvenance:
+    """The checkpoint schema records which backend produced each point,
+    and nothing — merge, resume, or a hand-edited file — may mix the
+    backends' L2 criteria inside one grid."""
+
+    def test_merge_rejects_mixed_backends(self):
+        a = SweepResult(name="net", vlens=(512,), l2_mbs=(1,),
+                        results={(512, 1): _fake_result("net", 100.0)},
+                        backend="exact")
+        b = SweepResult(name="net", vlens=(1024,), l2_mbs=(1,),
+                        results={(1024, 1): _fake_result("net", 50.0)},
+                        backend="fast")
+        with pytest.raises(ConfigError, match="backend"):
+            a.merge(b)
+        with pytest.raises(ConfigError, match="backend"):
+            b.merge(a)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepResult(name="net", vlens=(512,), l2_mbs=(1,),
+                        results={}, backend="approximate")
+
+    def test_resume_in_different_mode_rejected(self, tmp_path, layers):
+        ckpt = tmp_path / "run"
+        codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                       l2_mbs=(L2_MBS[0],), checkpoint_dir=ckpt,
+                       mode="fast")
+        with pytest.raises(ConfigError):
+            codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                           l2_mbs=(L2_MBS[0],), checkpoint_dir=ckpt,
+                           mode="exact")
+
+    def test_point_payload_records_backend(self, tmp_path, layers):
+        for mode in ("exact", "fast"):
+            ckpt = tmp_path / mode
+            sweep = codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                                   l2_mbs=(L2_MBS[0],),
+                                   checkpoint_dir=ckpt, mode=mode)
+            assert sweep.backend == mode
+            payload = json.loads(
+                _point_path(ckpt, VLENS[0], L2_MBS[0]).read_text())
+            assert payload["version"] == CHECKPOINT_VERSION
+            assert payload["backend"] == mode
+            manifest = json.loads((ckpt / MANIFEST_NAME).read_text())
+            assert manifest["backend"] == mode
+
+    def test_fast_resume_restores_instead_of_recomputing(
+            self, tmp_path, layers):
+        ckpt = tmp_path / "run"
+        full = codesign_sweep("vgg-head", layers, vlens=VLENS,
+                              l2_mbs=L2_MBS, mode="fast")
+        codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                       l2_mbs=L2_MBS, checkpoint_dir=ckpt, mode="fast")
+        events = []
+        resumed = codesign_sweep("vgg-head", layers, vlens=VLENS,
+                                 l2_mbs=L2_MBS, checkpoint_dir=ckpt,
+                                 mode="fast", on_progress=events.append)
+        assert resumed == full
+        restored = {(e.vlen, e.l2_mb) for e in events if e.from_checkpoint}
+        assert restored == {(VLENS[0], l) for l in L2_MBS}
+
+    def test_hand_edited_foreign_backend_point_is_recomputed(
+            self, tmp_path, layers):
+        """Belt and suspenders below the manifest: a point file claiming
+        the other backend is treated as missing, not trusted."""
+        ckpt = tmp_path / "run"
+        codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                       l2_mbs=(L2_MBS[0],), checkpoint_dir=ckpt,
+                       mode="fast")
+        point = _point_path(ckpt, VLENS[0], L2_MBS[0])
+        payload = json.loads(point.read_text())
+        payload["backend"] = "exact"
+        point.write_text(json.dumps(payload))
+        events = []
+        codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                       l2_mbs=(L2_MBS[0],), checkpoint_dir=ckpt,
+                       mode="fast", on_progress=events.append)
+        assert all(not e.from_checkpoint for e in events)
+        assert json.loads(point.read_text())["backend"] == "fast"
+
+
 class TestProgressDescribe:
     def test_ticker_line(self):
         p = SweepProgress(done=3, total=20, vlen=2048, l2_mb=64,

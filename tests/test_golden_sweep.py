@@ -1,0 +1,155 @@
+"""Golden-fixture tests for sweep-grid serialization and derivation.
+
+``tests/data/golden_sweep_{exact,fast}.json`` hold the full
+``SweepResult.to_dict()`` of a small fixed grid per backend, plus the
+derived quantities (``best()``, ``speedup()``) computed when the
+fixture was written.  The tests pin three things bit-for-bit:
+
+- serialization: ``from_dict``/``to_dict`` round-trip the stored grid
+  exactly (through a JSON encode/decode as well);
+- composition: merging the per-VLEN halves of the stored grid
+  reproduces the whole, and mixing backends is rejected;
+- derivation: ``best()`` and ``speedup()`` over the stored grid still
+  produce the stored values;
+- the model itself: re-running the sweep on the fixture net
+  reproduces the stored grid (regenerate deliberately after retuning
+  the timing model: ``PYTHONPATH=src python tests/test_golden_sweep.py``).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.codesign import BACKEND_EXACT, BACKEND_FAST, SweepResult, codesign_sweep
+from repro.conv import ConvLayerSpec
+from repro.errors import ConfigError
+from repro.nets.layers import MaxPoolSpec
+
+DATA = Path(__file__).resolve().parent / "data"
+FIXTURES = {
+    BACKEND_EXACT: DATA / "golden_sweep_exact.json",
+    BACKEND_FAST: DATA / "golden_sweep_fast.json",
+}
+
+#: The fixture net and grid (small, deterministic, sub-second).
+GOLDEN_LAYERS = [
+    ConvLayerSpec(name="g1", c_in=8, h_in=32, w_in=32, c_out=16,
+                  ksize=3, stride=1, pad=1),
+    MaxPoolSpec(name="gp", c=16, h=32, w=32),
+    ConvLayerSpec(name="g2", c_in=16, h_in=16, w_in=16, c_out=16,
+                  ksize=1, stride=1, pad=0),
+]
+GOLDEN_VLENS = (512, 1024)
+GOLDEN_L2_MBS = (1, 4)
+
+
+def _run_golden_sweep(backend: str) -> SweepResult:
+    return codesign_sweep("golden", GOLDEN_LAYERS, vlens=GOLDEN_VLENS,
+                          l2_mbs=GOLDEN_L2_MBS, mode=backend)
+
+
+def _fixture_payload(sweep: SweepResult) -> dict:
+    return {
+        "sweep": sweep.to_dict(),
+        "expected": {
+            "best": list(sweep.best()),
+            "speedups": {
+                f"{v}/{l}": sweep.speedup(v, l)
+                for v in sweep.vlens for l in sweep.l2_mbs
+            },
+        },
+    }
+
+
+@pytest.fixture(scope="module", params=sorted(FIXTURES))
+def golden(request):
+    path = FIXTURES[request.param]
+    with open(path) as f:
+        payload = json.load(f)
+    return request.param, payload
+
+
+class TestGoldenSerialization:
+    def test_round_trip_is_bit_exact(self, golden):
+        backend, payload = golden
+        sweep = SweepResult.from_dict(payload["sweep"])
+        assert sweep.backend == backend
+        assert sweep.is_complete
+        assert sweep.to_dict() == payload["sweep"]
+        # And through an actual JSON encode/decode.
+        rehydrated = SweepResult.from_dict(
+            json.loads(json.dumps(sweep.to_dict())))
+        assert rehydrated.to_dict() == payload["sweep"]
+        assert rehydrated == sweep
+
+    def test_merge_of_halves_reproduces_the_whole(self, golden):
+        _, payload = golden
+        whole = SweepResult.from_dict(payload["sweep"])
+        halves = []
+        for v in whole.vlens:
+            halves.append(SweepResult(
+                name=whole.name, vlens=(v,), l2_mbs=whole.l2_mbs,
+                results={k: r for k, r in whole.results.items()
+                         if k[0] == v},
+                backend=whole.backend,
+            ))
+        merged = halves[0]
+        for half in halves[1:]:
+            merged = merged.merge(half)
+        # The merged grid is narrower than the declared one until the
+        # last half arrives; afterwards it must match bit for bit.
+        assert merged.to_dict() == payload["sweep"]
+
+    def test_legacy_dict_without_backend_is_exact(self, golden):
+        backend, payload = golden
+        legacy = dict(payload["sweep"])
+        legacy.pop("backend")
+        assert SweepResult.from_dict(legacy).backend == BACKEND_EXACT
+
+
+class TestGoldenDerivation:
+    def test_best_is_stable(self, golden):
+        _, payload = golden
+        sweep = SweepResult.from_dict(payload["sweep"])
+        assert list(sweep.best()) == payload["expected"]["best"]
+
+    def test_speedups_are_bit_stable(self, golden):
+        _, payload = golden
+        sweep = SweepResult.from_dict(payload["sweep"])
+        for key, expect in payload["expected"]["speedups"].items():
+            v, l = (int(x) for x in key.split("/"))
+            # Bit-stable: the stored float, not an approximation.
+            assert sweep.speedup(v, l) == expect
+
+
+class TestGoldenModel:
+    def test_resimulation_reproduces_the_fixture(self, golden):
+        """The timing model still produces the stored grid.  If a PR
+        retunes the model on purpose, regenerate the fixtures (see the
+        module docstring) and review the diff."""
+        backend, payload = golden
+        assert _fixture_payload(_run_golden_sweep(backend)) == payload
+
+
+def test_mixed_backend_fixtures_refuse_to_merge():
+    with open(FIXTURES[BACKEND_EXACT]) as f:
+        exact = SweepResult.from_dict(json.load(f)["sweep"])
+    with open(FIXTURES[BACKEND_FAST]) as f:
+        fast = SweepResult.from_dict(json.load(f)["sweep"])
+    with pytest.raises(ConfigError, match="backend"):
+        exact.merge(fast)
+
+
+def _regenerate() -> None:
+    DATA.mkdir(exist_ok=True)
+    for backend, path in FIXTURES.items():
+        payload = _fixture_payload(_run_golden_sweep(backend))
+        with open(path, "w") as f:
+            json.dump(payload, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    _regenerate()

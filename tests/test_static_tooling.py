@@ -1,12 +1,14 @@
-"""Static-tooling gate for the verifier package.
+"""Static-tooling gates: lint, types and coverage.
 
-Runs ruff and mypy over ``src/repro/analysis`` when the tools are
-installed (the ``dev`` extra) and skips cleanly when they are not, so
-the tier-1 suite has no dependencies beyond numpy/pytest/hypothesis.
-The configuration itself lives in pyproject.toml; these tests just
-keep it honest.
+Runs ruff and mypy over ``src/repro/analysis``, and a coverage session
+with a floor over ``repro.sim`` + ``repro.codesign`` (the stack-distance
+fast path and its backends), when the tools are installed (the ``dev``
+extra) — and skips cleanly when they are not, so the tier-1 suite has
+no dependencies beyond numpy/pytest/hypothesis.  The configuration
+itself lives in pyproject.toml; these tests just keep it honest.
 """
 
+import os
 import shutil
 import subprocess
 import sys
@@ -17,10 +19,22 @@ import pytest
 REPO = Path(__file__).resolve().parent.parent
 ANALYSIS = REPO / "src" / "repro" / "analysis"
 
+#: Tests exercising repro.sim + repro.codesign, run under coverage.
+COVERAGE_TESTS = [
+    "tests/test_stackdist_properties.py",
+    "tests/test_sweep_fastpath.py",
+    "tests/test_codesign_executor.py",
+    "tests/test_golden_sweep.py",
+    "tests/test_sim_cache.py",
+    "tests/test_sim_events.py",
+    "tests/test_sim_system.py",
+]
 
-def _run(cmd):
+
+def _run(cmd, timeout=300, env=None):
     return subprocess.run(
-        cmd, cwd=REPO, capture_output=True, text=True, timeout=300)
+        cmd, cwd=REPO, capture_output=True, text=True, timeout=timeout,
+        env=env)
 
 
 def test_pyproject_configures_the_tools():
@@ -29,6 +43,32 @@ def test_pyproject_configures_the_tools():
     assert "[tool.mypy]" in text
     assert 'module = "repro.analysis.*"' in text
     assert "strict = true" in text
+
+
+def test_pyproject_configures_coverage_and_markers():
+    text = (REPO / "pyproject.toml").read_text()
+    assert "[tool.coverage.run]" in text
+    assert "[tool.coverage.report]" in text
+    assert "fail_under" in text
+    assert "differential:" in text
+
+
+def test_coverage_floor_on_sim_and_codesign():
+    try:
+        import coverage  # noqa: F401
+    except ImportError:
+        pytest.skip("coverage not installed (dev extra)")
+    missing = [t for t in COVERAGE_TESTS if not (REPO / t).exists()]
+    assert not missing, f"coverage test set out of date: {missing}"
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = _run(
+        [sys.executable, "-m", "coverage", "run", "-m", "pytest", "-q", "-x",
+         *COVERAGE_TESTS],
+        timeout=600, env=env)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    # fail_under comes from [tool.coverage.report] in pyproject.toml.
+    proc = _run([sys.executable, "-m", "coverage", "report"], env=env)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
 def test_ruff_clean_on_analysis_package():
