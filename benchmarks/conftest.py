@@ -14,7 +14,11 @@ sweep executor's environment knobs:
   (default 1, the serial path; results are identical either way);
 - ``REPRO_SWEEP_CHECKPOINT`` — a checkpoint directory root; each
   network sweep gets a subdirectory there and an interrupted bench run
-  resumes instead of recomputing finished points.
+  resumes instead of recomputing finished points;
+- ``REPRO_SWEEP_TRACE`` — a trace directory root; each network sweep
+  gets a subdirectory with a run ``manifest.json`` and an
+  ``events.jsonl`` flight recorder of its structured event stream
+  (progress ticks, checkpoint drops, pool degradation).
 """
 
 from __future__ import annotations
@@ -33,6 +37,16 @@ def sweep_kwargs(tag: str) -> dict:
     root = os.environ.get("REPRO_SWEEP_CHECKPOINT")
     if root:
         kwargs["checkpoint_dir"] = os.path.join(root, tag)
+    trace_root = os.environ.get("REPRO_SWEEP_TRACE")
+    if trace_root:
+        from repro.obs import JsonlSink, run_manifest, write_manifest
+
+        trace_dir = os.path.join(trace_root, tag)
+        write_manifest(trace_dir, run_manifest(
+            "bench-sweep", extra={"sweep": tag, **{
+                k: str(v) for k, v in kwargs.items()}},
+        ))
+        kwargs["sink"] = JsonlSink(os.path.join(trace_dir, "events.jsonl"))
     return kwargs
 
 

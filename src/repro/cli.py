@@ -7,7 +7,10 @@ workflow:
 - ``conv``     run one convolutional layer functionally + through the
                timing model and print its statistics;
 - ``sweep``    run a network over the co-design grid (Figures 3/4,
-               Tables 1/2);
+               Tables 1/2); ``--trace DIR`` records the structured
+               event stream and run manifest;
+- ``profile``  simulate one network inference under the span tracer and
+               print the per-layer time/counter breakdown;
 - ``roofline``     print the Figure 5/6 rooflines;
 - ``lint-kernels`` audit every kernel variant with the trace-lifted
                    verifier (spec conformance, hazards, VLA portability);
@@ -85,6 +88,11 @@ def _network(name: str):
 
 
 def cmd_sweep(args) -> int:
+    from dataclasses import asdict
+    from pathlib import Path
+
+    from repro.obs import JsonlSink, run_manifest, write_manifest
+
     layers = _network(args.network)
     vlens = tuple(int(v) for v in args.vlens.split(","))
     l2s = tuple(int(v) for v in args.l2_sizes.split(","))
@@ -92,22 +100,37 @@ def cmd_sweep(args) -> int:
     if args.progress:
         def on_progress(p):
             print(p.describe(), file=sys.stderr)
+    sink = None
+    if args.trace:
+        trace_dir = Path(args.trace)
+        write_manifest(trace_dir, run_manifest(
+            "sweep", config=asdict(SystemConfig()), backend=args.mode,
+            extra={"network": args.network, "vlens": list(vlens),
+                   "l2_mbs": list(l2s), "workers": args.workers,
+                   "hybrid": not args.pure_gemm},
+        ))
+        sink = JsonlSink(trace_dir / "events.jsonl")
     common = dict(hybrid=not args.pure_gemm, workers=args.workers,
                   checkpoint_dir=args.checkpoint_dir,
-                  on_progress=on_progress)
-    if args.mode == "validate":
-        validation = validate_codesign_sweep(
-            args.network, layers, vlens=vlens, l2_mbs=l2s, **common)
-        sweep = validation.exact
-    else:
-        validation = None
-        sweep = codesign_sweep(args.network, layers, vlens=vlens,
-                               l2_mbs=l2s, mode=args.mode, **common)
+                  on_progress=on_progress, sink=sink)
+    try:
+        if args.mode == "validate":
+            validation = validate_codesign_sweep(
+                args.network, layers, vlens=vlens, l2_mbs=l2s, **common)
+            sweep = validation.exact
+        else:
+            validation = None
+            sweep = codesign_sweep(args.network, layers, vlens=vlens,
+                                   l2_mbs=l2s, mode=args.mode, **common)
+    finally:
+        if sink is not None:
+            sink.close()
     if args.json:
         import json
 
         payload = {
             "backend": sweep.backend,
+            "degraded": sweep.degraded,
             "points": {
                 f"{v}b/{l}MB": sweep.at(v, l).total.to_dict()
                 for v in sweep.vlens for l in sweep.l2_mbs
@@ -133,6 +156,58 @@ def cmd_sweep(args) -> int:
     if validation is not None:
         print()
         print(validation.summary())
+    if sweep.degraded:
+        print("warning: the process pool degraded to serial execution "
+              "during this sweep (results are exact; see the event "
+              "trace)", file=sys.stderr)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Simulate one inference under the span tracer and report where
+    the cycles went, per layer."""
+    from dataclasses import asdict
+    from pathlib import Path
+
+    from repro.nets.inference import simulate_inference
+    from repro.obs import (
+        Tracer,
+        render_trace_json,
+        render_trace_text,
+        run_manifest,
+        trace_payload,
+        tracing,
+        write_manifest,
+    )
+
+    layers = _network(args.network)
+    if args.layers is not None:
+        layers = layers[: args.layers]
+    cfg = _config(args)
+    tracer = Tracer()
+    with tracing(tracer):
+        result = simulate_inference(
+            args.network, layers, cfg, hybrid=not args.pure_gemm
+        )
+    root = tracer.root
+    manifest = run_manifest(
+        "profile", config=asdict(cfg),
+        extra={"network": args.network, "layers": len(layers),
+               "hybrid": not args.pure_gemm},
+    )
+    if args.trace:
+        trace_dir = Path(args.trace)
+        write_manifest(trace_dir, manifest)
+        import json
+
+        (trace_dir / "trace.json").write_text(
+            json.dumps(trace_payload(root, manifest), indent=2) + "\n")
+    if args.json:
+        print(render_trace_json(root, manifest))
+    else:
+        print(render_trace_text(root))
+        print()
+        print(result.total.report())
     return 0
 
 
@@ -242,7 +317,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "interrupted sweep")
     p.add_argument("--progress", action="store_true",
                    help="print a per-point progress/ETA line to stderr")
+    p.add_argument("--trace", default=None, metavar="DIR",
+                   help="record the sweep's structured event stream "
+                        "(events.jsonl) and run manifest (manifest.json) "
+                        "into DIR")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "profile",
+        help="simulate one inference under the span tracer and print "
+             "the per-layer time/counter breakdown")
+    p.add_argument("network", choices=["vgg16", "yolov3"])
+    _add_system_args(p)
+    p.add_argument("--layers", type=int, default=None, metavar="N",
+                   help="profile only the first N layers")
+    p.add_argument("--pure-gemm", action="store_true",
+                   help="baseline policy: im2col+GEMM everywhere")
+    p.add_argument("--json", action="store_true",
+                   help="emit the manifest + span tree as JSON")
+    p.add_argument("--trace", default=None, metavar="DIR",
+                   help="also write manifest.json and trace.json to DIR")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("roofline", help="Figure 5/6 rooflines")
     _add_system_args(p)

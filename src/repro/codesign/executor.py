@@ -4,7 +4,7 @@ The paper's headline artifacts (Figures 3/4, Tables 1/2) each sweep a
 (vector length x L2 size) grid — 20 points per network on the paper's
 grids, far more for the larger co-design studies this repo grows
 toward.  Every point is independent, so this module fans the grid out
-over a :class:`concurrent.futures.ProcessPoolExecutor` and adds the two
+over a :class:`concurrent.futures.ProcessPoolExecutor` and adds the
 properties a long sweep needs in production:
 
 - **checkpoint/resume** — with ``checkpoint_dir`` set, every finished
@@ -14,10 +14,23 @@ properties a long sweep needs in production:
   manifest pins the run's identity (network, policy, variant, base
   configuration, *and backend*) so a directory can never silently mix
   results from different setups — in particular, fast- and
-  exact-backend points never share a directory.
-- **progress reporting** — an ``on_progress`` callback receives a
-  :class:`SweepProgress` (points done, per-point seconds, elapsed and
-  ETA) after every point, which the CLI renders as a live ticker.
+  exact-backend points never share a directory.  The manifest's
+  ``run`` section additionally records the last run's telemetry
+  (dropped corrupt checkpoints, pool degradation); it is informational
+  and excluded from the identity check.
+- **observability** — every noteworthy moment flows through one
+  structured event layer (:mod:`repro.obs.events`): ``sweep_start``,
+  per-point ``point_finished``/``point_restored`` ticks (with elapsed
+  and ETA), warning-level ``checkpoint_corrupt`` and ``pool_degraded``
+  events, and a closing ``sweep_end`` summary.  The ``on_progress``
+  callback is a *rendering* of that stream — each tick event is also
+  delivered as a :class:`SweepProgress` — and warning events are
+  additionally raised as Python :class:`RuntimeWarning`\\ s so a plain
+  CLI run is never silent about degradation or dropped data.  When an
+  ambient tracer is installed (:func:`repro.obs.tracing`), the sweep
+  records a ``run_sweep`` span and worker subtraces travel back with
+  each result and are grafted into the parent trace; worker counter
+  deltas merge into the process-global registry the same way.
 
 Two backends evaluate the grid (``mode``): the exact backend runs
 :func:`~repro.nets.inference.simulate_inference` per point and
@@ -33,7 +46,8 @@ point is evaluated by the same pure function
 the parent either in-process or via pickle, neither of which perturbs a
 float.  Checkpointed points round-trip through JSON, which Python
 serializes with shortest-repr floats, so restored grids are
-bit-identical too.
+bit-identical too.  Instrumentation is observation-only and never
+feeds back into a result.
 """
 
 from __future__ import annotations
@@ -41,6 +55,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings as _warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
@@ -54,6 +69,17 @@ from repro.kernels.tuple_mult import SLIDEUP
 from repro.model.layer_model import NetworkResult
 from repro.nets.inference import simulate_inference
 from repro.nets.layers import LayerSpec
+from repro.obs import (
+    COUNTERS,
+    LEVEL_WARNING,
+    EventSink,
+    Span,
+    Tracer,
+    current_tracer,
+    event,
+    span,
+    tracing,
+)
 from repro.sim.system import SystemConfig
 
 #: Checkpoint schema version; bumped on incompatible layout changes
@@ -62,6 +88,11 @@ CHECKPOINT_VERSION = 2
 
 #: Manifest file name inside a checkpoint directory.
 MANIFEST_NAME = "manifest.json"
+
+#: Manifest section holding per-run telemetry (dropped checkpoints,
+#: degradation); informational, excluded from the identity check that
+#: guards resume.
+MANIFEST_RUN_KEY = "run"
 
 
 @dataclass(frozen=True)
@@ -75,7 +106,9 @@ class SweepProgress:
         point_seconds: wall time this point took (0 for restores).
         elapsed_seconds: wall time since the sweep started.
         eta_seconds: estimated remaining wall time, extrapolated from
-            the points computed so far (0 until one has finished).
+            the wall time spent *computing* points (checkpoint-restore
+            time is excluded from the base); ``None`` until at least
+            one point has actually computed — rendered as "eta —".
         from_checkpoint: True when the point was restored, not run.
     """
 
@@ -85,20 +118,152 @@ class SweepProgress:
     l2_mb: int
     point_seconds: float
     elapsed_seconds: float
-    eta_seconds: float
+    eta_seconds: float | None
     from_checkpoint: bool
+
+    @classmethod
+    def from_event(cls, ev: dict) -> "SweepProgress":
+        """Build a tick from a ``point_finished``/``point_restored``
+        event — the ticker is a rendering of the event stream."""
+        return cls(
+            done=ev["done"], total=ev["total"],
+            vlen=ev["vlen"], l2_mb=ev["l2_mb"],
+            point_seconds=ev["point_seconds"],
+            elapsed_seconds=ev["elapsed_seconds"],
+            eta_seconds=ev["eta_seconds"],
+            from_checkpoint=ev["event"] == "point_restored",
+        )
 
     def describe(self) -> str:
         """One-line ticker text (the CLI's ``--progress`` output)."""
         src = "restored" if self.from_checkpoint else f"{self.point_seconds:.2f}s"
+        eta = ("—" if self.eta_seconds is None
+               else f"{self.eta_seconds:.1f}s")
         return (
             f"[{self.done}/{self.total}] {self.vlen}b/{self.l2_mb}MB "
             f"{src}  elapsed {self.elapsed_seconds:.1f}s  "
-            f"eta {self.eta_seconds:.1f}s"
+            f"eta {eta}"
         )
 
 
 ProgressCallback = Callable[[SweepProgress], None]
+
+
+class _SweepTelemetry:
+    """The sweep's single observability funnel.
+
+    Every progress tick, warning and summary is built here as a
+    structured event, delivered to the optional sink, and — for ticks —
+    re-rendered as a :class:`SweepProgress` for the legacy callback.
+    Warning-level events are also raised as :class:`RuntimeWarning` so
+    degradation is visible even with no sink attached.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        sink: EventSink | None,
+        on_progress: ProgressCallback | None,
+    ) -> None:
+        self.total = total
+        self.sink = sink
+        self.on_progress = on_progress
+        self.done = 0
+        self.computed = 0
+        self.restored = 0
+        self.dropped_checkpoints = 0
+        self.degraded = False
+        self.start = time.perf_counter()
+        self._compute_start: float | None = None
+
+    # ------------------------------------------------------------------
+    def _emit(self, ev: dict) -> None:
+        if self.sink is not None:
+            self.sink.emit(ev)
+        if ev.get("level") == LEVEL_WARNING:
+            detail = ev.get("reason", "")
+            _warnings.warn(
+                f"sweep {ev['event']}: {detail}", RuntimeWarning,
+                stacklevel=4,
+            )
+
+    def _eta_seconds(self) -> float | None:
+        """Remaining wall time, from computed points only.
+
+        ``None`` until a point has actually computed: a resume that has
+        so far only restored checkpoints has no computation to
+        extrapolate from (the old ticker reported a confident
+        ``eta 0.0s`` there).  The base excludes the restore phase's
+        wall time, so a long restore cannot dilute the estimate.
+        """
+        if not self.computed or self._compute_start is None:
+            return None
+        compute_elapsed = time.perf_counter() - self._compute_start
+        remaining = self.total - self.done
+        return compute_elapsed / self.computed * remaining
+
+    # ------------------------------------------------------------------
+    def sweep_start(self, name: str, backend: str, workers: int) -> None:
+        self._emit(event(
+            "sweep_start", name=name, backend=backend, workers=workers,
+            total=self.total,
+        ))
+
+    def begin_compute(self) -> None:
+        """Mark the restore phase over; the ETA base starts here."""
+        if self._compute_start is None:
+            self._compute_start = time.perf_counter()
+
+    def _tick(self, kind: str, vlen: int, l2_mb: int, secs: float) -> None:
+        ev = event(
+            kind, vlen=vlen, l2_mb=l2_mb,
+            done=self.done, total=self.total, point_seconds=secs,
+            elapsed_seconds=time.perf_counter() - self.start,
+            eta_seconds=self._eta_seconds(),
+        )
+        self._emit(ev)
+        if self.on_progress is not None:
+            self.on_progress(SweepProgress.from_event(ev))
+
+    def point_restored(self, vlen: int, l2_mb: int) -> None:
+        self.done += 1
+        self.restored += 1
+        self._tick("point_restored", vlen, l2_mb, 0.0)
+
+    def point_finished(self, vlen: int, l2_mb: int, secs: float) -> None:
+        self.done += 1
+        self.computed += 1
+        self._tick("point_finished", vlen, l2_mb, secs)
+
+    def checkpoint_corrupt(self, path: Path, reason: str) -> None:
+        self.dropped_checkpoints += 1
+        self._emit(event(
+            "checkpoint_corrupt", level=LEVEL_WARNING,
+            file=str(path), reason=f"{reason} (recomputing the point)",
+        ))
+
+    def pool_degraded(self, reason: str) -> None:
+        self.degraded = True
+        self._emit(event(
+            "pool_degraded", level=LEVEL_WARNING,
+            reason=f"{reason}; continuing serially in-process",
+        ))
+
+    def sweep_end(self) -> dict:
+        """Emit the closing summary; returns the run-info block the
+        checkpoint manifest records."""
+        run_info = {
+            "computed": self.computed,
+            "restored": self.restored,
+            "dropped_checkpoints": self.dropped_checkpoints,
+            "degraded": self.degraded,
+        }
+        self._emit(event(
+            "sweep_end",
+            elapsed_seconds=time.perf_counter() - self.start,
+            **run_info,
+        ))
+        return run_info
 
 
 def _evaluate_point(
@@ -109,12 +274,32 @@ def _evaluate_point(
     hybrid: bool,
     variant: str,
     base_config: SystemConfig,
-) -> tuple[NetworkResult, float]:
-    """Evaluate one grid point (runs in a worker process when pooled)."""
+    collect: bool = False,
+) -> tuple[NetworkResult, float, dict]:
+    """Evaluate one grid point (runs in a worker process when pooled).
+
+    With ``collect`` (the pooled path), the point's span subtree and
+    counter delta are captured and returned picklable, so the parent
+    can graft them into its trace and registry; the serial path leaves
+    it False and records into the ambient tracer directly.
+    """
     t0 = time.perf_counter()
     cfg = base_config.with_(vlen_bits=vlen, l2_mb=l2_mb)
-    result = simulate_inference(name, layers, cfg, hybrid=hybrid, variant=variant)
-    return result, time.perf_counter() - t0
+    extras: dict = {}
+    if collect:
+        local = Tracer()
+        with COUNTERS.capture() as cap, tracing(local), local.span(
+            "sweep_worker", vlen=vlen, l2_mb=l2_mb
+        ):
+            result = simulate_inference(
+                name, layers, cfg, hybrid=hybrid, variant=variant
+            )
+        extras = {"span": local.root.to_dict(), "counters": cap.delta()}
+    else:
+        result = simulate_inference(
+            name, layers, cfg, hybrid=hybrid, variant=variant
+        )
+    return result, time.perf_counter() - t0, extras
 
 
 def _evaluate_vlen_fast(
@@ -125,26 +310,40 @@ def _evaluate_vlen_fast(
     hybrid: bool,
     variant: str,
     base_config: SystemConfig,
-) -> list[tuple[int, NetworkResult, float]]:
+    collect: bool = False,
+) -> tuple[list[tuple[int, NetworkResult, float]], dict]:
     """Evaluate one VLEN column of the grid via the fast backend.
 
     One stack-distance profiling pass answers every requested L2 size;
     the pass's wall time is attributed to the column's first point so
-    per-point seconds still sum to the column's true cost.
+    per-point seconds still sum to the column's true cost.  ``collect``
+    works as in :func:`_evaluate_point`, with one span per column.
     """
-    t0 = time.perf_counter()
-    cfg = base_config.with_(vlen_bits=vlen)
-    profile = profile_network(name, layers, cfg, hybrid=hybrid, variant=variant)
-    profile_secs = time.perf_counter() - t0
-    out: list[tuple[int, NetworkResult, float]] = []
-    for i, l2_mb in enumerate(l2_mbs):
-        t1 = time.perf_counter()
-        result = profile.evaluate(l2_mb)
-        secs = time.perf_counter() - t1
-        if i == 0:
-            secs += profile_secs
-        out.append((l2_mb, result, secs))
-    return out
+    def column() -> list[tuple[int, NetworkResult, float]]:
+        t0 = time.perf_counter()
+        cfg = base_config.with_(vlen_bits=vlen)
+        profile = profile_network(
+            name, layers, cfg, hybrid=hybrid, variant=variant
+        )
+        profile_secs = time.perf_counter() - t0
+        out: list[tuple[int, NetworkResult, float]] = []
+        for i, l2_mb in enumerate(l2_mbs):
+            t1 = time.perf_counter()
+            result = profile.evaluate(l2_mb)
+            secs = time.perf_counter() - t1
+            if i == 0:
+                secs += profile_secs
+            out.append((l2_mb, result, secs))
+        return out
+
+    if not collect:
+        return column(), {}
+    local = Tracer()
+    with COUNTERS.capture() as cap, tracing(local), local.span(
+        "sweep_worker", vlen=vlen, l2_mbs=list(l2_mbs)
+    ):
+        out = column()
+    return out, {"span": local.root.to_dict(), "counters": cap.delta()}
 
 
 # ----------------------------------------------------------------------
@@ -162,6 +361,12 @@ def _manifest_payload(
         "variant": variant,
         "config": asdict(base_config),
     }
+
+
+def _manifest_identity(payload: dict) -> dict:
+    """The identity-pinning part of a manifest (run telemetry, which
+    legitimately differs between runs of the same sweep, stripped)."""
+    return {k: v for k, v in payload.items() if k != MANIFEST_RUN_KEY}
 
 
 def _point_path(directory: Path, vlen: int, l2_mb: int) -> Path:
@@ -189,7 +394,7 @@ def _open_checkpoint_dir(
             raise ConfigError(
                 f"unreadable sweep manifest {mpath}: {e}"
             ) from None
-        if existing != manifest:
+        if _manifest_identity(existing) != manifest:
             raise ConfigError(
                 f"checkpoint directory {directory} belongs to a different "
                 f"sweep (manifest mismatch); use a fresh directory"
@@ -198,20 +403,48 @@ def _open_checkpoint_dir(
         _write_json_atomic(mpath, manifest)
 
 
-def _load_point(path: Path, backend: str) -> NetworkResult | None:
-    """Restore one checkpointed point; None if absent, torn, from an
-    older schema, or produced by a different backend (the manifest
-    already hard-rejects cross-backend directories; this is the
-    per-file belt to that suspender)."""
+def _load_point(
+    path: Path, backend: str
+) -> tuple[NetworkResult | None, str | None]:
+    """Restore one checkpointed point.
+
+    Returns ``(result, None)`` on success, ``(None, None)`` when the
+    file simply does not exist, and ``(None, reason)`` when a file *was*
+    there but had to be dropped — torn, unreadable, from an older
+    schema, or produced by a different backend (the manifest already
+    hard-rejects cross-backend directories; this is the per-file belt
+    to that suspender).  Dropped files are never silent: the executor
+    turns every reason into a ``checkpoint_corrupt`` warning event and
+    counts it in the manifest's run section.
+    """
     try:
-        payload = json.loads(path.read_text())
-        if payload.get("version") != CHECKPOINT_VERSION:
-            return None
-        if payload.get("backend") != backend:
-            return None
-        return NetworkResult.from_dict(payload["result"])
-    except (OSError, ValueError, KeyError, TypeError):
-        return None
+        text = path.read_text()
+    except FileNotFoundError:
+        return None, None
+    except OSError as e:
+        return None, f"unreadable: {e}"
+    try:
+        payload = json.loads(text)
+    except ValueError as e:
+        return None, f"invalid JSON: {e}"
+    if not isinstance(payload, dict):
+        return None, "payload is not a JSON object"
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        return None, (
+            f"checkpoint schema v{version!r} (this executor writes "
+            f"v{CHECKPOINT_VERSION})"
+        )
+    point_backend = payload.get("backend")
+    if point_backend != backend:
+        return None, (
+            f"produced by backend {point_backend!r}, this sweep runs "
+            f"{backend!r}"
+        )
+    try:
+        return NetworkResult.from_dict(payload["result"]), None
+    except (ValueError, KeyError, TypeError) as e:
+        return None, f"malformed result payload ({type(e).__name__}: {e})"
 
 
 def _save_point(
@@ -241,6 +474,7 @@ def run_sweep(
     checkpoint_dir: str | Path | None = None,
     on_progress: ProgressCallback | None = None,
     mode: str = BACKEND_EXACT,
+    sink: EventSink | None = None,
 ) -> SweepResult:
     """Run a network across the co-design grid (see
     :func:`repro.codesign.sweep.codesign_sweep` for the argument
@@ -260,139 +494,165 @@ def run_sweep(
     grid_l2s = tuple(sorted(set(int(l) for l in l2_mbs)))
     points = [(v, l) for v in grid_vlens for l in grid_l2s]
     total = len(points)
-    start = time.perf_counter()
 
     directory: Path | None = None
+    manifest: dict = {}
     if checkpoint_dir is not None:
         directory = Path(checkpoint_dir)
-        _open_checkpoint_dir(
-            directory, _manifest_payload(name, hybrid, variant, base, mode)
-        )
+        manifest = _manifest_payload(name, hybrid, variant, base, mode)
+        _open_checkpoint_dir(directory, manifest)
 
+    telemetry = _SweepTelemetry(total=total, sink=sink,
+                                on_progress=on_progress)
     results: dict[tuple[int, int], NetworkResult] = {}
-    done = 0
-    computed = 0
 
-    def tick(vlen: int, l2_mb: int, secs: float, restored: bool) -> None:
-        nonlocal done
-        done += 1
-        if on_progress is None:
-            return
-        elapsed = time.perf_counter() - start
-        remaining = total - done
-        eta = elapsed / computed * remaining if computed else 0.0
-        on_progress(SweepProgress(
-            done=done, total=total, vlen=vlen, l2_mb=l2_mb,
-            point_seconds=secs, elapsed_seconds=elapsed, eta_seconds=eta,
-            from_checkpoint=restored,
-        ))
+    with span("run_sweep", network=name, backend=mode,
+              workers=workers, total_points=total):
+        telemetry.sweep_start(name, mode, workers)
 
-    # Phase 1: restore finished points from the checkpoint directory.
-    todo: list[tuple[int, int]] = []
-    for v, l in points:
-        restored = (
-            _load_point(_point_path(directory, v, l), mode)
-            if directory is not None else None
-        )
-        if restored is not None:
-            results[(v, l)] = restored
-            tick(v, l, 0.0, restored=True)
+        # Phase 1: restore finished points from the checkpoint directory.
+        todo: list[tuple[int, int]] = []
+        for v, l in points:
+            restored: NetworkResult | None = None
+            if directory is not None:
+                path = _point_path(directory, v, l)
+                restored, corrupt_reason = _load_point(path, mode)
+                if corrupt_reason is not None:
+                    telemetry.checkpoint_corrupt(path, corrupt_reason)
+            if restored is not None:
+                results[(v, l)] = restored
+                telemetry.point_restored(v, l)
+            else:
+                todo.append((v, l))
+
+        def absorb(extras: dict) -> None:
+            """Merge a pooled worker's trace/counters into this process."""
+            if extras.get("counters"):
+                COUNTERS.merge(extras["counters"])
+            tracer = current_tracer()
+            if tracer is not None and extras.get("span"):
+                tracer.attach(Span.from_dict(extras["span"]))
+
+        def finish(v: int, l: int, result: NetworkResult, secs: float) -> None:
+            results[(v, l)] = result
+            if directory is not None:
+                _save_point(_point_path(directory, v, l), v, l, result, mode)
+            telemetry.point_finished(v, l, secs)
+
+        # Phase 2: evaluate the remaining work, pooled or serial.  A
+        # pool that cannot actually run (fork blocked, workers killed)
+        # degrades to the serial path for whatever is still missing —
+        # loudly: the degradation is a warning event, a RuntimeWarning,
+        # and a ``degraded`` flag on the result and manifest.  Exact
+        # mode's unit of work is one grid point; fast mode's is one
+        # VLEN column (a single profiling pass answers the column's
+        # whole L2 axis).
+        if todo:
+            telemetry.begin_compute()
+        collect = current_tracer() is not None
+        if mode == BACKEND_FAST:
+            columns: dict[int, list[int]] = {}
+            for v, l in todo:
+                columns.setdefault(v, []).append(l)
+            pool, pool_error = _make_pool(workers, len(columns))
+            if pool_error is not None:
+                telemetry.pool_degraded(pool_error)
+            if pool is not None:
+                try:
+                    with pool:
+                        futures = {
+                            pool.submit(
+                                _evaluate_vlen_fast, name, layers, v,
+                                tuple(l2s), hybrid, variant, base, collect,
+                            ): v
+                            for v, l2s in columns.items()
+                        }
+                        pending = set(futures)
+                        while pending:
+                            finished, pending = wait(
+                                pending, return_when=FIRST_COMPLETED
+                            )
+                            for fut in finished:
+                                v = futures[fut]
+                                column, extras = fut.result()
+                                absorb(extras)
+                                for l, result, secs in column:
+                                    finish(v, l, result, secs)
+                except (OSError, BrokenProcessPool) as e:
+                    telemetry.pool_degraded(
+                        f"process pool broke ({type(e).__name__}: {e})"
+                    )
+            for v, l2s in columns.items():
+                missing = tuple(l for l in l2s if (v, l) not in results)
+                if missing:
+                    column, _ = _evaluate_vlen_fast(
+                        name, layers, v, missing, hybrid, variant, base
+                    )
+                    for l, result, secs in column:
+                        finish(v, l, result, secs)
         else:
-            todo.append((v, l))
-
-    def finish(v: int, l: int, result: NetworkResult, secs: float) -> None:
-        nonlocal computed
-        results[(v, l)] = result
-        computed += 1
-        if directory is not None:
-            _save_point(_point_path(directory, v, l), v, l, result, mode)
-        tick(v, l, secs, restored=False)
-
-    # Phase 2: evaluate the remaining work, pooled or serial.  A pool
-    # that cannot actually run (fork blocked, workers killed) degrades
-    # to the serial path for whatever is still missing.  Exact mode's
-    # unit of work is one grid point; fast mode's is one VLEN column
-    # (a single profiling pass answers the column's whole L2 axis).
-    if mode == BACKEND_FAST:
-        columns: dict[int, list[int]] = {}
-        for v, l in todo:
-            columns.setdefault(v, []).append(l)
-        pool = _make_pool(workers, len(columns))
-        if pool is not None:
-            try:
-                with pool:
-                    futures = {
-                        pool.submit(
-                            _evaluate_vlen_fast, name, layers, v,
-                            tuple(l2s), hybrid, variant, base,
-                        ): v
-                        for v, l2s in columns.items()
-                    }
-                    pending = set(futures)
-                    while pending:
-                        finished, pending = wait(
-                            pending, return_when=FIRST_COMPLETED
-                        )
-                        for fut in finished:
-                            v = futures[fut]
-                            for l, result, secs in fut.result():
+            pool, pool_error = _make_pool(workers, len(todo))
+            if pool_error is not None:
+                telemetry.pool_degraded(pool_error)
+            if pool is not None:
+                try:
+                    with pool:
+                        futures_pt = {
+                            pool.submit(
+                                _evaluate_point, name, layers, v, l, hybrid,
+                                variant, base, collect,
+                            ): (v, l)
+                            for v, l in todo
+                        }
+                        pending = set(futures_pt)
+                        while pending:
+                            finished, pending = wait(
+                                pending, return_when=FIRST_COMPLETED
+                            )
+                            for fut in finished:
+                                v, l = futures_pt[fut]
+                                result, secs, extras = fut.result()
+                                absorb(extras)
                                 finish(v, l, result, secs)
-            except (OSError, BrokenProcessPool):
-                pass
-        for v, l2s in columns.items():
-            missing = tuple(l for l in l2s if (v, l) not in results)
-            if missing:
-                for l, result, secs in _evaluate_vlen_fast(
-                    name, layers, v, missing, hybrid, variant, base
-                ):
+                except (OSError, BrokenProcessPool) as e:
+                    telemetry.pool_degraded(
+                        f"process pool broke ({type(e).__name__}: {e})"
+                    )
+            for v, l in todo:
+                if (v, l) not in results:
+                    result, secs, _ = _evaluate_point(
+                        name, layers, v, l, hybrid, variant, base
+                    )
                     finish(v, l, result, secs)
-    else:
-        pool = _make_pool(workers, len(todo))
-        if pool is not None:
-            try:
-                with pool:
-                    futures_pt = {
-                        pool.submit(
-                            _evaluate_point, name, layers, v, l, hybrid,
-                            variant, base,
-                        ): (v, l)
-                        for v, l in todo
-                    }
-                    pending = set(futures_pt)
-                    while pending:
-                        finished, pending = wait(
-                            pending, return_when=FIRST_COMPLETED
-                        )
-                        for fut in finished:
-                            v, l = futures_pt[fut]
-                            result, secs = fut.result()
-                            finish(v, l, result, secs)
-            except (OSError, BrokenProcessPool):
-                pass
-        for v, l in todo:
-            if (v, l) not in results:
-                result, secs = _evaluate_point(
-                    name, layers, v, l, hybrid, variant, base
-                )
-                finish(v, l, result, secs)
+
+        run_info = telemetry.sweep_end()
+        if directory is not None:
+            _write_json_atomic(
+                directory / MANIFEST_NAME,
+                {**manifest, MANIFEST_RUN_KEY: run_info},
+            )
 
     return SweepResult(
         name=name, vlens=grid_vlens, l2_mbs=grid_l2s, results=results,
-        backend=mode,
+        backend=mode, degraded=telemetry.degraded,
     )
 
 
-def _make_pool(workers: int, tasks: int) -> ProcessPoolExecutor | None:
-    """A process pool, or None for the serial path.
+def _make_pool(
+    workers: int, tasks: int
+) -> tuple[ProcessPoolExecutor | None, str | None]:
+    """A process pool, or ``(None, reason)`` for the serial path.
 
-    Serial when one worker suffices (``workers=1``, or nothing left to
-    compute) or when the platform cannot spawn a pool (restricted
-    environments raise ``OSError``/``NotImplementedError``) — the sweep
-    then degrades gracefully instead of failing.
+    Serial-by-design when one worker suffices (``workers=1``, or
+    nothing left to compute) — that returns ``(None, None)``, no
+    degradation.  Serial-by-necessity when the platform cannot spawn a
+    pool (restricted environments raise ``OSError`` /
+    ``NotImplementedError``) — that returns ``(None, reason)`` so the
+    caller can surface the degradation instead of hiding it.
     """
     if workers <= 1 or tasks <= 1:
-        return None
+        return None, None
     try:
-        return ProcessPoolExecutor(max_workers=min(workers, tasks))
-    except (OSError, NotImplementedError, ImportError):
-        return None
+        return ProcessPoolExecutor(max_workers=min(workers, tasks)), None
+    except (OSError, NotImplementedError, ImportError) as e:
+        return None, f"could not start a process pool ({type(e).__name__}: {e})"

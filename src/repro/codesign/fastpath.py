@@ -50,6 +50,7 @@ from repro.model.traffic import (
     PhaseModel,
 )
 from repro.nets.layers import LayerSpec
+from repro.obs import counters_from_stats, span
 from repro.sim.cache import CacheStats, HierarchyStats
 from repro.sim.stackdist import SparseReuseProfile
 from repro.sim.stats import SimStats
@@ -145,10 +146,13 @@ class NetworkProfile:
         cfg = self.config.with_(l2_mb=l2_mb)
         per_layer: list[SimStats] = []
         total = SimStats(freq_ghz=cfg.freq_ghz, label=f"{self.name} total")
-        for layer in self.layers:
-            stats = layer.evaluate(cfg)
-            per_layer.append(stats)
-            total.merge(stats)
+        with span("evaluate_profile", network=self.name,
+                  vlen_bits=self.vlen_bits, l2_mb=l2_mb) as ev_span:
+            for layer in self.layers:
+                stats = layer.evaluate(cfg)
+                per_layer.append(stats)
+                total.merge(stats)
+            ev_span.add_counters(**counters_from_stats(total))
         return NetworkResult(
             name=self.name, per_layer=tuple(per_layer), total=total
         )
@@ -260,9 +264,26 @@ def profile_network(
     from repro.nets.inference import layer_phase_models
 
     profiles = []
-    for layer in layers:
-        label, phases = layer_phase_models(
-            layer, config, hybrid=hybrid, variant=variant
+    with span("profile_network", network=name,
+              vlen_bits=config.vlen_bits, hybrid=hybrid,
+              variant=variant) as net_span:
+        for layer in layers:
+            with span("profile_layer", label=layer.name) as layer_span:
+                label, phases = layer_phase_models(
+                    layer, config, hybrid=hybrid, variant=variant
+                )
+                profile = _profile_layer(label, phases, config)
+                layer_span.set_attrs(label=label)
+                layer_span.add_counters(
+                    instrs=sum(profile.instrs.values()),
+                    flops=profile.flops,
+                    issue_cycles=profile.issue_cycles,
+                    l1_accesses=profile.l1_accesses,
+                    l1_misses=profile.l1_misses,
+                )
+            profiles.append(profile)
+        net_span.add_counters(
+            instrs=sum(sum(p.instrs.values()) for p in profiles),
+            flops=sum(p.flops for p in profiles),
         )
-        profiles.append(_profile_layer(label, phases, config))
     return NetworkProfile(name=name, config=config, layers=tuple(profiles))

@@ -8,10 +8,12 @@ EXPERIMENTS.md, the bench output and the examples all show the same
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.codesign.sweep import SweepResult
+from repro.errors import ConfigError
 
 #: Published values (paper Tables 1 and 2): L2 miss rate (%) at 1 MB.
 PAPER_TABLE1_YOLO = {512: 39.0, 1024: 47.0, 2048: 50.0, 4096: 52.0}
@@ -39,12 +41,17 @@ class Comparison:
 
     @property
     def ratio(self) -> float:
-        return self.measured / self.paper if self.paper else float("inf")
+        """measured / paper; NaN when the paper value is 0 (a ratio
+        against a zero baseline is undefined, and the old ``inf``
+        rendered as a confident-looking ``infx`` in tables)."""
+        return self.measured / self.paper if self.paper else float("nan")
 
     def row(self) -> str:
+        ratio = self.ratio
+        cell = f"{ratio:>9.2f}x" if math.isfinite(ratio) else f"{'—':>10}"
         return (
             f"{self.label:<44}{self.paper:>9.2f}{self.measured:>10.2f}"
-            f"{self.ratio:>9.2f}x"
+            f"{cell}"
         )
 
 
@@ -63,7 +70,16 @@ def miss_rate_report(
     l2_mb: int = 1,
     title: str = "",
 ) -> str:
-    """Render a Table 1/2-style miss-rate comparison."""
+    """Render a Table 1/2-style miss-rate comparison.
+
+    Raises :class:`ConfigError` (not a bare lookup error) when
+    ``l2_mb`` was not part of the sweep grid or a grid point is missing
+    from a partial sweep.
+    """
+    if l2_mb not in sweep.l2_mbs:
+        raise ConfigError(
+            f"l2_mb={l2_mb} is not in the sweep grid {sweep.l2_mbs}"
+        )
     measured = sweep.miss_rate_table(l2_mb)
     rows = [title or f"L2 miss rate at {l2_mb} MB — {sweep.name}"]
     rows.append(f"{'vector length':<16}{'paper %':>10}{'measured %':>12}")

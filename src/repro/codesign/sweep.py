@@ -24,6 +24,7 @@ from repro.sim.system import SystemConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.codesign.executor import SweepProgress
+    from repro.obs import EventSink
 
 #: The paper's sweep grids.
 PAPER_VLENS = (512, 1024, 2048, 4096)
@@ -56,6 +57,15 @@ class SweepResult:
     with different L2 criteria, so mixing their points in one grid
     would silently corrupt cross-point comparisons; :meth:`merge`
     rejects it.
+
+    ``degraded`` is True when the run that produced these points asked
+    for a process pool but had to fall back to the serial path (the
+    pool broke or could not start).  The numbers are still exact —
+    serial and pooled evaluation are bit-identical — but the run was
+    slower than requested, and a result that hides that would mask
+    infrastructure problems; the executor also raises a
+    ``RuntimeWarning`` and emits a ``pool_degraded`` event when it
+    happens.
     """
 
     name: str
@@ -63,6 +73,7 @@ class SweepResult:
     l2_mbs: tuple[int, ...]
     results: dict[tuple[int, int], NetworkResult]
     backend: str = BACKEND_EXACT
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "vlens", tuple(sorted(set(self.vlens))))
@@ -159,11 +170,17 @@ class SweepResult:
             l2_mbs=self.l2_mbs + other.l2_mbs,
             results=results,
             backend=self.backend,
+            degraded=self.degraded or other.degraded,
         )
 
     def to_dict(self) -> dict:
-        """JSON-serializable form (CLI output, checkpoint summaries)."""
-        return {
+        """JSON-serializable form (CLI output, checkpoint summaries).
+
+        ``degraded`` is serialized only when set — it flags an
+        exceptional run, and its absence keeps summaries written by
+        healthy runs (including the golden fixtures) byte-stable.
+        """
+        d = {
             "name": self.name,
             "backend": self.backend,
             "vlens": list(self.vlens),
@@ -173,6 +190,9 @@ class SweepResult:
                 for (v, l), r in sorted(self.results.items())
             ],
         }
+        if self.degraded:
+            d["degraded"] = True
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "SweepResult":
@@ -192,6 +212,7 @@ class SweepResult:
                 for e in d.get("results", [])
             },
             backend=str(d.get("backend", BACKEND_EXACT)),
+            degraded=bool(d.get("degraded", False)),
         )
 
 
@@ -207,6 +228,7 @@ def codesign_sweep(
     checkpoint_dir: str | Path | None = None,
     on_progress: "Callable[[SweepProgress], None] | None" = None,
     mode: str = BACKEND_EXACT,
+    sink: "EventSink | None" = None,
 ) -> SweepResult:
     """Run a network across the co-design grid.
 
@@ -239,6 +261,9 @@ def codesign_sweep(
             :mod:`repro.codesign.fastpath` for the error model).  For
             ``"validate"`` — both backends plus a delta report — use
             :func:`validate_codesign_sweep`.
+        sink: an :class:`~repro.obs.EventSink` receiving the sweep's
+            structured event stream (progress ticks, warnings, run
+            summary); the CLI's ``--trace`` wires a JSONL sink here.
     """
     if mode == "validate":
         raise ConfigError(
@@ -251,6 +276,7 @@ def codesign_sweep(
         name, layers, vlens=vlens, l2_mbs=l2_mbs, hybrid=hybrid,
         variant=variant, base_config=base_config, workers=workers,
         checkpoint_dir=checkpoint_dir, on_progress=on_progress, mode=mode,
+        sink=sink,
     )
 
 
@@ -327,11 +353,13 @@ def validate_codesign_sweep(
     workers: int = 1,
     checkpoint_dir: str | Path | None = None,
     on_progress: "Callable[[SweepProgress], None] | None" = None,
+    sink: "EventSink | None" = None,
 ) -> SweepValidation:
     """Run the grid through both backends and report their deltas.
 
     Checkpoints (when enabled) go to ``<dir>/exact`` and ``<dir>/fast``
-    so the two runs can never share point files.
+    so the two runs can never share point files.  Both runs emit into
+    the same ``sink`` (their ``sweep_start`` events carry the backend).
     """
     def subdir(tag: str) -> Path | None:
         return Path(checkpoint_dir) / tag if checkpoint_dir else None
@@ -340,12 +368,12 @@ def validate_codesign_sweep(
         name, layers, vlens=vlens, l2_mbs=l2_mbs, hybrid=hybrid,
         variant=variant, base_config=base_config, workers=workers,
         checkpoint_dir=subdir(BACKEND_EXACT), on_progress=on_progress,
-        mode=BACKEND_EXACT,
+        mode=BACKEND_EXACT, sink=sink,
     )
     fast = codesign_sweep(
         name, layers, vlens=vlens, l2_mbs=l2_mbs, hybrid=hybrid,
         variant=variant, base_config=base_config, workers=workers,
         checkpoint_dir=subdir(BACKEND_FAST), on_progress=on_progress,
-        mode=BACKEND_FAST,
+        mode=BACKEND_FAST, sink=sink,
     )
     return SweepValidation(exact=exact, fast=fast)

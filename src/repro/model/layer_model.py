@@ -19,6 +19,7 @@ from repro.kernels.tuple_mult import SLIDEUP
 from repro.model.gemm_model import gemm_model, im2col_model_for
 from repro.model.traffic import PhaseModel, stats_from_model
 from repro.model.winograd_model import winograd_layer_model
+from repro.obs import counters_from_stats, span
 from repro.sim.stats import SimStats
 from repro.sim.system import SystemConfig
 
@@ -73,8 +74,12 @@ def simulate_layer(
 ) -> SimStats:
     """Simulate one layer; label records layer name and algorithm."""
     algo = algorithm if algorithm is not None else choose_algorithm(spec)
-    phases = layer_phases(spec, config, algo, variant)
-    return stats_from_model(phases, config, label=f"{spec.name}[{algo.value}]")
+    label = f"{spec.name}[{algo.value}]"
+    with span("layer", label=label) as layer_span:
+        phases = layer_phases(spec, config, algo, variant)
+        stats = stats_from_model(phases, config, label=label)
+        layer_span.add_counters(**counters_from_stats(stats))
+    return stats
 
 
 @dataclass(frozen=True)
@@ -129,9 +134,13 @@ def simulate_network(
     """
     per_layer: list[SimStats] = []
     total = SimStats(freq_ghz=config.freq_ghz, label=f"{name} total")
-    for spec in specs:
-        algo = choose_algorithm(spec, hybrid=hybrid)
-        stats = simulate_layer(spec, config, algorithm=algo, variant=variant)
-        per_layer.append(stats)
-        total.merge(stats)
+    with span("simulate_network", network=name,
+              vlen_bits=config.vlen_bits, l2_mb=config.l2_mb) as net_span:
+        for spec in specs:
+            algo = choose_algorithm(spec, hybrid=hybrid)
+            stats = simulate_layer(spec, config, algorithm=algo,
+                                   variant=variant)
+            per_layer.append(stats)
+            total.merge(stats)
+        net_span.add_counters(**counters_from_stats(total))
     return NetworkResult(name=name, per_layer=tuple(per_layer), total=total)

@@ -15,6 +15,7 @@ from repro.model.aux_model import maxpool_model, shortcut_model
 from repro.model.layer_model import NetworkResult, layer_phases
 from repro.model.traffic import PhaseModel, stats_from_model
 from repro.nets.layers import LayerSpec, MaxPoolSpec, ShortcutSpec
+from repro.obs import counters_from_stats, span
 from repro.sim.stats import SimStats
 from repro.sim.system import SystemConfig
 
@@ -67,13 +68,20 @@ def simulate_inference(
         raise ConfigError("network has no layers")
     per_layer: list[SimStats] = []
     total = SimStats(freq_ghz=config.freq_ghz, label=f"{name} total")
-    for layer in layers:
-        label, phases = layer_phase_models(
-            layer, config, hybrid=hybrid, variant=variant
-        )
-        stats = stats_from_model(phases, config, label=label)
-        per_layer.append(stats)
-        total.merge(stats)
+    with span("simulate_inference", network=name,
+              vlen_bits=config.vlen_bits, l2_mb=config.l2_mb,
+              hybrid=hybrid, variant=variant) as net_span:
+        for layer in layers:
+            with span("layer", label=layer.name) as layer_span:
+                label, phases = layer_phase_models(
+                    layer, config, hybrid=hybrid, variant=variant
+                )
+                stats = stats_from_model(phases, config, label=label)
+                layer_span.set_attrs(label=label)
+                layer_span.add_counters(**counters_from_stats(stats))
+            per_layer.append(stats)
+            total.merge(stats)
+        net_span.add_counters(**counters_from_stats(total))
     return NetworkResult(name=name, per_layer=tuple(per_layer), total=total)
 
 

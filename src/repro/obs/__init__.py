@@ -1,0 +1,95 @@
+"""Structured observability: spans, counters, events, run manifests.
+
+The measurement substrate under every performance claim in this repo:
+
+- :mod:`repro.obs.trace` — hierarchical :class:`Span` trees recorded by
+  an ambient :class:`Tracer` (``with span("simulate_inference"): ...``),
+  with per-span wall time and ``SimStats`` counters; spans serialize,
+  so worker processes ship their subtrees back to the parent trace.
+- :mod:`repro.obs.counters` — the process-global
+  :class:`CounterRegistry` (:data:`COUNTERS`) hot paths bump; worker
+  deltas travel back with results and merge exactly.
+- :mod:`repro.obs.events` — structured events and sinks (JSONL flight
+  recorder, in-memory, callback, tee); the sweep executor's progress,
+  ETA and degradation warnings all flow through this layer.
+- :mod:`repro.obs.manifest` — run manifests (command, config, backend,
+  git revision, seed state) written next to every ``--trace``.
+- :mod:`repro.obs.render` — text/JSON renderers for traces and
+  counter snapshots (``repro profile``).
+
+Everything here is observation-only: instrumented and uninstrumented
+runs produce bit-identical statistics, and ``obs`` imports nothing from
+the simulator (the simulator imports ``obs``, never the reverse).
+"""
+
+from repro.obs.counters import COUNTERS, CounterCapture, CounterRegistry
+from repro.obs.events import (
+    LEVEL_INFO,
+    LEVEL_WARNING,
+    CallbackSink,
+    EventSink,
+    JsonlSink,
+    MemorySink,
+    TeeSink,
+    event,
+    read_jsonl,
+    warnings_in,
+)
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    RUN_MANIFEST_NAME,
+    git_rev,
+    run_manifest,
+    seed_state,
+    write_manifest,
+)
+from repro.obs.render import (
+    render_counters,
+    render_trace_json,
+    render_trace_text,
+    span_cycles,
+    trace_payload,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    counters_from_stats,
+    current_tracer,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "span",
+    "tracing",
+    "current_tracer",
+    "counters_from_stats",
+    "COUNTERS",
+    "CounterRegistry",
+    "CounterCapture",
+    "EventSink",
+    "MemorySink",
+    "JsonlSink",
+    "CallbackSink",
+    "TeeSink",
+    "event",
+    "read_jsonl",
+    "warnings_in",
+    "LEVEL_INFO",
+    "LEVEL_WARNING",
+    "run_manifest",
+    "write_manifest",
+    "seed_state",
+    "git_rev",
+    "MANIFEST_SCHEMA",
+    "RUN_MANIFEST_NAME",
+    "render_trace_text",
+    "render_trace_json",
+    "render_counters",
+    "span_cycles",
+    "trace_payload",
+]

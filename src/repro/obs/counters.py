@@ -1,0 +1,98 @@
+"""Process-safe named counters (the gem5 ``stats`` registry role).
+
+A :class:`CounterRegistry` is a flat map from dotted counter names
+(``"cache.l1.accesses"``) to numeric totals.  Increments are cheap and
+thread-safe, so hot paths (the cache hierarchy, the sweep executor)
+bump counters unconditionally; reading happens at report time.
+
+"Process-safe" here means *safe across the sweep's worker processes*,
+which never share memory: each process owns its registry, a worker
+captures the delta its task produced (:meth:`CounterRegistry.capture`),
+the delta travels back with the task's result (it is a plain dict, so
+it pickles), and the parent folds it in with
+:meth:`CounterRegistry.merge`.  Totals are therefore exact whether a
+sweep ran serially, pooled, or degraded mid-run.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Mapping
+
+
+class CounterRegistry:
+    """A flat, thread-safe map of named numeric counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[str, float] = {}
+
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (creating it at 0)."""
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + value
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def snapshot(self) -> dict[str, float]:
+        """Point-in-time copy of every counter."""
+        with self._lock:
+            return dict(self._counts)
+
+    def merge(self, delta: Mapping[str, float]) -> None:
+        """Fold another registry's snapshot/delta into this one."""
+        with self._lock:
+            for k, v in delta.items():
+                self._counts[k] = self._counts.get(k, 0) + v
+
+    def reset(self) -> None:
+        """Zero the registry (tests and fresh runs)."""
+        with self._lock:
+            self._counts.clear()
+
+    def capture(self) -> "CounterCapture":
+        """Context manager measuring the increments made inside it.
+
+        The worker-side half of cross-process counting::
+
+            with COUNTERS.capture() as cap:
+                ...                      # work that bumps counters
+            return result, cap.delta()   # picklable dict, merged by
+                                         # the parent
+        """
+        return CounterCapture(self)
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(sorted(self.snapshot().items()))
+
+
+class CounterCapture:
+    """Delta of a registry between ``__enter__`` and read time."""
+
+    def __init__(self, registry: CounterRegistry) -> None:
+        self._registry = registry
+        self._baseline: dict[str, float] = {}
+
+    def __enter__(self) -> "CounterCapture":
+        self._baseline = self._registry.snapshot()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def delta(self) -> dict[str, float]:
+        """Counter increments since ``__enter__`` (zeros omitted)."""
+        now = self._registry.snapshot()
+        base = self._baseline
+        return {
+            k: v - base.get(k, 0)
+            for k, v in now.items()
+            if v != base.get(k, 0)
+        }
+
+
+#: The process-global registry every instrumented component bumps.
+COUNTERS = CounterRegistry()

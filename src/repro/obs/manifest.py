@@ -1,0 +1,108 @@
+"""Run manifests: the identity block written next to every trace.
+
+A manifest pins what produced a trace directory — the command, the
+simulated configuration, the backend, the git revision of the code,
+interpreter/platform versions, and the RNG seed state — so a JSONL
+event file found weeks later can be tied back to an exact setup.  It is
+the observability twin of the sweep checkpoint manifest (which pins
+*result* identity for resume); this one pins *provenance* and is never
+compared, only recorded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import random
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+#: Manifest schema version.
+MANIFEST_SCHEMA = 1
+
+#: File name used by the CLI's ``--trace`` directories.
+RUN_MANIFEST_NAME = "manifest.json"
+
+
+def git_rev(cwd: str | Path | None = None) -> str | None:
+    """The current git revision, or None outside a checkout (or when
+    git itself is unavailable) — provenance must never fail a run."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def seed_state(seed: int | None = None) -> dict:
+    """The RNG state block: the explicit seed (when the command took
+    one) plus a digest of the stdlib RNG state and ``PYTHONHASHSEED``,
+    enough to notice two "identical" runs that actually diverged."""
+    digest = hashlib.sha256(
+        repr(random.getstate()).encode()
+    ).hexdigest()[:16]
+    return {
+        "seed": seed,
+        "random_state_digest": digest,
+        "pythonhashseed": os.environ.get("PYTHONHASHSEED"),
+    }
+
+
+def run_manifest(
+    command: str,
+    config: Mapping[str, Any] | None = None,
+    backend: str | None = None,
+    seed: int | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> dict:
+    """Assemble the manifest for one run.
+
+    Args:
+        command: the logical command ("profile", "sweep", ...).
+        config: the simulated system configuration as a dict
+            (``dataclasses.asdict(SystemConfig)``).
+        backend: sweep backend when applicable.
+        seed: explicit RNG seed when the command took one.
+        extra: command-specific fields merged in verbatim.
+    """
+    try:
+        import numpy
+        numpy_version: str | None = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        numpy_version = None
+    manifest: dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "tool": "repro",
+        "command": command,
+        "argv": list(sys.argv),
+        "started_unix": time.time(),
+        "git_rev": git_rev(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "numpy": numpy_version,
+        "seed_state": seed_state(seed),
+        "backend": backend,
+        "config": dict(config) if config is not None else None,
+    }
+    if extra:
+        manifest.update(dict(extra))
+    return manifest
+
+
+def write_manifest(directory: str | Path, manifest: Mapping[str, Any]) -> Path:
+    """Write ``manifest.json`` into a trace directory; returns its path."""
+    d = Path(directory)
+    d.mkdir(parents=True, exist_ok=True)
+    path = d / RUN_MANIFEST_NAME
+    path.write_text(json.dumps(dict(manifest), indent=2) + "\n",
+                    encoding="utf-8")
+    return path

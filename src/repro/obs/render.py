@@ -1,0 +1,94 @@
+"""Human- and machine-readable views of traces and counters.
+
+``repro profile`` prints :func:`render_trace_text` (an indented span
+tree with wall time and the headline counters) or, with ``--json``,
+:func:`trace_payload` — the span tree plus its manifest in one
+document.  :func:`render_counters` tabulates a counter-registry
+snapshot the same way for any command.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.obs.trace import Span
+
+#: Counters shown inline per span in the text rendering (the rest are
+#: in the JSON form); chosen to match the paper's per-phase analysis —
+#: where the cycles go and what memory traffic drove them.
+_HEADLINE = ("instrs", "flops", "dram_bytes")
+
+#: Spans carry only primitive cycle components (see
+#: :func:`repro.obs.trace.counters_from_stats`); total cycles is
+#: derived here for display.
+_CYCLE_PARTS = ("issue_cycles", "l2_stall_cycles", "dram_stall_cycles")
+
+
+def span_cycles(span: Span) -> float | None:
+    """Total cycles of a span, derived from its components."""
+    if not any(p in span.counters for p in _CYCLE_PARTS):
+        return None
+    return sum(span.counters.get(p, 0) for p in _CYCLE_PARTS)
+
+
+def _fmt_count(v: float) -> str:
+    """Compact engineering format for large counters."""
+    if v != int(v):
+        return f"{v:.3g}"
+    v = int(v)
+    if abs(v) >= 10_000_000:
+        return f"{v / 1e6:.1f}M"
+    if abs(v) >= 10_000:
+        return f"{v / 1e3:.1f}k"
+    return str(v)
+
+
+def render_trace_text(span: Span, indent: int = 0) -> str:
+    """Indented tree: one line per span with wall time and counters."""
+    pad = "  " * indent
+    parts = []
+    cycles = span_cycles(span)
+    if cycles is not None:
+        parts.append(f"cycles={_fmt_count(cycles)}")
+    parts.extend(
+        f"{k}={_fmt_count(span.counters[k])}"
+        for k in _HEADLINE if k in span.counters
+    )
+    counters = "  ".join(parts)
+    attrs = "".join(
+        f" {k}={v}" for k, v in span.attrs.items() if k != "label"
+    )
+    label = span.attrs.get("label", span.name)
+    line = f"{pad}{label}{attrs}  {span.wall_seconds * 1e3:.2f} ms"
+    if counters:
+        line += f"  [{counters}]"
+    lines = [line]
+    lines.extend(
+        render_trace_text(c, indent + 1) for c in span.children
+    )
+    return "\n".join(lines)
+
+
+def trace_payload(span: Span, manifest: Mapping | None = None) -> dict:
+    """The ``--json`` document: manifest (if any) plus the span tree."""
+    payload: dict = {"trace": span.to_dict()}
+    if manifest is not None:
+        payload["manifest"] = dict(manifest)
+    return payload
+
+
+def render_trace_json(span: Span, manifest: Mapping | None = None) -> str:
+    return json.dumps(trace_payload(span, manifest), indent=2)
+
+
+def render_counters(snapshot: Mapping[str, float], title: str = "") -> str:
+    """Tabulate a counter-registry snapshot, widest column first."""
+    rows = [title] if title else []
+    if not snapshot:
+        rows.append("(no counters recorded)")
+        return "\n".join(rows)
+    width = max(len(k) for k in snapshot)
+    for k in sorted(snapshot):
+        rows.append(f"{k:<{width}}  {_fmt_count(snapshot[k]):>12}")
+    return "\n".join(rows)

@@ -1,0 +1,209 @@
+"""Hierarchical spans: where wall time and counters go per phase.
+
+A :class:`Span` records one timed region — name, attributes, wall
+seconds, attached counters — and its child spans, forming the trace
+tree of a run (``simulate_inference`` at the root, one child per
+layer).  A :class:`Tracer` owns a tree under construction; the ambient
+helpers (:func:`tracing` / :func:`span`) let hot paths open spans
+without threading a tracer through every signature — when no tracer is
+installed, :func:`span` yields a shared no-op span, so instrumentation
+costs one context-variable read on the untraced path.
+
+Spans serialize to plain dicts (:meth:`Span.to_dict` /
+:meth:`Span.from_dict`), which is how worker processes ship their
+subtrees back to the sweep's parent trace (:meth:`Tracer.attach`).
+
+Instrumentation is observation-only by contract: spans never feed back
+into the simulation, so traced and untraced runs produce bit-identical
+statistics (the ``repro profile`` acceptance test pins this).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+
+class Span:
+    """One timed region of a run, with counters and child spans."""
+
+    __slots__ = ("name", "attrs", "counters", "children", "wall_seconds",
+                 "_t0")
+
+    def __init__(self, name: str, attrs: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.attrs: dict[str, Any] = dict(attrs or {})
+        self.counters: dict[str, float] = {}
+        self.children: list["Span"] = []
+        self.wall_seconds: float = 0.0
+        self._t0: float | None = None
+
+    # ------------------------------------------------------------------
+    def add_counters(self, **counters: float) -> None:
+        """Accumulate named counters onto this span."""
+        for k, v in counters.items():
+            self.counters[k] = self.counters.get(k, 0) + v
+
+    def set_attrs(self, **attrs: Any) -> None:
+        """Attach or update descriptive attributes."""
+        self.attrs.update(attrs)
+
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        """Every span named ``name`` in this subtree."""
+        return [s for s in self.walk() if s.name == name]
+
+    def sum_counter(self, name: str) -> float:
+        """Sum of ``name`` over the direct children (the per-layer
+        totals the acceptance criteria compare against the untraced
+        run)."""
+        return sum(c.counters.get(name, 0) for c in self.children)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form; :meth:`from_dict` round-trips it."""
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        """Inverse of :meth:`to_dict` (worker-span merging)."""
+        s = cls(str(d["name"]), d.get("attrs") or {})
+        s.wall_seconds = float(d.get("wall_seconds", 0.0))
+        s.counters = {
+            str(k): v for k, v in (d.get("counters") or {}).items()
+        }
+        s.children = [cls.from_dict(c) for c in d.get("children") or []]
+        return s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, {self.wall_seconds * 1e3:.2f} ms, "
+                f"{len(self.children)} children)")
+
+
+class _NullSpan(Span):
+    """The shared do-nothing span yielded when tracing is off."""
+
+    def add_counters(self, **counters: float) -> None:
+        pass
+
+    def set_attrs(self, **attrs: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan("<untraced>")
+
+
+class Tracer:
+    """Owner of one trace tree under construction."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+
+    @property
+    def root(self) -> Span:
+        """The first top-level span (most traces have exactly one)."""
+        if not self.spans:
+            raise LookupError("tracer recorded no spans")
+        return self.spans[0]
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a child span of the innermost open span (or a root)."""
+        s = Span(name, attrs)
+        if self._stack:
+            self._stack[-1].children.append(s)
+        else:
+            self.spans.append(s)
+        self._stack.append(s)
+        s._t0 = time.perf_counter()
+        try:
+            yield s
+        finally:
+            s.wall_seconds = time.perf_counter() - (s._t0 or 0.0)
+            self._stack.pop()
+
+    def attach(self, span: Span) -> None:
+        """Graft a finished span (e.g. deserialized from a worker)
+        under the innermost open span, or as a new root."""
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.spans.append(span)
+
+
+# ----------------------------------------------------------------------
+# Ambient tracer: hot paths call span() without signature changes.
+# ----------------------------------------------------------------------
+_ACTIVE: ContextVar[Tracer | None] = ContextVar("repro_obs_tracer",
+                                               default=None)
+
+
+def current_tracer() -> Tracer | None:
+    """The tracer installed by the innermost :func:`tracing`, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Install ``tracer`` (or a fresh one) as the ambient tracer."""
+    t = tracer if tracer is not None else Tracer()
+    token = _ACTIVE.set(t)
+    try:
+        yield t
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Span]:
+    """Open a span on the ambient tracer; no-op when none installed."""
+    t = _ACTIVE.get()
+    if t is None:
+        yield NULL_SPAN
+    else:
+        with t.span(name, **attrs) as s:
+            yield s
+
+
+def counters_from_stats(stats: Any) -> dict[str, float]:
+    """The standard counter set lifted off a ``SimStats``-shaped object.
+
+    Duck-typed (``obs`` stays import-free of the simulator): anything
+    with the ``SimStats`` counter properties works.  These are the
+    counters per-layer spans carry; summed over a trace's layer spans
+    they equal the untraced network totals exactly, because
+    ``SimStats.merge`` adds the same fields in the same order.  Only
+    *primitive* counters are carried — derived quantities like total
+    ``cycles`` are computed at render time from the components, because
+    a per-layer derived sum would re-associate the float additions and
+    drift from the merged total by an ulp.
+    """
+    return {
+        "issue_cycles": stats.issue_cycles,
+        "l2_stall_cycles": stats.l2_stall_cycles,
+        "dram_stall_cycles": stats.dram_stall_cycles,
+        "instrs": stats.total_instrs,
+        "elems": sum(stats.elems.values()),
+        "flops": stats.flops,
+        "l1_accesses": stats.hierarchy.l1.accesses,
+        "l1_misses": stats.hierarchy.l1.misses,
+        "l2_accesses": stats.hierarchy.l2.accesses,
+        "l2_misses": stats.hierarchy.l2.misses,
+        "l2_writebacks": stats.hierarchy.l2.writebacks,
+        "dram_bytes": stats.dram_bytes,
+    }

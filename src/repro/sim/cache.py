@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.obs.counters import COUNTERS
 
 
 @dataclass
@@ -95,9 +96,14 @@ class Cache:
         size_bytes: total capacity.
         assoc: ways per set.
         line_bytes: line size (64, as the paper's gem5 config).
+        name: level label ("l1"/"l2"); when set, every batch of
+            accesses also bumps the process-global observability
+            counters ``cache.<name>.{accesses,misses,evictions,
+            writebacks}`` (:data:`repro.obs.COUNTERS`).
     """
 
-    def __init__(self, size_bytes: int, assoc: int = 8, line_bytes: int = 64) -> None:
+    def __init__(self, size_bytes: int, assoc: int = 8, line_bytes: int = 64,
+                 name: str = "") -> None:
         if size_bytes <= 0 or assoc <= 0 or line_bytes <= 0:
             raise ConfigError("cache size, associativity and line size must be positive")
         if size_bytes % (assoc * line_bytes):
@@ -108,6 +114,7 @@ class Cache:
         self.size_bytes = size_bytes
         self.assoc = assoc
         self.line_bytes = line_bytes
+        self.name = name
         self.num_sets = size_bytes // (assoc * line_bytes)
         self._sets: list[OrderedDict[int, bool]] = [
             OrderedDict() for _ in range(self.num_sets)
@@ -183,6 +190,14 @@ class Cache:
         stats.misses += miss_count
         stats.evictions += evictions
         stats.writebacks += writebacks
+        if self.name:
+            prefix = f"cache.{self.name}."
+            COUNTERS.inc(prefix + "accesses", n)
+            COUNTERS.inc(prefix + "misses", miss_count)
+            if evictions:
+                COUNTERS.inc(prefix + "evictions", evictions)
+            if writebacks:
+                COUNTERS.inc(prefix + "writebacks", writebacks)
         return missed
 
     @property
@@ -256,8 +271,8 @@ class CacheHierarchy:
         line_bytes: int = 64,
     ) -> None:
         self.line_bytes = line_bytes
-        self.l1 = Cache(l1_kb * 1024, l1_assoc, line_bytes)
-        self.l2 = Cache(l2_mb * 1024 * 1024, l2_assoc, line_bytes)
+        self.l1 = Cache(l1_kb * 1024, l1_assoc, line_bytes, name="l1")
+        self.l2 = Cache(l2_mb * 1024 * 1024, l2_assoc, line_bytes, name="l2")
 
     def access(
         self, lines: np.ndarray, is_store: np.ndarray | None = None

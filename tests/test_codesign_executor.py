@@ -15,6 +15,7 @@ from repro.codesign.executor import (
 from repro.errors import ConfigError
 from repro.model.layer_model import NetworkResult
 from repro.nets import vgg16_layers
+from repro.obs import MemorySink
 from repro.sim import SimStats
 
 VLENS = (1024, 2048)
@@ -95,8 +96,9 @@ class TestCheckpointResume:
                        l2_mbs=(L2_MBS[0],), checkpoint_dir=ckpt)
         point = _point_path(ckpt, VLENS[0], L2_MBS[0])
         point.write_text('{"version": 1, "truncated')  # simulated kill
-        sweep = codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
-                               l2_mbs=(L2_MBS[0],), checkpoint_dir=ckpt)
+        with pytest.warns(RuntimeWarning, match="checkpoint_corrupt"):
+            sweep = codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                                   l2_mbs=(L2_MBS[0],), checkpoint_dir=ckpt)
         assert sweep.at(*serial_sweep.points[0]) == serial_sweep.results[
             (VLENS[0], L2_MBS[0])
         ]
@@ -261,9 +263,10 @@ class TestBackendProvenance:
         payload["backend"] = "exact"
         point.write_text(json.dumps(payload))
         events = []
-        codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
-                       l2_mbs=(L2_MBS[0],), checkpoint_dir=ckpt,
-                       mode="fast", on_progress=events.append)
+        with pytest.warns(RuntimeWarning, match="checkpoint_corrupt"):
+            codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                           l2_mbs=(L2_MBS[0],), checkpoint_dir=ckpt,
+                           mode="fast", on_progress=events.append)
         assert all(not e.from_checkpoint for e in events)
         assert json.loads(point.read_text())["backend"] == "fast"
 
@@ -279,3 +282,195 @@ class TestProgressDescribe:
                           point_seconds=0.0, elapsed_seconds=0.1,
                           eta_seconds=0.0, from_checkpoint=True)
         assert "restored" in r.describe()
+
+    def test_unknown_eta_rendered_as_dash(self):
+        p = SweepProgress(done=1, total=4, vlen=512, l2_mb=1,
+                          point_seconds=0.0, elapsed_seconds=0.1,
+                          eta_seconds=None, from_checkpoint=True)
+        assert "eta —" in p.describe()
+
+
+class TestSilentFailureFixes:
+    """The executor's former silent-failure paths now speak: corrupt
+    checkpoints warn and are counted, pool degradation is flagged on
+    the result, and the ETA admits ignorance instead of claiming 0."""
+
+    def test_corrupt_checkpoint_warns_counts_and_recomputes(
+            self, tmp_path, layers, serial_sweep):
+        ckpt = tmp_path / "run"
+        codesign_sweep("vgg-head", layers, vlens=VLENS, l2_mbs=L2_MBS,
+                       checkpoint_dir=ckpt)
+        point = _point_path(ckpt, VLENS[0], L2_MBS[0])
+        point.write_text("}{ not json")
+        sink = MemorySink()
+        with pytest.warns(RuntimeWarning, match="checkpoint_corrupt"):
+            resumed = codesign_sweep("vgg-head", layers, vlens=VLENS,
+                                     l2_mbs=L2_MBS, checkpoint_dir=ckpt,
+                                     sink=sink)
+        assert resumed == serial_sweep
+        corrupt = sink.of_kind("checkpoint_corrupt")
+        assert len(corrupt) == 1
+        assert corrupt[0]["file"] == str(point)
+        assert "invalid JSON" in corrupt[0]["reason"]
+        assert corrupt[0]["level"] == "warning"
+        manifest = json.loads((ckpt / MANIFEST_NAME).read_text())
+        assert manifest["run"] == {
+            "computed": 1, "restored": 3,
+            "dropped_checkpoints": 1, "degraded": False,
+        }
+        # The repaired point file is valid again.
+        assert json.loads(point.read_text())["version"] == CHECKPOINT_VERSION
+
+    def test_non_dict_payload_is_dropped_with_reason(
+            self, tmp_path, layers, serial_sweep):
+        ckpt = tmp_path / "run"
+        codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                       l2_mbs=(L2_MBS[0],), checkpoint_dir=ckpt)
+        _point_path(ckpt, VLENS[0], L2_MBS[0]).write_text("[1, 2, 3]")
+        sink = MemorySink()
+        with pytest.warns(RuntimeWarning):
+            codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                           l2_mbs=(L2_MBS[0],), checkpoint_dir=ckpt,
+                           sink=sink)
+        [ev] = sink.of_kind("checkpoint_corrupt")
+        assert "not a JSON object" in ev["reason"]
+
+    def test_run_telemetry_in_manifest_does_not_break_resume(
+            self, tmp_path, layers, serial_sweep):
+        """The manifest's run section differs between runs; identity
+        comparison must ignore it or every resume would be rejected."""
+        ckpt = tmp_path / "run"
+        codesign_sweep("vgg-head", layers, vlens=VLENS, l2_mbs=L2_MBS,
+                       checkpoint_dir=ckpt)
+        assert "run" in json.loads((ckpt / MANIFEST_NAME).read_text())
+        events = []
+        again = codesign_sweep("vgg-head", layers, vlens=VLENS,
+                               l2_mbs=L2_MBS, checkpoint_dir=ckpt,
+                               on_progress=events.append)
+        assert again == serial_sweep
+        assert all(e.from_checkpoint for e in events)
+
+    def test_pool_break_degrades_loudly_and_completes(
+            self, monkeypatch, layers, serial_sweep):
+        """A pool that breaks mid-sweep falls back to serial for the
+        missing points — with a warning, a pool_degraded event, and the
+        degraded flag set — and still produces the exact grid."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        import repro.codesign.executor as executor
+
+        def broken_wait(*args, **kwargs):
+            raise BrokenProcessPool("worker killed")
+
+        monkeypatch.setattr(executor, "wait", broken_wait)
+        sink = MemorySink()
+        with pytest.warns(RuntimeWarning, match="pool_degraded"):
+            sweep = codesign_sweep("vgg-head", layers, vlens=VLENS,
+                                   l2_mbs=L2_MBS, workers=2, sink=sink)
+        assert sweep.degraded
+        assert sweep.results == serial_sweep.results
+        assert sweep.runtime_grid() == serial_sweep.runtime_grid()
+        [ev] = sink.of_kind("pool_degraded")
+        assert "BrokenProcessPool" in ev["reason"]
+        assert "serial" in ev["reason"]
+        [end] = sink.of_kind("sweep_end")
+        assert end["degraded"] and end["computed"] == 4
+
+    def test_pool_unavailable_at_startup_degrades_loudly(
+            self, monkeypatch, layers, serial_sweep):
+        """A platform that cannot start a pool at all (fork blocked)
+        degrades before submitting anything."""
+        import repro.codesign.executor as executor
+
+        def no_pool(*args, **kwargs):
+            raise OSError("fork blocked")
+
+        monkeypatch.setattr(executor, "ProcessPoolExecutor", no_pool)
+        sink = MemorySink()
+        with pytest.warns(RuntimeWarning, match="pool_degraded"):
+            sweep = codesign_sweep("vgg-head", layers, vlens=VLENS,
+                                   l2_mbs=L2_MBS, workers=2, sink=sink)
+        assert sweep.degraded
+        assert sweep.results == serial_sweep.results
+        [ev] = sink.of_kind("pool_degraded")
+        assert "fork blocked" in ev["reason"]
+
+    def test_degraded_flag_round_trips_and_merges(self, serial_sweep):
+        d = serial_sweep.to_dict()
+        assert "degraded" not in d  # clean sweeps keep the old shape
+        bad = SweepResult.from_dict({**d, "degraded": True})
+        assert bad.degraded
+        assert "degraded" in bad.to_dict()
+        assert SweepResult.from_dict(json.loads(json.dumps(
+            bad.to_dict()))).degraded
+        # Merging taints the union.
+        assert bad.merge(serial_sweep).degraded
+        assert serial_sweep.merge(bad).degraded
+
+    def test_serial_by_design_is_not_degraded(self, layers):
+        sink = MemorySink()
+        sweep = codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                               l2_mbs=(L2_MBS[0],), workers=1, sink=sink)
+        assert not sweep.degraded
+        assert not sink.of_kind("pool_degraded")
+
+
+class TestEtaSemantics:
+    def test_restore_only_resume_has_no_eta(self, tmp_path, layers):
+        """A resume that only restores checkpoints has nothing to
+        extrapolate from: eta is None (rendered 'eta —'), not the old
+        confident 0.0."""
+        ckpt = tmp_path / "run"
+        codesign_sweep("vgg-head", layers, vlens=VLENS, l2_mbs=L2_MBS,
+                       checkpoint_dir=ckpt)
+        events = []
+        codesign_sweep("vgg-head", layers, vlens=VLENS, l2_mbs=L2_MBS,
+                       checkpoint_dir=ckpt, on_progress=events.append)
+        assert len(events) == 4
+        assert all(e.from_checkpoint for e in events)
+        assert all(e.eta_seconds is None for e in events)
+        assert all("eta —" in e.describe() for e in events)
+
+    def test_mixed_resume_restores_excluded_from_eta_base(
+            self, tmp_path, layers):
+        """Restored points contribute neither time nor count to the
+        extrapolation; computed points after them get a real ETA."""
+        ckpt = tmp_path / "run"
+        codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                       l2_mbs=L2_MBS, checkpoint_dir=ckpt)
+        events = []
+        codesign_sweep("vgg-head", layers, vlens=VLENS, l2_mbs=L2_MBS,
+                       checkpoint_dir=ckpt, on_progress=events.append)
+        restored = [e for e in events if e.from_checkpoint]
+        computed = [e for e in events if not e.from_checkpoint]
+        assert len(restored) == 2 and len(computed) == 2
+        assert all(e.eta_seconds is None for e in restored)
+        assert all(e.eta_seconds is not None and e.eta_seconds >= 0
+                   for e in computed)
+        # The last computed point leaves nothing remaining.
+        assert computed[-1].done == 4
+        assert computed[-1].eta_seconds == 0.0
+
+
+class TestEventStream:
+    def test_serial_sweep_event_stream_shape(self, layers):
+        sink = MemorySink()
+        codesign_sweep("vgg-head", layers, vlens=VLENS, l2_mbs=L2_MBS,
+                       sink=sink)
+        kinds = [e["event"] for e in sink.events]
+        assert kinds[0] == "sweep_start" and kinds[-1] == "sweep_end"
+        assert kinds[1:-1] == ["point_finished"] * 4
+        assert [e["seq"] for e in sink.events] == list(range(6))
+        start = sink.of_kind("sweep_start")[0]
+        assert start["backend"] == "exact" and start["total"] == 4
+        end = sink.of_kind("sweep_end")[0]
+        assert end["computed"] == 4 and end["restored"] == 0
+        assert not end["degraded"] and end["dropped_checkpoints"] == 0
+
+    def test_progress_ticks_mirror_events(self, layers):
+        sink = MemorySink()
+        ticks = []
+        codesign_sweep("vgg-head", layers, vlens=(VLENS[0],),
+                       l2_mbs=L2_MBS, sink=sink, on_progress=ticks.append)
+        finished = sink.of_kind("point_finished")
+        assert [SweepProgress.from_event(e) for e in finished] == ticks

@@ -149,3 +149,26 @@ class TestReporting:
     def test_runtime_figure(self, small_sweep):
         text = runtime_figure(small_sweep)
         assert "speedup" in text and "512-bit" in text
+
+    def test_zero_paper_value_is_nan_not_inf(self):
+        """A ratio against a zero published baseline is undefined; the
+        old code returned inf and the table printed a confident-looking
+        'infx'."""
+        import math
+
+        c = Comparison("unpublished quantity", 0.0, 1.23)
+        assert math.isnan(c.ratio)
+        row = c.row()
+        assert "—" in row and "inf" not in row
+        assert "1.23" in row
+        # Finite ratios are unaffected.
+        assert math.isclose(Comparison("x", 2.0, 1.0).ratio, 0.5)
+        # And the table renders mixed rows without raising.
+        text = comparison_table([c, Comparison("x", 2.0, 1.0)])
+        assert "—" in text and "0.50x" in text
+
+    def test_miss_rate_report_rejects_l2_outside_grid(self, small_sweep):
+        """Asking for an l2_mb the sweep never ran is a ConfigError
+        with the grid in the message, not a bare KeyError."""
+        with pytest.raises(ConfigError, match=r"l2_mb=7 is not in"):
+            miss_rate_report(small_sweep, PAPER_TABLE2_VGG, l2_mb=7)
