@@ -18,7 +18,13 @@ sweep executor's environment knobs:
 - ``REPRO_SWEEP_TRACE`` — a trace directory root; each network sweep
   gets a subdirectory with a run ``manifest.json`` and an
   ``events.jsonl`` flight recorder of its structured event stream
-  (progress ticks, checkpoint drops, pool degradation).
+  (progress ticks, checkpoint drops, pool degradation);
+- ``REPRO_BENCH_BASELINE`` — a baseline-store directory (see
+  :mod:`repro.obs.baseline`); every sweep point this session computes
+  is recorded into a :class:`~repro.obs.BenchRecorder`, and at session
+  end the lot is frozen as ``BENCH_<rev>.json`` under the current git
+  revision — so a bench run leaves a trajectory point behind for
+  ``repro bench compare``.
 """
 
 from __future__ import annotations
@@ -29,6 +35,19 @@ import pytest
 
 from repro.codesign import codesign_sweep
 from repro.nets import vgg16_layers, yolov3_layers
+
+_bench_recorder = None
+
+
+def _session_recorder():
+    """The session's shared bench recorder (both network sweeps feed
+    one baseline file)."""
+    global _bench_recorder
+    if _bench_recorder is None:
+        from repro.obs import BenchRecorder
+
+        _bench_recorder = BenchRecorder()
+    return _bench_recorder
 
 
 def sweep_kwargs(tag: str) -> dict:
@@ -47,7 +66,27 @@ def sweep_kwargs(tag: str) -> dict:
                 k: str(v) for k, v in kwargs.items()}},
         ))
         kwargs["sink"] = JsonlSink(os.path.join(trace_dir, "events.jsonl"))
+    if os.environ.get("REPRO_BENCH_BASELINE"):
+        kwargs["recorder"] = _session_recorder()
     return kwargs
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_baseline_session():
+    """Freeze the session's recorded sweep points at teardown."""
+    yield
+    root = os.environ.get("REPRO_BENCH_BASELINE")
+    if not root or _bench_recorder is None or not len(_bench_recorder):
+        return
+    from repro.obs import BaselineStore, baseline_payload, git_rev
+
+    payload = baseline_payload(
+        git_rev() or "untracked", _bench_recorder,
+        config={"source": "benchmarks session",
+                "workers": int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))},
+    )
+    path = BaselineStore(root).save(payload)
+    print(f"\nrecorded bench baseline {payload['rev']} -> {path}")
 
 
 @pytest.fixture(scope="session")

@@ -11,6 +11,16 @@ workflow:
                event stream and run manifest;
 - ``profile``  simulate one network inference under the span tracer and
                print the per-layer time/counter breakdown;
+               ``--roofline`` classifies every layer memory- vs
+               compute-bound from the *measured* span counters and
+               reconciles against the analytical roofline model;
+- ``trace``    analytics over recorded traces: ``diff`` two payloads
+               span-for-span, ``top`` the hottest spans plus the
+               critical path, ``export`` to Chrome trace-event JSON or
+               folded stacks;
+- ``bench``    the regression observatory: ``record`` freezes a sweep
+               into a versioned ``BENCH_<rev>.json`` baseline,
+               ``compare`` re-runs it and exits non-zero on regression;
 - ``roofline``     print the Figure 5/6 rooflines;
 - ``lint-kernels`` audit every kernel variant with the trace-lifted
                    verifier (spec conformance, hazards, VLA portability);
@@ -202,6 +212,8 @@ def cmd_profile(args) -> int:
 
         (trace_dir / "trace.json").write_text(
             json.dumps(trace_payload(root, manifest), indent=2) + "\n")
+    if args.roofline:
+        return _profile_roofline(args, root, cfg, layers)
     if args.json:
         print(render_trace_json(root, manifest))
     else:
@@ -209,6 +221,205 @@ def cmd_profile(args) -> int:
         print()
         print(result.total.report())
     return 0
+
+
+def _profile_roofline(args, root, cfg, layers) -> int:
+    """``repro profile --roofline``: measured-counter attribution,
+    reconciled against the analytical roofline model.  Exits non-zero
+    when the two classifications disagree on any layer — the paper's
+    boundedness claims are checked, not narrated."""
+    from repro.conv.layer import ConvLayerSpec
+    from repro.obs import disagreements, reconcile, render_attribution
+    from repro.roofline import measured_roofline
+
+    conv_specs = [l for l in layers if isinstance(l, ConvLayerSpec)]
+    measured = measured_roofline(root, cfg)
+    modeled = roofline_points(conv_specs, cfg, algorithm=None,
+                              hybrid=not args.pure_gemm)
+    recs = reconcile(measured, modeled)
+    bad = disagreements(recs)
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "network": args.network,
+            "vlen_bits": cfg.vlen_bits,
+            "l2_mb": cfg.l2_mb,
+            "measured": [p.to_dict() for p in measured],
+            "reconciliation": [r.to_dict() for r in recs],
+            "agrees": not bad,
+        }, indent=2))
+    else:
+        print(render_attribution(
+            measured, recs,
+            title=f"{args.network} @ {cfg.vlen_bits}b/{cfg.l2_mb}MB",
+        ))
+    return 1 if bad else 0
+
+
+def cmd_trace_diff(args) -> int:
+    """Align two trace payloads span-for-span and report the deltas.
+
+    Exits 0 only when the trees align structurally and every primitive
+    counter delta is zero (wall time may differ — it is noise); any
+    counter movement is a behaviour change and exits 1.
+    """
+    from repro.obs import diff_payload, diff_traces, load_trace, render_diff_text
+
+    a, b = load_trace(args.a), load_trace(args.b)
+    root = diff_traces(a.span, b.span)
+    clean = root.structurally_identical and root.max_abs_counter_delta == 0
+    if args.json:
+        import json
+
+        print(json.dumps(diff_payload(a, b), indent=2))
+    else:
+        print(render_diff_text(root))
+        print()
+        if clean:
+            print("traces are equivalent: structures align, all counter "
+                  "deltas are zero (wall time is not compared)")
+        else:
+            print(f"traces differ: max |counter delta| "
+                  f"{root.max_abs_counter_delta:g}"
+                  + ("" if root.structurally_identical
+                     else "; span structures diverge"))
+    return 0 if clean else 1
+
+
+def cmd_trace_top(args) -> int:
+    """Rank a trace's spans by self cycles; append the critical path."""
+    from repro.obs import (
+        critical_path,
+        load_trace,
+        render_critical_path,
+        render_top_text,
+        span_cycles,
+        top_spans,
+    )
+
+    payload = load_trace(args.trace)
+    rows = top_spans(payload.span, n=args.n)
+    total = span_cycles(payload.span)
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "source": payload.source,
+            "total_cycles": total,
+            "top": [r.to_dict() for r in rows],
+            "critical_path": [
+                str(s.attrs.get("label", s.name))
+                for s in critical_path(payload.span)
+            ],
+        }, indent=2))
+        return 0
+    print(render_top_text(rows, total))
+    print()
+    print(render_critical_path(critical_path(payload.span)))
+    return 0
+
+
+def cmd_trace_export(args) -> int:
+    """Export a trace for off-the-shelf viewers."""
+    from pathlib import Path
+
+    from repro.obs import export_trace, load_trace
+
+    payload = load_trace(args.trace)
+    text = export_trace(payload.span, args.format)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.format} export to {args.output}",
+              file=sys.stderr)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _bench_run(config: dict):
+    """Run the observatory's sweep workload described by ``config``.
+
+    Shared by ``bench record`` (freezing a new baseline) and ``bench
+    compare`` (reproducing the stored baseline's workload exactly — the
+    comparison re-runs what the *baseline* recorded, not whatever the
+    current flags happen to say).
+    """
+    from repro.obs import BenchRecorder
+
+    layers = _network(config["network"])
+    if config.get("layers"):
+        layers = layers[: int(config["layers"])]
+    recorder = BenchRecorder()
+    for _ in range(int(config["repeat"])):
+        codesign_sweep(
+            config["network"], layers,
+            vlens=tuple(int(v) for v in config["vlens"]),
+            l2_mbs=tuple(int(l) for l in config["l2_mbs"]),
+            hybrid=bool(config["hybrid"]),
+            mode=config["mode"],
+            recorder=recorder,
+        )
+    return recorder
+
+
+def cmd_bench_record(args) -> int:
+    """Freeze the configured sweep into ``BENCH_<rev>.json``."""
+    from dataclasses import asdict
+
+    from repro.obs import (
+        BaselineStore,
+        baseline_payload,
+        git_rev,
+        run_manifest,
+    )
+
+    config = {
+        "network": args.network,
+        "layers": args.layers,
+        "vlens": [int(v) for v in args.vlens.split(",")],
+        "l2_mbs": [int(l) for l in args.l2_sizes.split(",")],
+        "hybrid": not args.pure_gemm,
+        "mode": args.mode,
+        "repeat": args.repeat,
+    }
+    recorder = _bench_run(config)
+    rev = args.rev or git_rev() or "untracked"
+    manifest = run_manifest("bench", config=asdict(SystemConfig()),
+                            backend=args.mode, extra=config)
+    payload = baseline_payload(rev, recorder, config, manifest)
+    store = BaselineStore(args.dir)
+    path = store.save(payload)
+    print(f"recorded baseline {rev}: {len(recorder)} bench(es) x "
+          f"{args.repeat} run(s) -> {path}")
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    """Re-run a stored baseline's workload and diff; non-zero on
+    regression (exact cycles, tolerance-checked wall time)."""
+    from repro.obs import (
+        BaselineStore,
+        baseline_payload,
+        compare_payloads,
+        git_rev,
+        render_comparison,
+    )
+
+    store = BaselineStore(args.dir)
+    base = store.resolve(args.against)
+    recorder = _bench_run(base["config"])
+    current = baseline_payload(
+        git_rev() or "worktree", recorder, base["config"]
+    )
+    cmp = compare_payloads(base, current, walls=not args.cycles_only)
+    if args.json:
+        import json
+
+        print(json.dumps(cmp.to_dict(), indent=2))
+    else:
+        print(render_comparison(cmp))
+    return 0 if cmp.ok else 1
 
 
 def cmd_roofline(args) -> int:
@@ -337,7 +548,82 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the manifest + span tree as JSON")
     p.add_argument("--trace", default=None, metavar="DIR",
                    help="also write manifest.json and trace.json to DIR")
+    p.add_argument("--roofline", action="store_true",
+                   help="classify each layer memory- vs compute-bound "
+                        "from its measured span counters, reconcile "
+                        "against the analytical roofline model, and exit "
+                        "non-zero on any disagreement")
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "trace", help="analytics over recorded trace payloads")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    t = tsub.add_parser(
+        "diff",
+        help="align two traces span-for-span and report wall/cycle/"
+             "counter deltas; exits non-zero when counters moved")
+    t.add_argument("a", help="trace dir, trace.json, or profile --json file")
+    t.add_argument("b", help="the trace to compare against A")
+    t.add_argument("--json", action="store_true",
+                   help="emit the full per-counter diff document")
+    t.set_defaults(func=cmd_trace_diff)
+    t = tsub.add_parser(
+        "top", help="hottest spans by self cycles, plus the critical path")
+    t.add_argument("trace", help="trace dir, trace.json, or profile --json file")
+    t.add_argument("-n", type=int, default=10,
+                   help="rows in the table (default 10)")
+    t.add_argument("--json", action="store_true")
+    t.set_defaults(func=cmd_trace_top)
+    t = tsub.add_parser(
+        "export", help="export a trace for external viewers")
+    t.add_argument("trace", help="trace dir, trace.json, or profile --json file")
+    t.add_argument("--format", choices=["chrome", "folded"],
+                   default="chrome",
+                   help="chrome: trace-event JSON for chrome://tracing/"
+                        "Perfetto; folded: flamegraph.pl stacks")
+    t.add_argument("-o", "--output", default=None, metavar="FILE",
+                   help="write to FILE instead of stdout")
+    t.set_defaults(func=cmd_trace_export)
+
+    p = sub.add_parser(
+        "bench",
+        help="performance-regression observatory over sweep baselines")
+    bsub = p.add_subparsers(dest="bench_command", required=True)
+    b = bsub.add_parser(
+        "record",
+        help="run a sweep repeatedly and freeze it as BENCH_<rev>.json")
+    b.add_argument("network", choices=["vgg16", "yolov3"])
+    b.add_argument("--vlens", default="512,1024",
+                   help="comma-separated vector lengths in bits")
+    b.add_argument("--l2-sizes", default="1,16",
+                   help="comma-separated L2 sizes in MB")
+    b.add_argument("--layers", type=int, default=None, metavar="N",
+                   help="truncate the network to its first N layers "
+                        "(keeps the smoke baseline fast)")
+    b.add_argument("--pure-gemm", action="store_true")
+    b.add_argument("--mode", choices=["exact", "fast"], default="exact")
+    b.add_argument("--repeat", type=int, default=3,
+                   help="runs per bench; wall-time noise is estimated "
+                        "from the spread (default 3)")
+    b.add_argument("--dir", default="benchmarks/baselines",
+                   help="baseline store directory")
+    b.add_argument("--rev", default=None,
+                   help="record under this revision name (default: "
+                        "the current git revision)")
+    b.set_defaults(func=cmd_bench_record)
+    b = bsub.add_parser(
+        "compare",
+        help="re-run a stored baseline's workload and diff against it; "
+             "exits non-zero on regression")
+    b.add_argument("--against", default=None, metavar="REV",
+                   help="baseline revision (default: most recent)")
+    b.add_argument("--dir", default="benchmarks/baselines",
+                   help="baseline store directory")
+    b.add_argument("--cycles-only", action="store_true",
+                   help="skip the wall-time comparison (for loaded or "
+                        "shared machines where wall noise is unbounded)")
+    b.add_argument("--json", action="store_true")
+    b.set_defaults(func=cmd_bench_compare)
 
     p = sub.add_parser("roofline", help="Figure 5/6 rooflines")
     _add_system_args(p)

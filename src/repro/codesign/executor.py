@@ -72,9 +72,11 @@ from repro.nets.layers import LayerSpec
 from repro.obs import (
     COUNTERS,
     LEVEL_WARNING,
+    BenchRecorder,
     EventSink,
     Span,
     Tracer,
+    bench_key,
     current_tracer,
     event,
     span,
@@ -475,10 +477,17 @@ def run_sweep(
     on_progress: ProgressCallback | None = None,
     mode: str = BACKEND_EXACT,
     sink: EventSink | None = None,
+    recorder: BenchRecorder | None = None,
 ) -> SweepResult:
     """Run a network across the co-design grid (see
     :func:`repro.codesign.sweep.codesign_sweep` for the argument
     contract — that wrapper is the public entry point).
+
+    ``recorder`` feeds the regression observatory: every point's
+    simulated cycle count is recorded under its canonical bench key,
+    with per-point wall time for *computed* points only (a checkpoint
+    restore measures the disk, not the sweep, so it contributes cycles
+    but no wall sample).
     """
     if mode not in BACKENDS:
         raise ConfigError(
@@ -521,6 +530,8 @@ def run_sweep(
                     telemetry.checkpoint_corrupt(path, corrupt_reason)
             if restored is not None:
                 results[(v, l)] = restored
+                if recorder is not None:
+                    recorder.add(bench_key(name, v, l), restored.cycles)
                 telemetry.point_restored(v, l)
             else:
                 todo.append((v, l))
@@ -535,6 +546,9 @@ def run_sweep(
 
         def finish(v: int, l: int, result: NetworkResult, secs: float) -> None:
             results[(v, l)] = result
+            if recorder is not None:
+                recorder.add(bench_key(name, v, l), result.cycles,
+                             wall_seconds=secs)
             if directory is not None:
                 _save_point(_point_path(directory, v, l), v, l, result, mode)
             telemetry.point_finished(v, l, secs)

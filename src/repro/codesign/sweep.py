@@ -24,7 +24,7 @@ from repro.sim.system import SystemConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.codesign.executor import SweepProgress
-    from repro.obs import EventSink
+    from repro.obs import BenchRecorder, EventSink
 
 #: The paper's sweep grids.
 PAPER_VLENS = (512, 1024, 2048, 4096)
@@ -229,6 +229,7 @@ def codesign_sweep(
     on_progress: "Callable[[SweepProgress], None] | None" = None,
     mode: str = BACKEND_EXACT,
     sink: "EventSink | None" = None,
+    recorder: "BenchRecorder | None" = None,
 ) -> SweepResult:
     """Run a network across the co-design grid.
 
@@ -264,6 +265,9 @@ def codesign_sweep(
         sink: an :class:`~repro.obs.EventSink` receiving the sweep's
             structured event stream (progress ticks, warnings, run
             summary); the CLI's ``--trace`` wires a JSONL sink here.
+        recorder: a :class:`~repro.obs.BenchRecorder` collecting each
+            point's cycles and wall time for the regression
+            observatory (``repro bench record`` / ``compare``).
     """
     if mode == "validate":
         raise ConfigError(
@@ -276,7 +280,7 @@ def codesign_sweep(
         name, layers, vlens=vlens, l2_mbs=l2_mbs, hybrid=hybrid,
         variant=variant, base_config=base_config, workers=workers,
         checkpoint_dir=checkpoint_dir, on_progress=on_progress, mode=mode,
-        sink=sink,
+        sink=sink, recorder=recorder,
     )
 
 

@@ -65,3 +65,14 @@ class TraceValidationError(ReproError):
 
 class SimulationError(ReproError):
     """The timing simulator reached an inconsistent internal state."""
+
+
+class ObsError(ReproError):
+    """Misuse of the observability layer (:mod:`repro.obs`).
+
+    Examples: emitting to a closed event sink, or comparing trace
+    payloads whose identities make the comparison meaningless.
+    Instrumentation is observation-only, so these never surface from an
+    uninstrumented run — they mark bugs in tooling code, not in the
+    simulation.
+    """

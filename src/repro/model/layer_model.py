@@ -75,7 +75,8 @@ def simulate_layer(
     """Simulate one layer; label records layer name and algorithm."""
     algo = algorithm if algorithm is not None else choose_algorithm(spec)
     label = f"{spec.name}[{algo.value}]"
-    with span("layer", label=label) as layer_span:
+    with span("layer", label=label,
+              freq_ghz=config.freq_ghz) as layer_span:
         phases = layer_phases(spec, config, algo, variant)
         stats = stats_from_model(phases, config, label=label)
         layer_span.add_counters(**counters_from_stats(stats))
@@ -135,7 +136,8 @@ def simulate_network(
     per_layer: list[SimStats] = []
     total = SimStats(freq_ghz=config.freq_ghz, label=f"{name} total")
     with span("simulate_network", network=name,
-              vlen_bits=config.vlen_bits, l2_mb=config.l2_mb) as net_span:
+              vlen_bits=config.vlen_bits, l2_mb=config.l2_mb,
+              freq_ghz=config.freq_ghz) as net_span:
         for spec in specs:
             algo = choose_algorithm(spec, hybrid=hybrid)
             stats = simulate_layer(spec, config, algorithm=algo,

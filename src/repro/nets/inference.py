@@ -70,6 +70,7 @@ def simulate_inference(
     total = SimStats(freq_ghz=config.freq_ghz, label=f"{name} total")
     with span("simulate_inference", network=name,
               vlen_bits=config.vlen_bits, l2_mb=config.l2_mb,
+              freq_ghz=config.freq_ghz,
               hybrid=hybrid, variant=variant) as net_span:
         for layer in layers:
             with span("layer", label=layer.name) as layer_span:

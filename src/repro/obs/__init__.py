@@ -16,13 +16,60 @@ The measurement substrate under every performance claim in this repo:
   git revision, seed state) written next to every ``--trace``.
 - :mod:`repro.obs.render` — text/JSON renderers for traces and
   counter snapshots (``repro profile``).
+- :mod:`repro.obs.analytics` — trace loading, structural diff,
+  critical path, hot-span ranking (``repro trace diff`` / ``top``).
+- :mod:`repro.obs.attribution` — measured roofline classification of
+  layer spans and reconciliation against the analytical model
+  (``repro profile --roofline``).
+- :mod:`repro.obs.baseline` — versioned ``BENCH_<rev>.json``
+  performance baselines and the regression comparison
+  (``repro bench record`` / ``compare``).
+- :mod:`repro.obs.export` — Chrome trace-event and folded-stack
+  exporters (``repro trace export``).
 
 Everything here is observation-only: instrumented and uninstrumented
 runs produce bit-identical statistics, and ``obs`` imports nothing from
 the simulator (the simulator imports ``obs``, never the reverse).
 """
 
+from repro.obs.analytics import (
+    HotSpan,
+    SpanDiff,
+    TracePayload,
+    critical_path,
+    diff_payload,
+    diff_traces,
+    load_trace,
+    render_critical_path,
+    render_diff_text,
+    render_top_text,
+    top_spans,
+)
+from repro.obs.attribution import (
+    MeasuredRooflinePoint,
+    Reconciliation,
+    attribute_trace,
+    disagreements,
+    reconcile,
+    render_attribution,
+)
+from repro.obs.baseline import (
+    BaselineStore,
+    BenchComparison,
+    BenchRecorder,
+    Regression,
+    baseline_payload,
+    bench_key,
+    compare_payloads,
+    render_comparison,
+)
 from repro.obs.counters import COUNTERS, CounterCapture, CounterRegistry
+from repro.obs.export import (
+    EXPORT_FORMATS,
+    chrome_trace,
+    export_trace,
+    folded_stacks,
+)
 from repro.obs.events import (
     LEVEL_INFO,
     LEVEL_WARNING,
@@ -92,4 +139,33 @@ __all__ = [
     "render_counters",
     "span_cycles",
     "trace_payload",
+    "TracePayload",
+    "SpanDiff",
+    "HotSpan",
+    "load_trace",
+    "diff_traces",
+    "diff_payload",
+    "render_diff_text",
+    "critical_path",
+    "render_critical_path",
+    "top_spans",
+    "render_top_text",
+    "MeasuredRooflinePoint",
+    "Reconciliation",
+    "attribute_trace",
+    "reconcile",
+    "disagreements",
+    "render_attribution",
+    "BaselineStore",
+    "BenchRecorder",
+    "BenchComparison",
+    "Regression",
+    "bench_key",
+    "baseline_payload",
+    "compare_payloads",
+    "render_comparison",
+    "EXPORT_FORMATS",
+    "chrome_trace",
+    "folded_stacks",
+    "export_trace",
 ]

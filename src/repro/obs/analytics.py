@@ -1,0 +1,417 @@
+"""Trace analytics: load, align, and compare span-tree payloads.
+
+PR 4 made runs *recordable* (``repro profile --json`` / ``--trace``
+directories); this module makes them *comparable* — the half of the
+measure→attribute→compare loop that turns a trace from a pretty tree
+into evidence:
+
+- :func:`load_trace` reads any trace artifact this repo writes — a
+  ``--trace`` directory, its ``trace.json``, or a single
+  ``repro profile --json`` capture — into one :class:`TracePayload`
+  (span tree + manifest + any unknown keys, preserved verbatim).
+- :func:`diff_traces` aligns two span trees *structurally* (by span
+  name and label, in order of occurrence, so two traces of the same
+  run align layer-for-layer even though wall times differ) and reports
+  per-span deltas of wall time, derived cycles, and every primitive
+  counter.  Two traces of the same simulated run must show all-zero
+  counter deltas — the simulator is deterministic, and a non-zero
+  delta is a real behaviour change, not noise.
+- :func:`critical_path` extracts the heaviest root-to-leaf chain by
+  derived cycles (wall time when a span has no clocked counters).
+- :func:`top_spans` ranks spans by *self* cycles — what the span cost
+  excluding its children — the flamegraph question asked of a tree.
+
+Surfaced as ``repro trace diff A B [--json]`` and ``repro trace top``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+from repro.errors import ObsError
+from repro.obs.manifest import RUN_MANIFEST_NAME
+from repro.obs.render import span_cycles
+from repro.obs.trace import Span
+
+#: File name of the span tree inside a ``--trace`` directory.
+TRACE_FILE_NAME = "trace.json"
+
+
+@dataclass
+class TracePayload:
+    """One loaded trace artifact: span tree, manifest, unknown keys."""
+
+    span: Span
+    manifest: dict[str, Any] | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+    source: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """Round-trip form — unknown top-level keys ride along."""
+        payload: dict[str, Any] = dict(self.extra)
+        payload["trace"] = self.span.to_dict()
+        if self.manifest is not None:
+            payload["manifest"] = dict(self.manifest)
+        return payload
+
+
+def load_trace(path: str | Path) -> TracePayload:
+    """Load any trace artifact the repo writes.
+
+    Accepts a ``--trace`` directory (reads its ``trace.json``, falling
+    back to the sibling ``manifest.json`` when the payload embeds no
+    manifest), a payload file (``{"trace": ..., "manifest": ...}``, the
+    ``repro profile --json`` document), or a bare span-tree JSON file.
+    """
+    p = Path(path)
+    sibling_manifest: dict[str, Any] | None = None
+    if p.is_dir():
+        trace_file = p / TRACE_FILE_NAME
+        if not trace_file.exists():
+            raise ObsError(
+                f"{p} has no {TRACE_FILE_NAME}; a trace directory is "
+                f"written by `repro profile --trace DIR`"
+            )
+        mpath = p / RUN_MANIFEST_NAME
+        if mpath.exists():
+            sibling_manifest = json.loads(mpath.read_text(encoding="utf-8"))
+        p = trace_file
+    try:
+        doc = json.loads(p.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as e:
+        raise ObsError(f"unreadable trace {p}: {e}") from None
+    if not isinstance(doc, dict):
+        raise ObsError(f"trace {p} is not a JSON object")
+    if "trace" in doc:
+        span = Span.from_dict(doc["trace"])
+        manifest = doc.get("manifest")
+        extra = {
+            k: v for k, v in doc.items() if k not in ("trace", "manifest")
+        }
+    elif "name" in doc:
+        # A bare span tree (e.g. a worker subtree saved by tooling).
+        span, manifest, extra = Span.from_dict(doc), None, {}
+    else:
+        raise ObsError(
+            f"trace {p} has neither a 'trace' payload key nor a span "
+            f"'name' key"
+        )
+    if manifest is None and sibling_manifest is not None:
+        manifest = sibling_manifest
+    return TracePayload(span=span, manifest=manifest, extra=extra,
+                        source=str(path))
+
+
+# ----------------------------------------------------------------------
+# Structural alignment and diff.
+# ----------------------------------------------------------------------
+#: Alignment outcomes for one node of the diff tree.
+MATCHED = "matched"
+ONLY_A = "only_a"
+ONLY_B = "only_b"
+
+
+def _span_key(span: Span) -> tuple[str, str]:
+    """Identity used for alignment: name plus label attribute."""
+    return span.name, str(span.attrs.get("label", ""))
+
+
+@dataclass
+class SpanDiff:
+    """One aligned node of a trace diff.
+
+    ``counters`` maps every counter present on either side to its
+    ``(a, b)`` pair (0.0 standing in for an absent counter), so "every
+    primitive counter" is reported, not just the ones that moved.
+    """
+
+    name: str
+    label: str
+    status: str
+    wall_a: float = 0.0
+    wall_b: float = 0.0
+    cycles_a: float | None = None
+    cycles_b: float | None = None
+    counters: dict[str, tuple[float, float]] = field(default_factory=dict)
+    children: list["SpanDiff"] = field(default_factory=list)
+
+    @property
+    def wall_delta(self) -> float:
+        return self.wall_b - self.wall_a
+
+    @property
+    def cycles_delta(self) -> float | None:
+        if self.cycles_a is None or self.cycles_b is None:
+            return None
+        return self.cycles_b - self.cycles_a
+
+    def counter_deltas(self) -> dict[str, float]:
+        """b - a per counter (zeros included: the full report)."""
+        return {k: b - a for k, (a, b) in self.counters.items()}
+
+    def walk(self) -> Iterator["SpanDiff"]:
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    @property
+    def max_abs_counter_delta(self) -> float:
+        """The headline bit-stability number over the whole subtree."""
+        return max(
+            (abs(d) for n in self.walk() for d in n.counter_deltas().values()),
+            default=0.0,
+        )
+
+    @property
+    def structurally_identical(self) -> bool:
+        return all(n.status == MATCHED for n in self.walk())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "label": self.label,
+            "status": self.status,
+            "wall_a": self.wall_a,
+            "wall_b": self.wall_b,
+            "wall_delta": self.wall_delta,
+            "cycles_a": self.cycles_a,
+            "cycles_b": self.cycles_b,
+            "cycles_delta": self.cycles_delta,
+            "counters": {
+                k: {"a": a, "b": b, "delta": b - a}
+                for k, (a, b) in sorted(self.counters.items())
+            },
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+def _diff_node(
+    a: Span | None,
+    b: Span | None,
+    path_a: Sequence[Span],
+    path_b: Sequence[Span],
+) -> SpanDiff:
+    """Diff one aligned pair (either side may be absent)."""
+    present = a if a is not None else b
+    assert present is not None
+    name, label = _span_key(present)
+    status = MATCHED if a is not None and b is not None else (
+        ONLY_A if b is None else ONLY_B)
+    node = SpanDiff(name=name, label=label or name, status=status)
+    if a is not None:
+        node.wall_a = a.wall_seconds
+        node.cycles_a = span_cycles(a, path_a)
+    if b is not None:
+        node.wall_b = b.wall_seconds
+        node.cycles_b = span_cycles(b, path_b)
+    keys = sorted(
+        set(a.counters if a else ()) | set(b.counters if b else ())
+    )
+    node.counters = {
+        k: (
+            float(a.counters.get(k, 0.0)) if a is not None else 0.0,
+            float(b.counters.get(k, 0.0)) if b is not None else 0.0,
+        )
+        for k in keys
+    }
+    # Align children by (name, label) occurrence order: the i-th child
+    # with a given key on side A pairs with the i-th on side B.  That
+    # keeps repeated spans (every layer span is named "layer") aligned
+    # positionally per label while tolerating insertions elsewhere.
+    sub_a = (*path_a, a) if a is not None else path_a
+    sub_b = (*path_b, b) if b is not None else path_b
+    b_buckets: dict[tuple[str, str], list[Span]] = {}
+    for child in (b.children if b is not None else []):
+        b_buckets.setdefault(_span_key(child), []).append(child)
+    consumed: set[int] = set()
+    for child in (a.children if a is not None else []):
+        bucket = b_buckets.get(_span_key(child), [])
+        match = bucket.pop(0) if bucket else None
+        if match is not None:
+            consumed.add(id(match))
+        node.children.append(_diff_node(child, match, sub_a, sub_b))
+    for child in (b.children if b is not None else []):
+        if id(child) not in consumed:
+            node.children.append(_diff_node(None, child, sub_a, sub_b))
+    return node
+
+
+def diff_traces(a: Span, b: Span) -> SpanDiff:
+    """Structurally align two span trees and report per-span deltas."""
+    return _diff_node(a, b, (), ())
+
+
+def diff_payload(
+    a: TracePayload, b: TracePayload
+) -> dict[str, Any]:
+    """The ``repro trace diff --json`` document."""
+    root = diff_traces(a.span, b.span)
+    return {
+        "a": a.source,
+        "b": b.source,
+        "structurally_identical": root.structurally_identical,
+        "max_abs_counter_delta": root.max_abs_counter_delta,
+        "diff": root.to_dict(),
+    }
+
+
+def _fmt_delta(v: float) -> str:
+    return f"{v:+.6g}" if v else "±0"
+
+
+def render_diff_text(root: SpanDiff, indent: int = 0) -> str:
+    """Indented diff tree: wall and cycle deltas per span, plus the
+    counters that actually moved (all-zero counters are summarized, not
+    listed — the full per-counter report is the ``--json`` form)."""
+    pad = "  " * indent
+    if root.status == ONLY_A:
+        line = f"{pad}- {root.label}  (only in A)"
+    elif root.status == ONLY_B:
+        line = f"{pad}+ {root.label}  (only in B)"
+    else:
+        parts = [
+            f"wall {root.wall_a * 1e3:.2f}→{root.wall_b * 1e3:.2f} ms"
+        ]
+        if root.cycles_delta is not None:
+            parts.append(f"cycles {_fmt_delta(root.cycles_delta)}")
+        moved = {k: d for k, d in root.counter_deltas().items() if d}
+        if moved:
+            parts.append(", ".join(
+                f"{k} {_fmt_delta(d)}" for k, d in sorted(moved.items())
+            ))
+        elif root.counters:
+            parts.append(f"{len(root.counters)} counters ±0")
+        line = f"{pad}{root.label}  [{'  '.join(parts)}]"
+    lines = [line]
+    lines.extend(render_diff_text(c, indent + 1) for c in root.children)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Critical path and hot spans.
+# ----------------------------------------------------------------------
+def _span_weight(span: Span, ancestors: Sequence[Span]) -> float:
+    """Ranking weight: derived cycles when clocked, else wall time."""
+    cycles = span_cycles(span, ancestors)
+    return cycles if cycles is not None else span.wall_seconds
+
+
+def critical_path(root: Span) -> list[Span]:
+    """The heaviest root-to-leaf chain by cycles (wall as fallback).
+
+    At every node the walk descends into the heaviest child, so the
+    returned chain is the sequence of spans an optimizer should look at
+    first — the trace-tree analogue of a critical path.
+    """
+    path = [root]
+    ancestors: list[Span] = []
+    node = root
+    while node.children:
+        ancestors.append(node)
+        node = max(
+            node.children, key=lambda c: _span_weight(c, ancestors)
+        )
+        path.append(node)
+    return path
+
+
+@dataclass(frozen=True)
+class HotSpan:
+    """One row of the top-N table."""
+
+    label: str
+    path: str
+    total_cycles: float | None
+    self_cycles: float | None
+    wall_seconds: float
+    depth: int
+
+    @property
+    def rank_weight(self) -> float:
+        if self.self_cycles is not None:
+            return self.self_cycles
+        return self.wall_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "path": self.path,
+            "total_cycles": self.total_cycles,
+            "self_cycles": self.self_cycles,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+def _collect_hot(
+    span: Span, ancestors: tuple[Span, ...], prefix: str,
+    out: list[HotSpan],
+) -> None:
+    label = str(span.attrs.get("label", span.name))
+    path = f"{prefix}/{label}" if prefix else label
+    total = span_cycles(span, ancestors)
+    sub = (*ancestors, span)
+    child_cycles = [span_cycles(c, sub) for c in span.children]
+    self_cycles: float | None = None
+    if total is not None:
+        self_cycles = total - sum(c for c in child_cycles if c is not None)
+        # Timer/accounting noise never goes negative on real traces —
+        # but clamp anyway so a hand-built tree cannot rank below zero.
+        self_cycles = max(self_cycles, 0.0)
+    out.append(HotSpan(
+        label=label, path=path, total_cycles=total,
+        self_cycles=self_cycles, wall_seconds=span.wall_seconds,
+        depth=len(ancestors),
+    ))
+    for child in span.children:
+        _collect_hot(child, sub, path, out)
+
+
+def top_spans(root: Span, n: int = 10) -> list[HotSpan]:
+    """The ``n`` heaviest spans by self cycles (wall as fallback).
+
+    *Self* cycles — the span's derived cycles minus its children's —
+    so an aggregating root does not shadow the layers underneath it.
+    """
+    rows: list[HotSpan] = []
+    _collect_hot(root, (), "", rows)
+    rows.sort(key=lambda r: r.rank_weight, reverse=True)
+    return rows[:n]
+
+
+def render_top_text(rows: Sequence[HotSpan], total: float | None) -> str:
+    """The ``repro trace top`` table."""
+    out = [
+        f"{'#':>3} {'span':<42}{'self cycles':>14}{'total':>14}"
+        f"{'share':>8}{'wall ms':>10}"
+    ]
+    for i, r in enumerate(rows, 1):
+        self_c = "—" if r.self_cycles is None else f"{r.self_cycles:,.0f}"
+        total_c = "—" if r.total_cycles is None else f"{r.total_cycles:,.0f}"
+        share = (
+            f"{100 * r.self_cycles / total:.1f}%"
+            if r.self_cycles is not None and total
+            else "—"
+        )
+        label = r.label if len(r.label) <= 41 else r.label[:38] + "..."
+        out.append(
+            f"{i:>3} {label:<42}{self_c:>14}{total_c:>14}"
+            f"{share:>8}{r.wall_seconds * 1e3:>10.2f}"
+        )
+    return "\n".join(out)
+
+
+def render_critical_path(path: Sequence[Span]) -> str:
+    """One line per hop of the heaviest root-to-leaf chain."""
+    out = ["critical path (heaviest root-to-leaf chain):"]
+    for depth, node in enumerate(path):
+        label = str(node.attrs.get("label", node.name))
+        cycles = span_cycles(node, tuple(path[:depth]))
+        c = "—" if cycles is None else f"{cycles:,.0f} cycles"
+        out.append(
+            f"  {'  ' * depth}{label}  ({c}, "
+            f"{node.wall_seconds * 1e3:.2f} ms)"
+        )
+    return "\n".join(out)

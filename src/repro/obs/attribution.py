@@ -1,0 +1,309 @@
+"""Roofline attribution from *measured* span counters.
+
+The paper's rooflines (Figures 5/6) are drawn from the analytical
+layer model.  This module draws the same classification from the other
+direction — the counters a traced run actually recorded on its layer
+spans (FLOPs, bytes moved to DRAM through ``cache.l2``, cycle
+components plus the clock on the span's root path) — and reconciles
+the two.  When the measured and modeled classifications agree, the
+roofline claim stops being prose about a figure and becomes a
+machine-checked assertion over a run that really happened; when they
+disagree, the layer is flagged, because one of the two accountings is
+wrong.
+
+This module is deliberately simulator-free (``obs`` imports nothing
+from the simulator): it consumes spans plus two ceiling numbers
+(peak GFLOP/s, DRAM GB/s).  The glue that derives those ceilings from
+a :class:`~repro.sim.system.SystemConfig` and runs the analytical
+model lives in :mod:`repro.roofline.model`
+(:func:`~repro.roofline.model.measured_roofline`), surfaced as
+``repro profile --roofline``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Protocol, Sequence
+
+from repro.errors import ObsError
+from repro.obs.render import span_cycles, span_frequency
+from repro.obs.trace import Span
+
+#: Span name the instrumented inference drivers give per-layer spans.
+LAYER_SPAN_NAME = "layer"
+
+
+def parse_layer_label(label: str) -> tuple[str, str | None]:
+    """Split ``"vgg.conv1[winograd]"`` into name and algorithm."""
+    if label.endswith("]") and "[" in label:
+        name, _, algo = label[:-1].rpartition("[")
+        return name, algo
+    return label, None
+
+
+@dataclass(frozen=True)
+class MeasuredRooflinePoint:
+    """One layer's roofline position, from its recorded span counters."""
+
+    layer: str
+    algorithm: str | None
+    flops: float
+    dram_bytes: float
+    cycles: float | None
+    seconds: float | None
+    peak_gflops: float
+    dram_gbs: float
+
+    @property
+    def ridge_ai(self) -> float:
+        return self.peak_gflops / self.dram_gbs
+
+    @property
+    def ai(self) -> float:
+        """FLOPs per DRAM byte (the paper's Section 6 definition)."""
+        return (
+            self.flops / self.dram_bytes if self.dram_bytes
+            else float("inf")
+        )
+
+    @property
+    def gflops(self) -> float | None:
+        """Achieved GFLOP/s; ``None`` without a clocked cycle count."""
+        if self.seconds is None or self.seconds == 0:
+            return None
+        return self.flops / self.seconds / 1e9
+
+    @property
+    def memory_bound(self) -> bool:
+        """Left of the ridge: bandwidth caps this layer."""
+        return self.ai < self.ridge_ai
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "layer": self.layer,
+            "algorithm": self.algorithm,
+            "flops": self.flops,
+            "dram_bytes": self.dram_bytes,
+            "cycles": self.cycles,
+            "ai": None if self.dram_bytes == 0 else self.ai,
+            "gflops": self.gflops,
+            "memory_bound": self.memory_bound,
+            "bound": "memory" if self.memory_bound else "compute",
+        }
+
+
+def attribute_trace(
+    root: Span,
+    peak_gflops: float,
+    dram_gbs: float,
+    algorithms: Iterable[str] | None = None,
+) -> list[MeasuredRooflinePoint]:
+    """Classify every layer span of a trace from its measured counters.
+
+    Args:
+        root: the trace root (``simulate_inference`` or any subtree).
+        peak_gflops / dram_gbs: the configuration's roofline ceilings.
+        algorithms: restrict to these algorithm tags (e.g.
+            ``("winograd",)``); default, every layer span carrying a
+            ``flops`` counter (pools and shortcuts report flops too,
+            and they have a roofline position like any kernel).
+
+    Raises :class:`ObsError` when the trace has no layer spans at all —
+    an untraced payload fed to the attribution pass is operator error,
+    not an empty result.
+    """
+    if peak_gflops <= 0 or dram_gbs <= 0:
+        raise ObsError(
+            f"roofline ceilings must be positive, got peak "
+            f"{peak_gflops} GFLOP/s / {dram_gbs} GB/s"
+        )
+    wanted = set(algorithms) if algorithms is not None else None
+    points: list[MeasuredRooflinePoint] = []
+    stack: list[tuple[Span, tuple[Span, ...]]] = [(root, ())]
+    saw_layer = False
+    while stack:
+        span, ancestors = stack.pop()
+        sub = (*ancestors, span)
+        # Depth-first, children in order (stack is LIFO: push reversed).
+        stack.extend((c, sub) for c in reversed(span.children))
+        if span.name != LAYER_SPAN_NAME:
+            continue
+        saw_layer = True
+        layer, algo = parse_layer_label(
+            str(span.attrs.get("label", span.name))
+        )
+        if wanted is not None and algo not in wanted:
+            continue
+        if "flops" not in span.counters:
+            continue
+        cycles = span_cycles(span, ancestors)
+        freq = span_frequency(span, ancestors)
+        seconds = (
+            cycles / (freq * 1e9)
+            if cycles is not None and freq else None
+        )
+        points.append(MeasuredRooflinePoint(
+            layer=layer,
+            algorithm=algo,
+            flops=float(span.counters["flops"]),
+            dram_bytes=float(span.counters.get("dram_bytes", 0.0)),
+            cycles=cycles,
+            seconds=seconds,
+            peak_gflops=peak_gflops,
+            dram_gbs=dram_gbs,
+        ))
+    if not saw_layer:
+        raise ObsError(
+            "trace contains no layer spans; was it recorded by "
+            "`repro profile` (or a traced simulate_inference)?"
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Reconciliation against the analytical model.
+# ----------------------------------------------------------------------
+class ModeledPoint(Protocol):
+    """What reconciliation needs from an analytical roofline point
+    (satisfied by :class:`repro.roofline.model.RooflinePoint`)."""
+
+    @property
+    def name(self) -> str: ...
+    @property
+    def ai(self) -> float: ...
+    @property
+    def gflops(self) -> float: ...
+    @property
+    def memory_bound(self) -> bool: ...
+
+
+@dataclass(frozen=True)
+class Reconciliation:
+    """Measured vs modeled roofline position of one layer."""
+
+    layer: str
+    algorithm: str | None
+    measured_bound: str
+    modeled_bound: str
+    ai_measured: float
+    ai_modeled: float
+    gflops_measured: float | None
+    gflops_modeled: float
+
+    @property
+    def agrees(self) -> bool:
+        """Boundedness classifications match (the headline check)."""
+        return self.measured_bound == self.modeled_bound
+
+    @property
+    def ai_delta(self) -> float:
+        return self.ai_measured - self.ai_modeled
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "layer": self.layer,
+            "algorithm": self.algorithm,
+            "measured": self.measured_bound,
+            "modeled": self.modeled_bound,
+            "agrees": self.agrees,
+            "ai_measured": self.ai_measured,
+            "ai_modeled": self.ai_modeled,
+            "gflops_measured": self.gflops_measured,
+            "gflops_modeled": self.gflops_modeled,
+        }
+
+
+def _bound_word(memory_bound: bool) -> str:
+    return "memory" if memory_bound else "compute"
+
+
+def reconcile(
+    measured: Sequence[MeasuredRooflinePoint],
+    modeled: Sequence[ModeledPoint],
+) -> list[Reconciliation]:
+    """Pair measured and modeled points by layer name.
+
+    Only layers present on both sides are reconciled (the modeled side
+    covers convolutions; a trace also carries pool/shortcut spans), but
+    a modeled point with *no* measured counterpart is an error — the
+    trace that was supposed to check the model did not cover it.
+    """
+    by_layer = {m.layer: m for m in measured}
+    out: list[Reconciliation] = []
+    missing: list[str] = []
+    for point in modeled:
+        m = by_layer.get(point.name)
+        if m is None:
+            missing.append(point.name)
+            continue
+        out.append(Reconciliation(
+            layer=point.name,
+            algorithm=m.algorithm,
+            measured_bound=_bound_word(m.memory_bound),
+            modeled_bound=_bound_word(point.memory_bound),
+            ai_measured=m.ai,
+            ai_modeled=point.ai,
+            gflops_measured=m.gflops,
+            gflops_modeled=point.gflops,
+        ))
+    if missing:
+        raise ObsError(
+            f"modeled roofline layers absent from the trace: "
+            f"{', '.join(missing)} (was the profile truncated with "
+            f"--layers?)"
+        )
+    return out
+
+
+def disagreements(recs: Sequence[Reconciliation]) -> list[Reconciliation]:
+    return [r for r in recs if not r.agrees]
+
+
+def render_attribution(
+    points: Sequence[MeasuredRooflinePoint],
+    recs: Sequence[Reconciliation] = (),
+    title: str = "",
+) -> str:
+    """The ``repro profile --roofline`` table.
+
+    One row per measured layer; when a reconciliation is supplied, the
+    ``model`` column shows the analytical classification and trailing
+    lines call out any disagreement.
+    """
+    if not points:
+        return "(no measured roofline points)"
+    ridge = points[0].ridge_ai
+    rows = [
+        (f"measured roofline{': ' + title if title else ''}  "
+         f"(peak {points[0].peak_gflops:.0f} GFLOP/s, "
+         f"{points[0].dram_gbs:.0f} GB/s, ridge AI {ridge:.2f})"),
+        f"{'layer':<16}{'algo':<13}{'AI':>9}{'GFLOP/s':>10}  "
+        f"{'bound':<8}{'model':<8}",
+    ]
+    rec_by_layer = {r.layer: r for r in recs}
+    for p in points:
+        rec = rec_by_layer.get(p.layer)
+        model = "—" if rec is None else rec.modeled_bound
+        flag = "" if rec is None or rec.agrees else "  << disagrees"
+        gf = "—" if p.gflops is None else f"{p.gflops:.2f}"
+        ai = "inf" if p.dram_bytes == 0 else f"{p.ai:.3f}"
+        rows.append(
+            f"{p.layer:<16}{p.algorithm or '—':<13}{ai:>9}{gf:>10}  "
+            f"{_bound_word(p.memory_bound):<8}{model:<8}{flag}"
+        )
+    mem = sum(1 for p in points if p.memory_bound)
+    rows.append(f"memory-bound: {mem}/{len(points)} measured layers")
+    bad = disagreements(list(recs))
+    if recs:
+        if bad:
+            rows.append(
+                f"RECONCILIATION FAILED: {len(bad)} layer(s) where "
+                f"measured and modeled boundedness disagree: "
+                + ", ".join(r.layer for r in bad)
+            )
+        else:
+            rows.append(
+                f"reconciliation: measured classification matches the "
+                f"analytical model on all {len(recs)} layers"
+            )
+    return "\n".join(rows)

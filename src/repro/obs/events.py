@@ -24,6 +24,8 @@ import json
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
 
+from repro.errors import ObsError
+
 LEVEL_INFO = "info"
 LEVEL_WARNING = "warning"
 
@@ -84,6 +86,12 @@ class JsonlSink(EventSink):
     The flush-per-event policy makes the file a reliable flight
     recorder: a sweep killed mid-run leaves every event it emitted on
     disk, ready for :func:`read_jsonl`.
+
+    :meth:`close` is idempotent; emitting to a closed sink raises
+    :class:`~repro.errors.ObsError` — a producer still holding the sink
+    after its owner closed it is a lifecycle bug, and the builtin
+    ``ValueError: I/O operation on closed file`` it would otherwise hit
+    does not say whose file was closed or why.
     """
 
     def __init__(self, path: str | Path) -> None:
@@ -93,6 +101,12 @@ class JsonlSink(EventSink):
         self._fh = open(self.path, "a", encoding="utf-8")
 
     def _deliver(self, ev: dict) -> None:
+        if self._fh.closed:
+            raise ObsError(
+                f"emit to closed JsonlSink {self.path} (event "
+                f"{ev.get('event')!r}); the sink was closed before this "
+                f"producer finished"
+            )
         self._fh.write(json.dumps(ev) + "\n")
         self._fh.flush()
 

@@ -1,0 +1,141 @@
+"""Trace exporters: Chrome trace-event JSON and folded stacks.
+
+Two lossy-but-standard projections of a span tree, so traces recorded
+by ``repro profile --trace`` can be inspected with off-the-shelf
+viewers instead of this repo's text renderer:
+
+- :func:`chrome_trace` — the Chrome trace-event format (complete
+  ``"X"`` events with microsecond timestamps), loadable in
+  ``chrome://tracing`` / Perfetto.  Spans record durations, not start
+  timestamps, so starts are *reconstructed*: each span begins where
+  its previous sibling ended, at its parent's start for the first
+  child.  That preserves nesting and relative weight, which is what
+  the viewers are for.
+- :func:`folded_stacks` — one ``a;b;c weight`` line per span with its
+  *self* weight (total minus children), the flamegraph.pl /
+  speedscope input format.  Weights are integer cycles by default
+  (wall microseconds with ``metric="wall"``).
+
+Both are exports only; nothing reads them back, and the round-trip
+format for traces remains the payload JSON handled by
+:mod:`repro.obs.analytics`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ObsError
+from repro.obs.render import span_cycles
+from repro.obs.trace import Span
+
+#: Chrome trace-event "complete event" phase.
+PHASE_COMPLETE = "X"
+
+CHROME_FORMAT = "chrome"
+FOLDED_FORMAT = "folded"
+EXPORT_FORMATS = (CHROME_FORMAT, FOLDED_FORMAT)
+
+_CYCLES = "cycles"
+_WALL = "wall"
+
+
+def _frame_name(span: Span) -> str:
+    """Viewer-facing frame name: the label when one is set."""
+    label = span.attrs.get("label")
+    return str(label) if label is not None else span.name
+
+
+def chrome_trace(root: Span, pid: int = 1, tid: int = 1) -> dict[str, Any]:
+    """Project a span tree onto Chrome trace-event JSON.
+
+    Returns the ``{"traceEvents": [...]}`` object form; serialize with
+    ``json.dumps``.  Events appear in depth-first pre-order, so a
+    span's event always precedes its children's.
+    """
+    events: list[dict[str, Any]] = []
+
+    def visit(span: Span, start_us: float) -> float:
+        dur_us = span.wall_seconds * 1e6
+        args: dict[str, Any] = {
+            k: v for k, v in span.attrs.items() if k != "label"
+        }
+        args.update(span.counters)
+        events.append({
+            "name": _frame_name(span),
+            "cat": span.name,
+            "ph": PHASE_COMPLETE,
+            "ts": start_us,
+            "dur": dur_us,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+        # Children start where the previous sibling ended; spans only
+        # record durations, so this sequential layout is the
+        # reconstruction (children of one span never overlap here).
+        child_start = start_us
+        for child in span.children:
+            child_start = visit(child, child_start)
+        return start_us + dur_us
+
+    visit(root, 0.0)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def render_chrome_trace(root: Span, indent: int | None = None) -> str:
+    return json.dumps(chrome_trace(root), indent=indent)
+
+
+def folded_stacks(root: Span, metric: str = _CYCLES) -> str:
+    """Project a span tree onto folded-stack lines.
+
+    One line per span carrying weight: semicolon-joined frame names
+    from the root, then the span's integer *self* weight.  Zero-weight
+    frames are omitted (flamegraph.pl treats them as noise), but their
+    children are still visited with the full stack prefix.
+
+    Args:
+        metric: ``"cycles"`` (derived cycles; spans without a clocked
+            cycle count weigh 0) or ``"wall"`` (microseconds).
+    """
+    if metric not in (_CYCLES, _WALL):
+        raise ObsError(
+            f"unknown folded-stack metric {metric!r}; "
+            f"expected '{_CYCLES}' or '{_WALL}'"
+        )
+    lines: list[str] = []
+
+    def weight(span: Span, ancestors: tuple[Span, ...]) -> float:
+        if metric == _WALL:
+            return span.wall_seconds * 1e6
+        return span_cycles(span, ancestors) or 0.0
+
+    def visit(span: Span, stack: tuple[str, ...],
+              ancestors: tuple[Span, ...]) -> None:
+        frame = _frame_name(span).replace(";", ",")
+        stack = (*stack, frame)
+        sub = (*ancestors, span)
+        total = weight(span, ancestors)
+        self_weight = total - sum(weight(c, sub) for c in span.children)
+        count = int(round(max(self_weight, 0.0)))
+        if count > 0:
+            lines.append(f"{';'.join(stack)} {count}")
+        for child in span.children:
+            visit(child, stack, sub)
+
+    visit(root, (), ())
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_trace(root: Span, fmt: str) -> str:
+    """Dispatch for ``repro trace export --format``."""
+    if fmt == CHROME_FORMAT:
+        return render_chrome_trace(root, indent=2)
+    if fmt == FOLDED_FORMAT:
+        return folded_stacks(root)
+    raise ObsError(
+        f"unknown export format {fmt!r}; expected one of "
+        f"{', '.join(EXPORT_FORMATS)}"
+    )

@@ -30,7 +30,7 @@ class Span:
     """One timed region of a run, with counters and child spans."""
 
     __slots__ = ("name", "attrs", "counters", "children", "wall_seconds",
-                 "_t0")
+                 "extra", "_t0")
 
     def __init__(self, name: str, attrs: dict[str, Any] | None = None) -> None:
         self.name = name
@@ -38,6 +38,9 @@ class Span:
         self.counters: dict[str, float] = {}
         self.children: list["Span"] = []
         self.wall_seconds: float = 0.0
+        #: Unknown keys found by :meth:`from_dict` — a trace written by
+        #: a newer schema round-trips through this one untouched.
+        self.extra: dict[str, Any] = {}
         self._t0: float | None = None
 
     # ------------------------------------------------------------------
@@ -68,25 +71,42 @@ class Span:
         return sum(c.counters.get(name, 0) for c in self.children)
 
     # ------------------------------------------------------------------
+    #: Keys :meth:`to_dict` owns; everything else a loaded dict carries
+    #: is preserved verbatim in :attr:`extra` (forward compatibility
+    #: with traces written by newer schemas).
+    _KNOWN_KEYS = frozenset(
+        {"name", "wall_seconds", "attrs", "counters", "children"}
+    )
+
     def to_dict(self) -> dict:
-        """JSON-serializable form; :meth:`from_dict` round-trips it."""
-        return {
+        """JSON-serializable form; :meth:`from_dict` round-trips it,
+        including any unknown keys a newer writer added."""
+        d = {
             "name": self.name,
             "wall_seconds": self.wall_seconds,
             "attrs": dict(self.attrs),
             "counters": dict(self.counters),
             "children": [c.to_dict() for c in self.children],
         }
+        for k, v in self.extra.items():
+            d.setdefault(k, v)
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "Span":
-        """Inverse of :meth:`to_dict` (worker-span merging)."""
+        """Inverse of :meth:`to_dict` (worker-span merging).
+
+        Unknown keys are kept in :attr:`extra` rather than dropped, so
+        a trace produced by a newer schema survives a load/save cycle
+        through this code untouched.
+        """
         s = cls(str(d["name"]), d.get("attrs") or {})
         s.wall_seconds = float(d.get("wall_seconds", 0.0))
         s.counters = {
             str(k): v for k, v in (d.get("counters") or {}).items()
         }
         s.children = [cls.from_dict(c) for c in d.get("children") or []]
+        s.extra = {k: v for k, v in d.items() if k not in cls._KNOWN_KEYS}
         return s
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

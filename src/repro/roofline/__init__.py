@@ -4,6 +4,7 @@ from repro.roofline.model import (
     RooflineCeilings,
     RooflinePoint,
     ceilings_for,
+    measured_roofline,
     render_roofline,
     roofline_points,
 )
@@ -12,6 +13,7 @@ __all__ = [
     "RooflineCeilings",
     "RooflinePoint",
     "ceilings_for",
+    "measured_roofline",
     "roofline_points",
     "render_roofline",
 ]

@@ -15,11 +15,14 @@ bytes, achieved GFLOP/s = executed FLOPs / simulated runtime.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
-from repro.conv.layer import ConvAlgorithm, ConvLayerSpec
+from repro.conv.layer import ConvAlgorithm, ConvLayerSpec, choose_algorithm
 from repro.errors import ConfigError
 from repro.kernels.tuple_mult import SLIDEUP
 from repro.model.layer_model import simulate_layer
+from repro.obs.attribution import MeasuredRooflinePoint, attribute_trace
+from repro.obs.trace import Span
 from repro.sim.system import SystemConfig
 
 
@@ -79,8 +82,9 @@ def ceilings_for(config: SystemConfig) -> RooflineCeilings:
 def roofline_points(
     layers: list[ConvLayerSpec],
     config: SystemConfig,
-    algorithm: ConvAlgorithm,
+    algorithm: ConvAlgorithm | None,
     variant: str = SLIDEUP,
+    hybrid: bool = True,
 ) -> list[RooflinePoint]:
     """Roofline points for a list of convolutional layers.
 
@@ -89,12 +93,20 @@ def roofline_points(
             convolutions).
         config: simulated system (the paper uses the 512-bit / 1 MB
             base configuration).
-        algorithm: WINOGRAD or IM2COL_GEMM — the figure being drawn.
+        algorithm: WINOGRAD or IM2COL_GEMM — the figure being drawn —
+            or ``None`` to let the per-layer policy choose, matching
+            what an instrumented inference actually runs (the
+            attribution pass reconciles against this form).
+        hybrid: the policy used when ``algorithm`` is ``None``.
     """
     ceil = ceilings_for(config)
     points = []
     for spec in layers:
-        stats = simulate_layer(spec, config, algorithm=algorithm, variant=variant)
+        algo = (
+            algorithm if algorithm is not None
+            else choose_algorithm(spec, hybrid=hybrid)
+        )
+        stats = simulate_layer(spec, config, algorithm=algo, variant=variant)
         points.append(
             RooflinePoint(
                 name=spec.name,
@@ -106,6 +118,25 @@ def roofline_points(
             )
         )
     return points
+
+
+def measured_roofline(
+    root: Span,
+    config: SystemConfig,
+    algorithms: Iterable[str] | None = None,
+) -> list[MeasuredRooflinePoint]:
+    """Measured roofline points of a trace under ``config``'s ceilings.
+
+    The glue between the observability layer (which knows spans but not
+    the simulator) and the roofline model: derives the ceilings from
+    the system configuration and classifies every layer span of the
+    trace from its recorded counters via
+    :func:`repro.obs.attribution.attribute_trace`.
+    """
+    ceil = ceilings_for(config)
+    return attribute_trace(
+        root, ceil.peak_gflops, ceil.dram_gbs, algorithms=algorithms
+    )
 
 
 def render_roofline(points: list[RooflinePoint], title: str = "") -> str:

@@ -316,6 +316,82 @@ class TestJsonl:
         back = read_jsonl(path)
         assert [e["event"] for e in back] == ["a", "b"]
 
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "events.jsonl")
+        sink.emit(event("a"))
+        sink.close()
+        sink.close()  # second close is a no-op, not an error
+        assert [e["event"] for e in read_jsonl(sink.path)] == ["a"]
+
+    def test_emit_after_close_raises_obs_error(self, tmp_path):
+        from repro.errors import ObsError, ReproError
+
+        sink = JsonlSink(tmp_path / "events.jsonl")
+        sink.close()
+        with pytest.raises(ObsError, match="closed JsonlSink") as exc:
+            sink.emit(event("late"))
+        # Part of the repo's error taxonomy, and the message names the
+        # file and the event so the lifecycle bug is findable.
+        assert isinstance(exc.value, ReproError)
+        assert "events.jsonl" in str(exc.value)
+        assert "late" in str(exc.value)
+
+
+# ----------------------------------------------------------------------
+# Forward compatibility: unknown trace keys survive a load/save cycle.
+# ----------------------------------------------------------------------
+_KNOWN_SPAN_KEYS = {"name", "wall_seconds", "attrs", "counters", "children"}
+
+UNKNOWN_KEYS = st.dictionaries(
+    st.text(min_size=1, max_size=10).filter(
+        lambda k: k not in _KNOWN_SPAN_KEYS),
+    st.one_of(
+        st.integers(min_value=-2**40, max_value=2**40),
+        st.text(max_size=8),
+        st.booleans(),
+        st.none(),
+        st.lists(st.integers(min_value=0, max_value=99), max_size=3),
+        st.dictionaries(st.text(max_size=4),
+                        st.integers(min_value=0, max_value=99), max_size=2),
+    ),
+    max_size=4,
+)
+
+
+class TestForwardCompat:
+    @given(extra=UNKNOWN_KEYS, nested=UNKNOWN_KEYS)
+    def test_unknown_keys_round_trip_untouched(self, extra, nested):
+        """A trace written by a newer schema (extra top-level or
+        per-child keys) survives Span.from_dict -> to_dict byte-for-
+        byte: unknown keys are carried, never dropped or reordered into
+        the known fields."""
+        doc = {
+            "name": "root",
+            "wall_seconds": 0.25,
+            "attrs": {"label": "r", "freq_ghz": 2.0},
+            "counters": {"flops": 8.0},
+            "children": [{
+                "name": "layer",
+                "wall_seconds": 0.125,
+                "attrs": {"label": "conv"},
+                "counters": {},
+                "children": [],
+                **nested,
+            }],
+            **extra,
+        }
+        back = Span.from_dict(doc).to_dict()
+        assert back == doc
+
+    def test_unknown_keys_never_shadow_known_fields(self):
+        s = Span.from_dict({"name": "n", "children": []})
+        s.extra = {"name": "shadow", "future_key": 1}
+        d = s.to_dict()
+        # setdefault semantics: a colliding extra key loses to the
+        # real field; genuinely unknown keys ride along.
+        assert d["name"] == "n"
+        assert d["future_key"] == 1
+
 
 # ----------------------------------------------------------------------
 # Manifests.
@@ -348,9 +424,13 @@ class TestManifest:
 # Renderers.
 # ----------------------------------------------------------------------
 class TestRender:
-    def _trace(self):
+    def _trace(self, freq: bool = True):
         t = Tracer()
-        with t.span("simulate_inference", network="vgg16") as r:
+        attrs = {"network": "vgg16"}
+        if freq:
+            attrs["freq_ghz"] = 2.0
+        t_span = t.span("simulate_inference", **attrs)
+        with t_span as r:
             with t.span("layer", label="conv1_1") as a:
                 a.add_counters(issue_cycles=1e6, l2_stall_cycles=2e5,
                                dram_stall_cycles=5e4, instrs=1000,
@@ -364,6 +444,25 @@ class TestRender:
         root = self._trace()
         assert span_cycles(root) == 1e6 + 2e5 + 5e4
         assert span_cycles(Span("bare")) is None
+
+    def test_span_cycles_none_without_frequency(self):
+        """Cycle parts without a clock anywhere on the root path are
+        not renderable as cycles: span_cycles returns None and the
+        text renderer shows an em dash, never a number computed from
+        an assumed frequency."""
+        root = self._trace(freq=False)
+        assert span_cycles(root) is None
+        assert span_cycles(root.children[0], (root,)) is None
+        text = render_trace_text(root)
+        assert "cycles=—" in text.splitlines()[0]
+
+    def test_span_cycles_inherits_frequency_from_ancestors(self):
+        root = self._trace()
+        child = root.children[0]
+        assert "freq_ghz" not in child.attrs
+        assert span_cycles(child, (root,)) == 1e6 + 2e5 + 5e4
+        # Without the ancestor path the child has no clock.
+        assert span_cycles(child) is None
 
     def test_text_tree(self):
         text = render_trace_text(self._trace())

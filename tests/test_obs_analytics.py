@@ -1,0 +1,303 @@
+"""Trace analytics and exporters: payload loading, structural diff,
+critical path, hot-span ranking, Chrome trace-event and folded-stack
+exports — including the acceptance gates that two traces of the same
+run diff to all-zero counter deltas and that the Chrome export has a
+valid shape (complete "X" events, monotonic timestamps)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ObsError
+from repro.obs import (
+    Tracer,
+    chrome_trace,
+    critical_path,
+    diff_payload,
+    diff_traces,
+    export_trace,
+    folded_stacks,
+    load_trace,
+    render_critical_path,
+    render_diff_text,
+    render_top_text,
+    top_spans,
+)
+from repro.obs.analytics import MATCHED, ONLY_A, ONLY_B
+
+pytestmark = pytest.mark.traceio
+
+
+def make_trace(conv_issue=100.0):
+    """A small well-nested trace: root counters sum the children's."""
+    t = Tracer()
+    with t.span("simulate_inference", network="net",
+                freq_ghz=2.0) as r:
+        with t.span("layer", label="a[winograd]") as s:
+            s.add_counters(issue_cycles=conv_issue, l2_stall_cycles=10.0,
+                           dram_stall_cycles=5.0, flops=1000.0,
+                           dram_bytes=100.0)
+        with t.span("layer", label="b[maxpool]") as s:
+            s.add_counters(issue_cycles=50.0, flops=10.0,
+                           dram_bytes=200.0)
+        r.add_counters(issue_cycles=conv_issue + 50.0,
+                       l2_stall_cycles=10.0, dram_stall_cycles=5.0,
+                       flops=1010.0, dram_bytes=300.0)
+    return t.root
+
+
+# ----------------------------------------------------------------------
+# Loading.
+# ----------------------------------------------------------------------
+class TestLoadTrace:
+    def test_loads_profile_json_capture(self, tmp_path):
+        from repro.obs import trace_payload
+
+        doc = trace_payload(make_trace(), {"command": "profile"})
+        path = tmp_path / "capture.json"
+        path.write_text(json.dumps(doc))
+        payload = load_trace(path)
+        assert payload.span.name == "simulate_inference"
+        assert payload.manifest == {"command": "profile"}
+        # The schema key is unknown to the loader and rides along.
+        assert payload.extra == {"schema": 1}
+        assert payload.to_dict()["schema"] == 1
+
+    def test_loads_bare_span_tree(self, tmp_path):
+        path = tmp_path / "span.json"
+        path.write_text(json.dumps(make_trace().to_dict()))
+        payload = load_trace(path)
+        assert payload.manifest is None
+        assert len(payload.span.children) == 2
+
+    def test_loads_trace_directory_with_sibling_manifest(self, tmp_path):
+        d = tmp_path / "run"
+        d.mkdir()
+        (d / "trace.json").write_text(
+            json.dumps({"trace": make_trace().to_dict()}))
+        (d / "manifest.json").write_text(json.dumps({"command": "x"}))
+        payload = load_trace(d)
+        assert payload.manifest == {"command": "x"}
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ObsError, match="no trace.json"):
+            load_trace(tmp_path)
+
+    def test_unrecognized_document_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"neither": 1}')
+        with pytest.raises(ObsError, match="neither"):
+            load_trace(path)
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("{not json")
+        with pytest.raises(ObsError, match="unreadable"):
+            load_trace(path)
+
+
+# ----------------------------------------------------------------------
+# Diff.
+# ----------------------------------------------------------------------
+class TestDiff:
+    def test_identical_traces_all_zero(self):
+        root = diff_traces(make_trace(), make_trace())
+        assert root.structurally_identical
+        assert root.max_abs_counter_delta == 0.0
+        for node in root.walk():
+            assert node.status == MATCHED
+            assert all(d == 0.0 for d in node.counter_deltas().values())
+            assert node.cycles_delta == 0.0
+
+    def test_counter_movement_reported(self):
+        root = diff_traces(make_trace(100.0), make_trace(107.0))
+        assert root.structurally_identical
+        assert root.max_abs_counter_delta == 7.0
+        conv = root.children[0]
+        assert conv.counter_deltas()["issue_cycles"] == 7.0
+        assert conv.cycles_delta == 7.0
+        # Untouched counters are still in the full report, at zero.
+        assert conv.counter_deltas()["flops"] == 0.0
+        assert "issue_cycles +7" in render_diff_text(root)
+
+    def test_structural_divergence(self):
+        a, b = make_trace(), make_trace()
+        extra = Tracer()
+        with extra.span("layer", label="c[shortcut]"):
+            pass
+        b.children.append(extra.root)
+        root = diff_traces(a, b)
+        assert not root.structurally_identical
+        statuses = [n.status for n in root.walk()]
+        assert statuses.count(ONLY_B) == 1
+        assert ONLY_A not in statuses
+        assert "(only in B)" in render_diff_text(root)
+
+    def test_repeated_labels_align_by_occurrence(self):
+        def twins(flops_second):
+            t = Tracer()
+            with t.span("root", freq_ghz=2.0):
+                with t.span("layer", label="x") as s:
+                    s.add_counters(flops=1.0)
+                with t.span("layer", label="x") as s:
+                    s.add_counters(flops=flops_second)
+            return t.root
+
+        root = diff_traces(twins(2.0), twins(9.0))
+        assert [c.counter_deltas()["flops"] for c in root.children] == [
+            0.0, 7.0]
+
+    def test_diff_payload_document(self, tmp_path):
+        from repro.obs import trace_payload
+
+        for name, trace in (("a", make_trace()), ("b", make_trace())):
+            (tmp_path / f"{name}.json").write_text(
+                json.dumps(trace_payload(trace)))
+        a = load_trace(tmp_path / "a.json")
+        b = load_trace(tmp_path / "b.json")
+        doc = diff_payload(a, b)
+        assert doc["structurally_identical"] is True
+        assert doc["max_abs_counter_delta"] == 0.0
+        assert doc["diff"]["children"][0]["counters"]["flops"] == {
+            "a": 1000.0, "b": 1000.0, "delta": 0.0}
+
+    def test_cli_diff_same_run_exits_zero(self, tmp_path, capsys):
+        """Acceptance gate: two traces of the same simulated run are
+        bit-stable — `repro trace diff` reports all-zero counter deltas
+        and exits 0."""
+        for d in ("t1", "t2"):
+            assert main(["profile", "vgg16", "--layers", "2",
+                         "--trace", str(tmp_path / d)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "diff", str(tmp_path / "t1"),
+                     str(tmp_path / "t2")]) == 0
+        out = capsys.readouterr().out
+        assert "traces are equivalent" in out
+
+    def test_cli_diff_perturbed_exits_nonzero(self, tmp_path, capsys):
+        from repro.obs import trace_payload
+
+        (tmp_path / "a.json").write_text(
+            json.dumps(trace_payload(make_trace(100.0))))
+        (tmp_path / "b.json").write_text(
+            json.dumps(trace_payload(make_trace(101.0))))
+        assert main(["trace", "diff", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json")]) == 1
+        assert "traces differ" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Critical path and top spans.
+# ----------------------------------------------------------------------
+class TestHotSpans:
+    def test_critical_path_descends_heaviest_child(self):
+        root = make_trace()
+        path = critical_path(root)
+        assert [str(s.attrs.get("label", s.name)) for s in path] == [
+            "simulate_inference", "a[winograd]"]
+        text = render_critical_path(path)
+        assert "a[winograd]" in text
+
+    def test_top_spans_rank_by_self_cycles(self):
+        rows = top_spans(make_trace(), n=10)
+        assert [r.label for r in rows] == [
+            "a[winograd]", "b[maxpool]", "simulate_inference"]
+        assert rows[0].self_cycles == 115.0
+        # Root counters equal the sum of its children: zero self time.
+        assert rows[2].self_cycles == 0.0
+        assert rows[2].total_cycles == 165.0
+        text = render_top_text(rows, total=165.0)
+        assert "a[winograd]" in text.splitlines()[1]
+
+    def test_top_spans_truncates_to_n(self):
+        assert len(top_spans(make_trace(), n=2)) == 2
+
+    def test_cli_top(self, tmp_path, capsys):
+        from repro.obs import trace_payload
+
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(trace_payload(make_trace())))
+        assert main(["trace", "top", str(path), "-n", "2", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["total_cycles"] == 165.0
+        assert [r["label"] for r in doc["top"]] == [
+            "a[winograd]", "b[maxpool]"]
+        assert doc["critical_path"] == [
+            "simulate_inference", "a[winograd]"]
+
+
+# ----------------------------------------------------------------------
+# Exporters.
+# ----------------------------------------------------------------------
+class TestExport:
+    def test_chrome_trace_shape(self):
+        """Acceptance gate: the Chrome export is structurally valid —
+        every event a complete "X" event with non-negative duration,
+        timestamps monotonic in emission order, children contained in
+        their parent."""
+        doc = chrome_trace(make_trace())
+        events = doc["traceEvents"]
+        assert len(events) == 3
+        assert all(e["ph"] == "X" for e in events)
+        assert all(e["dur"] >= 0 for e in events)
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        root, conv, pool = events
+        assert root["name"] == "simulate_inference"
+        assert conv["name"] == "a[winograd]"
+        # Children laid out sequentially inside the parent.
+        assert conv["ts"] == root["ts"]
+        assert pool["ts"] == pytest.approx(conv["ts"] + conv["dur"])
+        assert conv["ts"] + conv["dur"] <= root["ts"] + root["dur"] + 1e-9
+        # Counters and attrs travel in args; label stays the name.
+        assert conv["args"]["flops"] == 1000.0
+        assert root["args"]["network"] == "net"
+        json.dumps(doc)  # serializable end to end
+
+    def test_folded_stacks_cycles(self):
+        text = folded_stacks(make_trace())
+        # Root self weight is zero, so only the leaves emit lines.
+        assert text.splitlines() == [
+            "simulate_inference;a[winograd] 115",
+            "simulate_inference;b[maxpool] 50",
+        ]
+
+    def test_folded_stacks_wall_metric(self):
+        root = make_trace()
+        root.wall_seconds = 3e-3
+        root.children[0].wall_seconds = 1e-3
+        root.children[1].wall_seconds = 0.5e-3
+        lines = folded_stacks(root, metric="wall").splitlines()
+        assert lines[0] == "simulate_inference 1500"
+        assert lines[1] == "simulate_inference;a[winograd] 1000"
+        assert lines[2] == "simulate_inference;b[maxpool] 500"
+
+    def test_folded_unknown_metric_rejected(self):
+        with pytest.raises(ObsError, match="metric"):
+            folded_stacks(make_trace(), metric="bogus")
+
+    def test_export_dispatch_unknown_format_rejected(self):
+        with pytest.raises(ObsError, match="unknown export format"):
+            export_trace(make_trace(), "svg")
+
+    def test_cli_export_chrome_to_file(self, tmp_path, capsys):
+        from repro.obs import trace_payload
+
+        src = tmp_path / "t.json"
+        src.write_text(json.dumps(trace_payload(make_trace())))
+        out = tmp_path / "chrome.json"
+        assert main(["trace", "export", str(src), "--format", "chrome",
+                     "-o", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert all(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_cli_export_folded_to_stdout(self, tmp_path, capsys):
+        from repro.obs import trace_payload
+
+        src = tmp_path / "t.json"
+        src.write_text(json.dumps(trace_payload(make_trace())))
+        assert main(["trace", "export", str(src), "--format",
+                     "folded"]) == 0
+        out = capsys.readouterr().out
+        assert "simulate_inference;a[winograd] 115" in out

@@ -37,12 +37,25 @@ def _run(cmd, timeout=300, env=None):
         env=env)
 
 
+#: The strict-mypy slice of repro.obs (pyproject override + gate below).
+STRICT_OBS_MODULES = [
+    "repro.obs.analytics",
+    "repro.obs.attribution",
+    "repro.obs.baseline",
+    "repro.obs.export",
+]
+
+
 def test_pyproject_configures_the_tools():
     text = (REPO / "pyproject.toml").read_text()
     assert "[tool.ruff]" in text
     assert "[tool.mypy]" in text
     assert 'module = "repro.analysis.*"' in text
     assert "strict = true" in text
+    for mod in STRICT_OBS_MODULES:
+        assert f'"{mod}"' in text, (
+            f"{mod} missing from the strict-mypy override in pyproject.toml"
+        )
 
 
 def test_pyproject_configures_coverage_and_markers():
@@ -51,6 +64,8 @@ def test_pyproject_configures_coverage_and_markers():
     assert "[tool.coverage.report]" in text
     assert "fail_under" in text
     assert "differential:" in text
+    assert "bench:" in text
+    assert "traceio:" in text
 
 
 def test_coverage_floor_on_sim_and_codesign():
@@ -84,4 +99,14 @@ def test_mypy_clean_on_analysis_package():
     except ImportError:
         pytest.skip("mypy not installed (dev extra)")
     proc = _run([sys.executable, "-m", "mypy", "-p", "repro.analysis"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_mypy_clean_on_strict_obs_modules():
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        pytest.skip("mypy not installed (dev extra)")
+    mods = [a for m in STRICT_OBS_MODULES for a in ("-m", m)]
+    proc = _run([sys.executable, "-m", "mypy", *mods])
     assert proc.returncode == 0, proc.stdout + proc.stderr
