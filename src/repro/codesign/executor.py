@@ -32,22 +32,24 @@ properties a long sweep needs in production:
   each result and are grafted into the parent trace; worker counter
   deltas merge into the process-global registry the same way.
 
-Two backends evaluate the grid (``mode``): the exact backend runs
-:func:`~repro.nets.inference.simulate_inference` per point and
-parallelizes over points; the fast backend
-(:mod:`repro.codesign.fastpath`) runs one stack-distance profiling
-pass per VLEN — answering the whole L2 axis analytically — and
-parallelizes over VLEN columns.  Every checkpoint records which
-backend produced it.
+Two backends evaluate the grid (``mode``), and both parallelize over
+VLEN *columns* — the unit of work that amortizes per-VLEN state over
+the whole L2 axis.  The exact backend records each column once
+(:func:`~repro.nets.inference.record_inference`; the phase models
+depend on the configuration only through the vector length) and
+replays the recording per L2 size, bit-identical to a fresh
+:func:`~repro.nets.inference.simulate_inference` call at every point.
+The fast backend (:mod:`repro.codesign.fastpath`) runs one
+stack-distance profiling pass per VLEN and answers the L2 axis
+analytically.  Every checkpoint records which backend produced it.
 
 Results are bit-identical between the serial and parallel paths: each
-point is evaluated by the same pure function
-(:func:`repro.nets.inference.simulate_inference`) and travels back to
-the parent either in-process or via pickle, neither of which perturbs a
-float.  Checkpointed points round-trip through JSON, which Python
-serializes with shortest-repr floats, so restored grids are
-bit-identical too.  Instrumentation is observation-only and never
-feeds back into a result.
+point is evaluated by the same pure record/replay (or profiling)
+functions and travels back to the parent either in-process or via
+pickle, neither of which perturbs a float.  Checkpointed points
+round-trip through JSON, which Python serializes with shortest-repr
+floats, so restored grids are bit-identical too.  Instrumentation is
+observation-only and never feeds back into a result.
 """
 
 from __future__ import annotations
@@ -67,7 +69,7 @@ from repro.codesign.sweep import BACKEND_EXACT, BACKEND_FAST, BACKENDS, SweepRes
 from repro.errors import ConfigError
 from repro.kernels.tuple_mult import SLIDEUP
 from repro.model.layer_model import NetworkResult
-from repro.nets.inference import simulate_inference
+from repro.nets.inference import record_inference
 from repro.nets.layers import LayerSpec
 from repro.obs import (
     COUNTERS,
@@ -268,40 +270,55 @@ class _SweepTelemetry:
         return run_info
 
 
-def _evaluate_point(
+def _evaluate_vlen_exact(
     name: str,
     layers: list[LayerSpec],
     vlen: int,
-    l2_mb: int,
+    l2_mbs: tuple[int, ...],
     hybrid: bool,
     variant: str,
     base_config: SystemConfig,
     collect: bool = False,
-) -> tuple[NetworkResult, float, dict]:
-    """Evaluate one grid point (runs in a worker process when pooled).
+) -> tuple[list[tuple[int, NetworkResult, float]], dict]:
+    """Evaluate one VLEN column of the grid via the exact backend.
 
-    With ``collect`` (the pooled path), the point's span subtree and
+    The layer phase models depend on the configuration only through
+    the vector length, so one recording pass
+    (:func:`~repro.nets.inference.record_inference`) answers the whole
+    L2 axis; each point replays the recording, bit-identical to a
+    fresh ``simulate_inference`` call at that point.  The recording
+    pass's wall time is attributed to the column's first point so
+    per-point seconds still sum to the column's true cost.  With
+    ``collect`` (the pooled path), the column's span subtree and
     counter delta are captured and returned picklable, so the parent
     can graft them into its trace and registry; the serial path leaves
     it False and records into the ambient tracer directly.
     """
-    t0 = time.perf_counter()
-    cfg = base_config.with_(vlen_bits=vlen, l2_mb=l2_mb)
-    extras: dict = {}
-    if collect:
-        local = Tracer()
-        with COUNTERS.capture() as cap, tracing(local), local.span(
-            "sweep_worker", vlen=vlen, l2_mb=l2_mb
-        ):
-            result = simulate_inference(
-                name, layers, cfg, hybrid=hybrid, variant=variant
-            )
-        extras = {"span": local.root.to_dict(), "counters": cap.delta()}
-    else:
-        result = simulate_inference(
+    def column() -> list[tuple[int, NetworkResult, float]]:
+        t0 = time.perf_counter()
+        cfg = base_config.with_(vlen_bits=vlen)
+        recording = record_inference(
             name, layers, cfg, hybrid=hybrid, variant=variant
         )
-    return result, time.perf_counter() - t0, extras
+        record_secs = time.perf_counter() - t0
+        out: list[tuple[int, NetworkResult, float]] = []
+        for i, l2_mb in enumerate(l2_mbs):
+            t1 = time.perf_counter()
+            result = recording.evaluate(l2_mb)
+            secs = time.perf_counter() - t1
+            if i == 0:
+                secs += record_secs
+            out.append((l2_mb, result, secs))
+        return out
+
+    if not collect:
+        return column(), {}
+    local = Tracer()
+    with COUNTERS.capture() as cap, tracing(local), local.span(
+        "sweep_worker", vlen=vlen, l2_mbs=list(l2_mbs)
+    ):
+        out = column()
+    return out, {"span": local.root.to_dict(), "counters": cap.delta()}
 
 
 def _evaluate_vlen_fast(
@@ -319,7 +336,7 @@ def _evaluate_vlen_fast(
     One stack-distance profiling pass answers every requested L2 size;
     the pass's wall time is attributed to the column's first point so
     per-point seconds still sum to the column's true cost.  ``collect``
-    works as in :func:`_evaluate_point`, with one span per column.
+    works as in :func:`_evaluate_vlen_exact`, with one span per column.
     """
     def column() -> list[tuple[int, NetworkResult, float]]:
         t0 = time.perf_counter()
@@ -557,86 +574,55 @@ def run_sweep(
         # pool that cannot actually run (fork blocked, workers killed)
         # degrades to the serial path for whatever is still missing —
         # loudly: the degradation is a warning event, a RuntimeWarning,
-        # and a ``degraded`` flag on the result and manifest.  Exact
-        # mode's unit of work is one grid point; fast mode's is one
-        # VLEN column (a single profiling pass answers the column's
-        # whole L2 axis).
+        # and a ``degraded`` flag on the result and manifest.  Both
+        # backends' unit of work is one VLEN column: the exact backend
+        # records the column once and replays it per L2 size, the fast
+        # backend's single profiling pass answers the whole L2 axis.
         if todo:
             telemetry.begin_compute()
         collect = current_tracer() is not None
-        if mode == BACKEND_FAST:
-            columns: dict[int, list[int]] = {}
-            for v, l in todo:
-                columns.setdefault(v, []).append(l)
-            pool, pool_error = _make_pool(workers, len(columns))
-            if pool_error is not None:
-                telemetry.pool_degraded(pool_error)
-            if pool is not None:
-                try:
-                    with pool:
-                        futures = {
-                            pool.submit(
-                                _evaluate_vlen_fast, name, layers, v,
-                                tuple(l2s), hybrid, variant, base, collect,
-                            ): v
-                            for v, l2s in columns.items()
-                        }
-                        pending = set(futures)
-                        while pending:
-                            finished, pending = wait(
-                                pending, return_when=FIRST_COMPLETED
-                            )
-                            for fut in finished:
-                                v = futures[fut]
-                                column, extras = fut.result()
-                                absorb(extras)
-                                for l, result, secs in column:
-                                    finish(v, l, result, secs)
-                except (OSError, BrokenProcessPool) as e:
-                    telemetry.pool_degraded(
-                        f"process pool broke ({type(e).__name__}: {e})"
-                    )
-            for v, l2s in columns.items():
-                missing = tuple(l for l in l2s if (v, l) not in results)
-                if missing:
-                    column, _ = _evaluate_vlen_fast(
-                        name, layers, v, missing, hybrid, variant, base
-                    )
-                    for l, result, secs in column:
-                        finish(v, l, result, secs)
-        else:
-            pool, pool_error = _make_pool(workers, len(todo))
-            if pool_error is not None:
-                telemetry.pool_degraded(pool_error)
-            if pool is not None:
-                try:
-                    with pool:
-                        futures_pt = {
-                            pool.submit(
-                                _evaluate_point, name, layers, v, l, hybrid,
-                                variant, base, collect,
-                            ): (v, l)
-                            for v, l in todo
-                        }
-                        pending = set(futures_pt)
-                        while pending:
-                            finished, pending = wait(
-                                pending, return_when=FIRST_COMPLETED
-                            )
-                            for fut in finished:
-                                v, l = futures_pt[fut]
-                                result, secs, extras = fut.result()
-                                absorb(extras)
+        columns: dict[int, list[int]] = {}
+        for v, l in todo:
+            columns.setdefault(v, []).append(l)
+        column_fn = (
+            _evaluate_vlen_fast if mode == BACKEND_FAST
+            else _evaluate_vlen_exact
+        )
+        pool, pool_error = _make_pool(workers, len(columns))
+        if pool_error is not None:
+            telemetry.pool_degraded(pool_error)
+        if pool is not None:
+            try:
+                with pool:
+                    futures = {
+                        pool.submit(
+                            column_fn, name, layers, v,
+                            tuple(l2s), hybrid, variant, base, collect,
+                        ): v
+                        for v, l2s in columns.items()
+                    }
+                    pending = set(futures)
+                    while pending:
+                        finished, pending = wait(
+                            pending, return_when=FIRST_COMPLETED
+                        )
+                        for fut in finished:
+                            v = futures[fut]
+                            column, extras = fut.result()
+                            absorb(extras)
+                            for l, result, secs in column:
                                 finish(v, l, result, secs)
-                except (OSError, BrokenProcessPool) as e:
-                    telemetry.pool_degraded(
-                        f"process pool broke ({type(e).__name__}: {e})"
-                    )
-            for v, l in todo:
-                if (v, l) not in results:
-                    result, secs, _ = _evaluate_point(
-                        name, layers, v, l, hybrid, variant, base
-                    )
+            except (OSError, BrokenProcessPool) as e:
+                telemetry.pool_degraded(
+                    f"process pool broke ({type(e).__name__}: {e})"
+                )
+        for v, l2s in columns.items():
+            missing = tuple(l for l in l2s if (v, l) not in results)
+            if missing:
+                column, _ = column_fn(
+                    name, layers, v, missing, hybrid, variant, base
+                )
+                for l, result, secs in column:
                     finish(v, l, result, secs)
 
         run_info = telemetry.sweep_end()

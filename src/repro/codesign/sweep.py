@@ -245,9 +245,10 @@ def codesign_sweep(
             L1, latency constants); defaults to the paper's setup.
         workers: units of work evaluated concurrently; ``1`` runs
             serially in-process, more fans out over a process pool
-            (results are bit-identical either way).  Exact mode
-            parallelizes over grid points, fast mode over VLEN columns
-            (each column is one profiling pass).
+            (results are bit-identical either way).  Both modes
+            parallelize over VLEN columns: the exact backend records a
+            column once and replays it per L2 size, the fast backend
+            answers the column with one profiling pass.
         checkpoint_dir: directory for per-point JSON checkpoints; an
             interrupted sweep re-run with the same directory resumes
             without recomputing finished points.  Checkpoints record
@@ -256,7 +257,10 @@ def codesign_sweep(
         on_progress: called with a
             :class:`~repro.codesign.executor.SweepProgress` after every
             finished (or checkpoint-restored) point.
-        mode: ``"exact"`` re-simulates every grid point; ``"fast"``
+        mode: ``"exact"`` evaluates every grid point through the full
+            analytical models — recorded once per VLEN and replayed
+            bit-identically across the L2 axis
+            (:func:`repro.nets.inference.record_inference`); ``"fast"``
             runs one stack-distance profiling pass per VLEN and
             answers the whole L2 axis analytically (see
             :mod:`repro.codesign.fastpath` for the error model).  For

@@ -29,6 +29,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import ConfigError
 from repro.isa import FLOPS_PER_ELEM, OpClass
 from repro.sim.cache import CacheStats, HierarchyStats
@@ -186,6 +188,109 @@ def evaluate_hierarchy(
     l2.misses = int(round(l2_miss))
     l2.writebacks = int(round(wb))
     return HierarchyStats(l1=l1, l2=l2, line_bytes=line_bytes)
+
+
+def _ordered_sum(values: np.ndarray) -> float:
+    """Sum in array order with sequential accumulation.
+
+    ``np.cumsum`` accumulates left-to-right, matching a reference
+    ``+=`` loop bit-for-bit; ``np.sum`` pairwise-sums and may round
+    differently.  Bit-identity to :func:`evaluate_hierarchy` depends on
+    this.
+    """
+    return float(values.cumsum()[-1]) if values.size else 0.0
+
+
+@dataclass(frozen=True)
+class CondensedTraffic:
+    """Array form of a phase list's traffic, replaying
+    :func:`evaluate_hierarchy` bit-identically.
+
+    One row per traffic class, in the exact order the reference loop
+    visits them (phase order, then class order within the phase).  Two
+    properties make the vectorized :meth:`evaluate` produce the same
+    bits as the scalar reference:
+
+    - The hit-probability power is the one operation whose NumPy SIMD
+      code path does *not* round like scalar ``**``; effective
+      distances are therefore deduplicated (network layers share a few
+      hundred distinct reuse distances across hundreds of thousands of
+      classes) and :func:`_hit_probability` runs as scalar math once
+      per unique distance, gathered back through the inverse index.
+    - Accumulations run through :func:`_ordered_sum`, which preserves
+      the reference loop's left-to-right addition order.
+
+    Elementwise ``+ - * /`` are single IEEE-754 operations and match
+    their scalar counterparts exactly.
+    """
+
+    accesses: np.ndarray
+    eff_unique: np.ndarray
+    eff_index: np.ndarray
+    store_mask: np.ndarray
+    region: np.ndarray
+
+    @classmethod
+    def from_phases(cls, phases: list[PhaseModel]) -> "CondensedTraffic":
+        classes = [t for ph in phases for t in ph.traffic]
+        n = len(classes)
+        accesses = np.empty(n, dtype=np.float64)
+        eff = np.empty(n, dtype=np.float64)
+        store_mask = np.zeros(n, dtype=bool)
+        region = np.empty(n, dtype=np.float64)
+        for i, t in enumerate(classes):
+            accesses[i] = t.accesses
+            eff[i] = t.distance * t.dilution
+            store_mask[i] = t.is_store
+            region[i] = t.region
+        eff_unique, eff_index = np.unique(eff, return_inverse=True)
+        for arr in (accesses, eff_unique, eff_index, store_mask, region):
+            arr.setflags(write=False)
+        return cls(
+            accesses=accesses, eff_unique=eff_unique, eff_index=eff_index,
+            store_mask=store_mask, region=region,
+        )
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.accesses.size)
+
+    def evaluate(
+        self,
+        l1_bytes: int,
+        l2_bytes: int,
+        line_bytes: int = LINE,
+        capacity_factor: float = CAPACITY_FACTOR,
+        sharpness: float = SHARPNESS,
+    ) -> HierarchyStats:
+        """:func:`evaluate_hierarchy` on the condensed classes —
+        bit-identical output, O(unique distances) scalar work."""
+        l1_eff = l1_bytes * capacity_factor
+        l2_eff = l2_bytes * capacity_factor
+        uniq = self.eff_unique.tolist()
+        p1 = np.array(
+            [_hit_probability(d, l1_eff, sharpness) for d in uniq],
+            dtype=np.float64,
+        )[self.eff_index]
+        p2 = np.array(
+            [_hit_probability(d, l2_eff, sharpness) for d in uniq],
+            dtype=np.float64,
+        )[self.eff_index]
+        to_l2 = self.accesses * (1.0 - p1)
+        missed = to_l2 * (1.0 - p2)
+        # The reference accumulates l1_miss and l2_acc from the same
+        # addends in the same order, so one sum serves both.
+        l1_miss = _ordered_sum(to_l2)
+        l1 = CacheStats()
+        l2 = CacheStats()
+        l1.accesses = int(round(_ordered_sum(self.accesses)))
+        l1.misses = int(round(l1_miss))
+        l2.accesses = int(round(l1_miss))
+        l2.misses = int(round(_ordered_sum(missed)))
+        l2.writebacks = int(round(
+            _ordered_sum(missed[self.store_mask & (self.region > l2_eff)])
+        ))
+        return HierarchyStats(l1=l1, l2=l2, line_bytes=line_bytes)
 
 
 def stats_from_model(

@@ -4,16 +4,26 @@ Composes the per-layer analytical models over a whole network prefix —
 convolutions via the hybrid (or pure-GEMM baseline) policy, shortcuts
 and pools via their streaming models — and reports per-layer plus
 total statistics, like gem5's end-of-simulation stats dump.
+
+Record/replay: building the phase models is the dominant cost of
+:func:`simulate_inference` and depends on the configuration only
+through the vector length.  :func:`record_inference` captures the
+L2-independent state of every layer once; the resulting
+:class:`NetworkRecording` then answers any L2 size with results
+bit-identical to a fresh :func:`simulate_inference` call — the exact
+sweep backend records one column and replays it across the L2 axis.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.conv.layer import ConvAlgorithm, ConvLayerSpec, choose_algorithm
 from repro.errors import ConfigError
 from repro.kernels.tuple_mult import SLIDEUP
 from repro.model.aux_model import maxpool_model, shortcut_model
 from repro.model.layer_model import NetworkResult, layer_phases
-from repro.model.traffic import PhaseModel, stats_from_model
+from repro.model.traffic import CondensedTraffic, PhaseModel, stats_from_model
 from repro.nets.layers import LayerSpec, MaxPoolSpec, ShortcutSpec
 from repro.obs import counters_from_stats, span
 from repro.sim.stats import SimStats
@@ -84,6 +94,121 @@ def simulate_inference(
             total.merge(stats)
         net_span.add_counters(**counters_from_stats(total))
     return NetworkResult(name=name, per_layer=tuple(per_layer), total=total)
+
+
+@dataclass(frozen=True)
+class LayerRecording:
+    """One layer's L2-independent state.
+
+    ``template`` holds everything a :class:`SimStats` needs that the L2
+    size cannot change — issue cycles, instruction/element/flop counts,
+    the label — captured by running :func:`~repro.model.traffic.stats_from_model`
+    once at record time; ``traffic`` is the condensed traffic whose
+    :meth:`~repro.model.traffic.CondensedTraffic.evaluate` reproduces
+    the hierarchy stats bit-identically for any cache sizes.
+    """
+
+    template: SimStats
+    traffic: CondensedTraffic
+
+    def evaluate(self, config: SystemConfig) -> SimStats:
+        """The layer's stats at ``config`` — bit-identical to
+        ``stats_from_model(phases, config, label)`` on the recorded
+        phases (``config`` may only differ from the record-time
+        configuration in cache sizes)."""
+        hstats = self.traffic.evaluate(
+            config.l1_kb * 1024, config.l2_mb * 1024 * 1024,
+            config.line_bytes,
+        )
+        l2_stall, dram_stall = config.memory_timings().stall_cycles(
+            hstats.l1.misses, hstats.l2.misses, hstats.l2.writebacks
+        )
+        t = self.template
+        return SimStats(
+            freq_ghz=t.freq_ghz,
+            issue_cycles=t.issue_cycles,
+            l2_stall_cycles=l2_stall,
+            dram_stall_cycles=dram_stall,
+            instrs=dict(t.instrs),
+            elems=dict(t.elems),
+            flops=t.flops,
+            hierarchy=hstats,
+            label=t.label,
+        )
+
+
+@dataclass(frozen=True)
+class NetworkRecording:
+    """A network's L2-independent state, replayable across the L2 axis.
+
+    ``config`` is the record-time configuration; :meth:`evaluate`
+    overrides its ``l2_mb`` and emits the same ``simulate_inference`` /
+    per-``layer`` span structure (with identical counters) as the live
+    simulation, so traces of replayed and fresh runs are
+    indistinguishable.
+    """
+
+    name: str
+    config: SystemConfig
+    hybrid: bool
+    variant: str
+    layers: tuple[LayerRecording, ...]
+
+    def evaluate(self, l2_mb: int) -> NetworkResult:
+        """Replay the recording at one L2 size — bit-identical to
+        ``simulate_inference(name, layers, config.with_(l2_mb=l2_mb),
+        ...)``."""
+        cfg = self.config.with_(l2_mb=l2_mb)
+        per_layer: list[SimStats] = []
+        total = SimStats(freq_ghz=cfg.freq_ghz, label=f"{self.name} total")
+        with span("simulate_inference", network=self.name,
+                  vlen_bits=cfg.vlen_bits, l2_mb=cfg.l2_mb,
+                  freq_ghz=cfg.freq_ghz,
+                  hybrid=self.hybrid, variant=self.variant) as net_span:
+            for rec in self.layers:
+                with span("layer", label=rec.template.label) as layer_span:
+                    stats = rec.evaluate(cfg)
+                    layer_span.add_counters(**counters_from_stats(stats))
+                per_layer.append(stats)
+                total.merge(stats)
+            net_span.add_counters(**counters_from_stats(total))
+        return NetworkResult(
+            name=self.name, per_layer=tuple(per_layer), total=total
+        )
+
+
+def record_inference(
+    name: str,
+    layers: list[LayerSpec],
+    config: SystemConfig,
+    hybrid: bool = True,
+    variant: str = SLIDEUP,
+) -> NetworkRecording:
+    """Record a network's L2-independent state for replay.
+
+    The phase models depend on the configuration only through the
+    vector length (see :func:`layer_phase_models`), so a recording made
+    at any L2 size evaluates bit-identically at every other:
+    ``record_inference(name, layers, cfg).evaluate(l2)`` equals
+    ``simulate_inference(name, layers, cfg.with_(l2_mb=l2))``.
+    """
+    if not layers:
+        raise ConfigError("network has no layers")
+    recs: list[LayerRecording] = []
+    with span("record_inference", network=name,
+              vlen_bits=config.vlen_bits, hybrid=hybrid, variant=variant):
+        for layer in layers:
+            label, phases = layer_phase_models(
+                layer, config, hybrid=hybrid, variant=variant
+            )
+            recs.append(LayerRecording(
+                template=stats_from_model(phases, config, label=label),
+                traffic=CondensedTraffic.from_phases(phases),
+            ))
+    return NetworkRecording(
+        name=name, config=config, hybrid=hybrid, variant=variant,
+        layers=tuple(recs),
+    )
 
 
 def winograd_layer_count(layers: list[LayerSpec]) -> int:

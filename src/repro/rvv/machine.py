@@ -66,6 +66,12 @@ class VectorEngine:
         self.vtype = VType(sew=32, lmul=1)
         self.vl = 0
         self._configured = False
+        # Scratch backing for load_index_u32.  Allocated lazily (an
+        # eager allocation here would shift every subsequent simulated
+        # address) but sized at the architectural maximum, so the bump
+        # allocator — which cannot free — is asked exactly once.
+        self._index_scratch = 0
+        self._index_scratch_cap = 0
 
     # ------------------------------------------------------------------
     # Configuration
@@ -126,10 +132,6 @@ class VectorEngine:
         offs = None
         if offsets is not None and self.tracer.capture:
             offs = tuple(int(o) for o in offsets)
-        if offsets is not None and offs is None:
-            # Counting mode: keep enough structure for byte accounting
-            # and line estimation without retaining per-element offsets.
-            offs = None
         return MemAccess(kind=kind, base=base, elems=elems, ebytes=4,
                          stride=stride, offsets=offs, is_load=is_load)
 
@@ -460,10 +462,16 @@ class RvvMachine(VectorEngine):
             raise VectorStateError(
                 f"index array has {offs.size} entries but vl={vl}"
             )
-        if not hasattr(self, "_index_scratch") or self._index_scratch_cap < vl:
-            self._index_scratch = self.memory.alloc(4 * self.vlmax,
-                                                    label="index_scratch")
-            self._index_scratch_cap = self.vlmax
+        if self._index_scratch_cap < vl:
+            # First use: allocate once at the architectural maximum —
+            # vlmax at LMUL=8 over 32-bit elements, 4 bytes each, i.e.
+            # vlen_bits // 4 entries.  ``vl`` can never exceed that, so
+            # the region is never regrown (the bump allocator cannot
+            # free, and regrowth would leak the previous region).
+            self._index_scratch = self.memory.alloc(
+                self.vlen_bits, label="index_scratch"
+            )
+            self._index_scratch_cap = self.vlen_bits // 4
         self.memory.view(self._index_scratch, vl, np.uint32)[:] = offs[:vl]
         self._u32(vd)[:vl] = offs[:vl]
         self.tracer.record(

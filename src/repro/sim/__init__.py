@@ -12,6 +12,9 @@
 - :class:`LatencyModel` / :class:`MemoryTimings` — issue occupancy
   (constant-latency vector mode, per the paper's gem5 fork) and stall
   modeling;
+- :class:`StreamCache` — bounded record/replay store for materialized
+  nest line streams (streams are cache-size independent, so one
+  recording serves a whole co-design sweep);
 - :class:`SimStats` — the reported statistics.
 """
 
@@ -19,6 +22,12 @@ from repro.sim.cache import Cache, CacheHierarchy, CacheStats, HierarchyStats
 from repro.sim.core import CONSTANT, THROUGHPUT, LatencyModel, MemoryTimings
 from repro.sim.energy import EnergyBreakdown, EnergyModel, estimate_energy
 from repro.sim.events import BodyInstr, LoopNest, total_counts
+from repro.sim.replay import (
+    StreamCache,
+    StreamCacheStats,
+    default_stream_cache,
+    set_default_stream_cache,
+)
 from repro.sim.stackdist import ReuseProfile, SparseReuseProfile, reuse_profile
 from repro.sim.stats import SimStats
 from repro.sim.system import Simulator, SystemConfig
@@ -44,4 +53,8 @@ __all__ = [
     "EnergyModel",
     "EnergyBreakdown",
     "estimate_energy",
+    "StreamCache",
+    "StreamCacheStats",
+    "default_stream_cache",
+    "set_default_stream_cache",
 ]

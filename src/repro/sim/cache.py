@@ -8,17 +8,25 @@ DRAM line traffic (fills plus dirty writebacks) that the roofline
 analysis uses as "DRAM bytes".
 
 Implementation notes: each set is an :class:`collections.OrderedDict`
-from tag to dirty bit, giving O(1) LRU updates at C speed.  For the
-sampled layer simulations the streams are a few hundred thousand lines
-per configuration, which this handles in well under a second.
+from tag to dirty bit, giving O(1) LRU updates at C speed.  Access
+batches are replayed through a *batched* engine: NumPy partitions the
+stream by set (stably, preserving each set's program order) and
+compresses runs of consecutive same-line accesses — a re-touch of the
+MRU line is an LRU no-op apart from its dirty bit — so the remaining
+Python loop only walks the compressed runs.  The batched engine is
+bit-identical to the per-access reference loop (property-tested in the
+suite): counters, miss masks and the victim stream all match exactly.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from itertools import repeat
+from typing import Any, Iterable
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import ConfigError
 from repro.obs.counters import COUNTERS
@@ -50,18 +58,22 @@ class CacheStats:
     def scaled(self, factor: float) -> "CacheStats":
         """Extrapolated copy (used by the sampling simulator).
 
-        Each counter is rounded to an integer, then clamped so the copy
-        stays mutually consistent (``misses <= accesses`` and every
-        counter bounded by ``accesses``) — independent rounding of small
-        samples could otherwise report more misses than accesses, i.e.
-        negative hits.
+        Each counter is rounded to an integer, then clamped along the
+        causal chain ``misses <= accesses``, ``evictions <= misses``,
+        ``writebacks <= evictions`` — an eviction happens only on a
+        miss and a writeback only on an eviction, so independent
+        rounding of small samples could otherwise report impossible
+        states (more misses than accesses, i.e. negative hits, or more
+        writebacks than evictions).  For counters that already satisfy
+        the chain the clamps never bind: rounding is monotone, so
+        scaling preserves the ordering.
         """
         if factor < 0:
             raise ConfigError(f"scale factor must be non-negative, got {factor}")
         accesses = int(round(self.accesses * factor))
         misses = min(int(round(self.misses * factor)), accesses)
-        evictions = min(int(round(self.evictions * factor)), accesses)
-        writebacks = min(int(round(self.writebacks * factor)), accesses)
+        evictions = min(int(round(self.evictions * factor)), misses)
+        writebacks = min(int(round(self.writebacks * factor)), evictions)
         return CacheStats(
             accesses=accesses,
             misses=misses,
@@ -69,7 +81,7 @@ class CacheStats:
             writebacks=writebacks,
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, int]:
         """JSON-serializable counters (checkpointing, CLI)."""
         return {
             "accesses": self.accesses,
@@ -79,7 +91,7 @@ class CacheStats:
         }
 
     @classmethod
-    def from_dict(cls, d: dict) -> "CacheStats":
+    def from_dict(cls, d: dict[str, Any]) -> "CacheStats":
         """Inverse of :meth:`to_dict`."""
         return cls(
             accesses=int(d.get("accesses", 0)),
@@ -136,10 +148,10 @@ class Cache:
     # ------------------------------------------------------------------
     def access_lines(
         self,
-        lines: np.ndarray,
-        is_store: np.ndarray | None = None,
+        lines: npt.NDArray[np.int64],
+        is_store: npt.NDArray[np.bool_] | None = None,
         victims_out: list[tuple[int, int]] | None = None,
-    ) -> np.ndarray:
+    ) -> npt.NDArray[np.bool_]:
         """Run a line-ID stream through the cache.
 
         Args:
@@ -154,7 +166,7 @@ class Cache:
             Boolean array, True where the access missed (these accesses
             propagate to the next level in program order).
         """
-        n = lines.size
+        n = int(lines.size)
         missed = np.zeros(n, dtype=bool)
         if n == 0:
             return missed
@@ -163,30 +175,80 @@ class Cache:
         sets = self._sets
         stats = self.stats
         stats.accesses += n
-        lines_list = lines.tolist()
-        stores_list = (
-            is_store.tolist() if is_store is not None else [False] * n
+
+        # Partition by set, stably: LRU state in one set depends only on
+        # that set's subsequence, in program order.
+        if nsets > 1:
+            set_ids = lines % nsets
+            order = np.argsort(set_ids, kind="stable")
+            s_lines = lines[order]
+            s_sets = set_ids[order]
+        else:
+            order = None
+            s_lines = lines
+            s_sets = None
+        s_stores = None
+        if is_store is not None:
+            s_stores = is_store if order is None else is_store[order]
+
+        # Compress runs of consecutive same-line accesses within a set:
+        # within a set's subsequence, adjacency means no intervening
+        # access to that set, so every access after a run's first is a
+        # guaranteed MRU hit — an LRU no-op apart from OR-ing the run's
+        # store flags into the dirty bit.
+        run_start = np.empty(n, dtype=bool)
+        run_start[0] = True
+        np.not_equal(s_lines[1:], s_lines[:-1], out=run_start[1:])
+        if s_sets is not None:
+            run_start[1:] |= s_sets[1:] != s_sets[:-1]
+        starts = np.flatnonzero(run_start)
+        run_lines = s_lines[starts].tolist()
+        run_sets: Iterable[int] = (
+            s_sets[starts].tolist() if s_sets is not None else repeat(0)
         )
-        miss_count = 0
+        # Original position of each run's first access — the only one
+        # that can miss (and so the only one that can evict a victim).
+        run_first = (order[starts] if order is not None else starts).tolist()
+        run_dirty = (
+            np.logical_or.reduceat(s_stores, starts).tolist()
+            if s_stores is not None else None
+        )
+
+        miss_idx: list[int] = []
+        miss_append = miss_idx.append
+        victims: list[tuple[int, int]] = []
         evictions = 0
         writebacks = 0
-        for i, (line, store) in enumerate(zip(lines_list, stores_list)):
-            s = sets[line % nsets]
-            dirty = s.pop(line, None)
-            if dirty is None:
+        dirty_it: Iterable[bool] = (
+            run_dirty if run_dirty is not None else repeat(False)
+        )
+        for line, set_id, i, store in zip(
+            run_lines, run_sets, run_first, dirty_it
+        ):
+            s = sets[set_id]
+            prev = s.pop(line, None)
+            if prev is None:
                 # Miss: allocate (write-allocate for stores too).
-                missed[i] = True
-                miss_count += 1
+                miss_append(i)
                 if len(s) >= assoc:
                     victim_line, victim_dirty = s.popitem(last=False)
                     evictions += 1
                     if victim_dirty:
                         writebacks += 1
                         if victims_out is not None:
-                            victims_out.append((i, victim_line))
+                            victims.append((i, victim_line))
                 s[line] = store
             else:
-                s[line] = dirty or store
+                s[line] = prev or store
+        miss_count = len(miss_idx)
+        if miss_idx:
+            missed[miss_idx] = True
+        if victims_out is not None and victims:
+            # The replay visits sets out of program order; each evicting
+            # access produces at most one victim, so sorting by access
+            # index restores the program-order victim stream.
+            victims.sort()
+            victims_out.extend(victims)
         stats.misses += miss_count
         stats.evictions += evictions
         stats.writebacks += writebacks
@@ -232,7 +294,7 @@ class HierarchyStats:
             line_bytes=self.line_bytes,
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-serializable counters (checkpointing, CLI)."""
         return {
             "l1": self.l1.to_dict(),
@@ -241,7 +303,7 @@ class HierarchyStats:
         }
 
     @classmethod
-    def from_dict(cls, d: dict) -> "HierarchyStats":
+    def from_dict(cls, d: dict[str, Any]) -> "HierarchyStats":
         """Inverse of :meth:`to_dict`."""
         return cls(
             l1=CacheStats.from_dict(d.get("l1", {})),
@@ -275,7 +337,9 @@ class CacheHierarchy:
         self.l2 = Cache(l2_mb * 1024 * 1024, l2_assoc, line_bytes, name="l2")
 
     def access(
-        self, lines: np.ndarray, is_store: np.ndarray | None = None
+        self,
+        lines: npt.NDArray[np.int64],
+        is_store: npt.NDArray[np.bool_] | None = None,
     ) -> None:
         """Push a line stream through L1 then L2.
 

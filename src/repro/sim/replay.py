@@ -1,0 +1,205 @@
+"""Record/replay stream cache for the exact cache engine.
+
+A loop nest's materialized line stream depends only on the nest itself
+and the cache-line size — never on cache geometry (the invariant the
+co-design sweep exploits; see
+:func:`repro.nets.inference.layer_phase_models` for the analytic
+statement of the same property).  Re-simulating a program across an L2
+axis therefore regenerates byte-identical streams at every grid point.
+:class:`StreamCache` records each nest's ``(lines, is_store)`` segments
+the first time they are materialized, keyed by ``(nest, line_bytes)``,
+and replays them for every subsequent simulation — the segments are
+returned as read-only arrays, so a replayed simulation is bit-identical
+to a freshly generated one by construction.
+
+Bounds and eviction
+-------------------
+The cache holds at most ``max_bytes`` of segment data
+(:data:`DEFAULT_BUDGET_MB` MB by default; the process-wide default
+honours the ``REPRO_STREAM_CACHE_MB`` environment variable).  Eviction
+is LRU at *nest* granularity: a replay touches all of a nest's
+segments, so partial retention would thrash.  A nest whose segments
+cannot fit even after evicting every other entry is marked
+unrecordable for the lifetime of its entry and streamed straight from
+the generator — correctness never depends on a segment being cached.
+
+Observability: the process-global counters
+``stream_cache.{records,replays,generated,evictions}`` track cache
+effectiveness (:data:`repro.obs.COUNTERS`).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.obs.counters import COUNTERS
+from repro.sim.events import LoopNest
+
+#: Default stream-cache budget in MB (see module docstring).
+DEFAULT_BUDGET_MB = 256
+
+#: Environment variable overriding the *process-wide default* budget.
+BUDGET_ENV = "REPRO_STREAM_CACHE_MB"
+
+_Segment = tuple[npt.NDArray[np.int64], npt.NDArray[np.bool_]]
+_Key = tuple[LoopNest, int]
+
+
+def _default_budget_bytes() -> int:
+    raw = os.environ.get(BUDGET_ENV, "")
+    try:
+        mb = int(raw) if raw else DEFAULT_BUDGET_MB
+    except ValueError:
+        mb = DEFAULT_BUDGET_MB
+    return max(0, mb) * 1024 * 1024
+
+
+@dataclass
+class StreamCacheStats:
+    """Effectiveness counters of one :class:`StreamCache`."""
+
+    recorded_segments: int = 0
+    replayed_segments: int = 0
+    generated_segments: int = 0
+    evicted_nests: int = 0
+    bytes: int = 0
+
+
+class _Entry:
+    """One nest's recording: segment arrays plus admission state."""
+
+    __slots__ = ("segments", "nbytes", "recordable")
+
+    def __init__(self) -> None:
+        self.segments: dict[int, _Segment] = {}
+        self.nbytes = 0
+        self.recordable = True
+
+
+class NestStreams:
+    """Replay handle for one ``(nest, line_bytes)`` pair.
+
+    :meth:`segment` is a drop-in replacement for
+    :meth:`~repro.sim.events.LoopNest.stream_for_outer`: it returns the
+    recorded arrays when available and materializes (and, budget
+    permitting, records) them otherwise.
+    """
+
+    __slots__ = ("_cache", "_key", "_nest", "_line_bytes")
+
+    def __init__(self, cache: "StreamCache", nest: LoopNest,
+                 line_bytes: int) -> None:
+        self._cache = cache
+        self._key: _Key = (nest, line_bytes)
+        self._nest = nest
+        self._line_bytes = line_bytes
+
+    def segment(self, outer_index: int) -> _Segment:
+        """The nest's ``(lines, is_store)`` stream for one outer
+        iteration (read-only arrays when served from the cache)."""
+        return self._cache._segment(
+            self._key, self._nest, self._line_bytes, outer_index
+        )
+
+
+class StreamCache:
+    """Bounded LRU cache of materialized loop-nest line streams."""
+
+    def __init__(self, max_bytes: int | None = None) -> None:
+        self.max_bytes = (
+            _default_budget_bytes() if max_bytes is None else max(0, int(max_bytes))
+        )
+        self._entries: OrderedDict[_Key, _Entry] = OrderedDict()
+        self.stats = StreamCacheStats()
+
+    def streams(self, nest: LoopNest, line_bytes: int) -> NestStreams:
+        """A replay handle for ``nest`` at ``line_bytes`` granularity."""
+        return NestStreams(self, nest, int(line_bytes))
+
+    def clear(self) -> None:
+        """Drop every recording (stats other than ``bytes`` persist)."""
+        self._entries.clear()
+        self.stats.bytes = 0
+
+    @property
+    def nests_resident(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def _segment(self, key: _Key, nest: LoopNest, line_bytes: int,
+                 outer_index: int) -> _Segment:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            seg = entry.segments.get(outer_index)
+            if seg is not None:
+                self.stats.replayed_segments += 1
+                COUNTERS.inc("stream_cache.replays")
+                return seg
+        lines, stores = nest.stream_for_outer(outer_index, line_bytes)
+        self.stats.generated_segments += 1
+        COUNTERS.inc("stream_cache.generated")
+        if entry is None:
+            entry = _Entry()
+            self._entries[key] = entry
+        if entry.recordable:
+            nbytes = int(lines.nbytes) + int(stores.nbytes)
+            if self._admit(key, nbytes):
+                lines.setflags(write=False)
+                stores.setflags(write=False)
+                entry.segments[outer_index] = (lines, stores)
+                entry.nbytes += nbytes
+                self.stats.bytes += nbytes
+                self.stats.recorded_segments += 1
+                COUNTERS.inc("stream_cache.records")
+            else:
+                # All-or-nothing per nest: a partial recording would
+                # regenerate the missing segments every replay anyway.
+                self.stats.bytes -= entry.nbytes
+                entry.segments.clear()
+                entry.nbytes = 0
+                entry.recordable = False
+        return lines, stores
+
+    def _admit(self, key: _Key, nbytes: int) -> bool:
+        """Make room for ``nbytes`` by LRU-evicting other nests."""
+        if nbytes > self.max_bytes:
+            return False
+        while self.stats.bytes + nbytes > self.max_bytes:
+            victim = next((k for k in self._entries if k != key), None)
+            if victim is None:
+                return False
+            dropped = self._entries.pop(victim)
+            self.stats.bytes -= dropped.nbytes
+            self.stats.evicted_nests += 1
+            COUNTERS.inc("stream_cache.evictions")
+        return True
+
+
+# ----------------------------------------------------------------------
+# Process-wide default, shared by every Simulator unless overridden.
+# ----------------------------------------------------------------------
+_default: StreamCache | None = None
+
+
+def default_stream_cache() -> StreamCache:
+    """The process-wide stream cache (created lazily; budget from
+    ``REPRO_STREAM_CACHE_MB`` at first use)."""
+    global _default
+    if _default is None:
+        _default = StreamCache()
+    return _default
+
+
+def set_default_stream_cache(cache: StreamCache | None) -> StreamCache | None:
+    """Replace the process-wide cache (``None`` resets to lazy
+    creation); returns the previous one for restoration."""
+    global _default
+    previous = _default
+    _default = cache
+    return previous

@@ -328,3 +328,56 @@ class TestVlenScaling:
             mach.vse32(1, dst + 4 * done)
             done += vl
         np.testing.assert_array_equal(mach.memory.read_f32(dst, n), data)
+
+
+class TestIndexScratchAllocation:
+    """Regression: ``load_index_u32`` staged its index array through a
+    scratch buffer that was re-allocated whenever ``vl`` grew past the
+    previous request — the bump allocator cannot free, so every regrow
+    leaked the old region.  The scratch is now allocated once, at the
+    architectural maximum (vlmax at LMUL=8 over 32-bit elements)."""
+
+    @staticmethod
+    def _scratch_extents(machine):
+        return [e for e in machine.memory.allocations
+                if e.label == "index_scratch"]
+
+    def test_scratch_allocated_once_even_as_vl_grows(self, m):
+        m.setvl(4)
+        m.load_index_u32(1, (np.arange(4) * 4).astype(np.uint32))
+        assert len(self._scratch_extents(m)) == 1
+        # Growing vl — all the way to vlmax at LMUL=8 — must reuse the
+        # same region, not regrow it.
+        vl = m.setvl(10**9, lmul=8)
+        assert vl == m.vlen_bits // 4
+        m.load_index_u32(8, (np.arange(vl) * 4).astype(np.uint32))
+        exts = self._scratch_extents(m)
+        assert len(exts) == 1
+        assert exts[0].size == m.vlen_bits  # vlmax entries x 4 bytes
+
+    def test_scratch_address_stable_across_uses(self, m):
+        m.setvl(2)
+        m.load_index_u32(1, np.array([0, 4], dtype=np.uint32))
+        first = self._scratch_extents(m)[0]
+        m.setvl(16)
+        m.load_index_u32(2, (np.arange(16) * 4).astype(np.uint32))
+        m.setvl(8)
+        m.load_index_u32(3, (np.arange(8) * 4).astype(np.uint32))
+        assert self._scratch_extents(m) == [first]
+
+    def test_no_scratch_until_first_indexed_load(self, m):
+        m.setvl(16)
+        a = m.memory.alloc_f32(16)
+        m.vle32(1, a)
+        assert self._scratch_extents(m) == []
+
+    def test_memory_footprint_constant_across_many_calls(self, m):
+        """The original leak grew ``bytes_allocated`` on every regrow;
+        repeated indexed loads must now keep the footprint flat."""
+        m.setvl(16)
+        offs = (np.arange(16) * 4).astype(np.uint32)
+        m.load_index_u32(1, offs)
+        footprint = m.memory.bytes_allocated
+        for _ in range(10):
+            m.load_index_u32(1, offs)
+        assert m.memory.bytes_allocated == footprint

@@ -1,5 +1,7 @@
 """Tests for the cache simulator and the stack-distance profiler."""
 
+from collections import OrderedDict
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -175,6 +177,94 @@ class TestWritebackPropagation:
         assert s.dram_lines == s.l2.misses + s.l2.writebacks
 
 
+def _reference_access(num_sets, assoc, sets, lines, stores):
+    """Per-access reference loop for the batched engine: one plain LRU
+    update per access, no partitioning or run compression."""
+    missed = np.zeros(lines.size, dtype=bool)
+    victims = []
+    misses = evictions = writebacks = 0
+    for i, line in enumerate(lines.tolist()):
+        store = bool(stores[i])
+        s = sets[line % num_sets]
+        prev = s.pop(line, None)
+        if prev is None:
+            missed[i] = True
+            misses += 1
+            if len(s) >= assoc:
+                victim_line, victim_dirty = s.popitem(last=False)
+                evictions += 1
+                if victim_dirty:
+                    writebacks += 1
+                    victims.append((i, victim_line))
+            s[line] = store
+        else:
+            s[line] = prev or store
+    return missed, victims, (misses, evictions, writebacks)
+
+
+class TestBatchedEngineDifferential:
+    """The batched ``access_lines`` engine (set partitioning + MRU-run
+    compression) must be bit-identical to the per-access reference loop:
+    miss masks, victim streams and all counters."""
+
+    @given(
+        seed=st.integers(0, 10**6),
+        nsets_pow=st.integers(0, 3),
+        assoc=st.integers(1, 4),
+        nlines=st.integers(1, 40),
+        length=st.integers(1, 300),
+        store_frac=st.floats(0.0, 1.0),
+        repeat_frac=st.floats(0.0, 0.9),
+        batches=st.integers(1, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_loop(
+        self, seed, nsets_pow, assoc, nlines, length, store_frac,
+        repeat_frac, batches
+    ):
+        rng = np.random.default_rng(seed)
+        num_sets = 2 ** nsets_pow
+        cache = Cache(num_sets * assoc * 64, assoc=assoc, line_bytes=64)
+        assert cache.num_sets == num_sets
+        ref_sets = [OrderedDict() for _ in range(num_sets)]
+        ref_misses = ref_evictions = ref_writebacks = 0
+        for _ in range(batches):
+            lines = rng.integers(0, nlines, size=length).astype(np.int64)
+            # Inject consecutive repeats so run compression is exercised.
+            dup = rng.random(length) < repeat_frac
+            lines[1:][dup[1:]] = lines[:-1][dup[1:]]
+            stores = rng.random(length) < store_frac
+            victims = []
+            missed = cache.access_lines(lines, stores, victims_out=victims)
+            exp_missed, exp_victims, (m, e, w) = _reference_access(
+                num_sets, assoc, ref_sets, lines, stores
+            )
+            assert np.array_equal(missed, exp_missed)
+            assert victims == exp_victims
+            ref_misses += m
+            ref_evictions += e
+            ref_writebacks += w
+        assert cache.stats.accesses == batches * length
+        assert cache.stats.misses == ref_misses
+        assert cache.stats.evictions == ref_evictions
+        assert cache.stats.writebacks == ref_writebacks
+        # Residency (and LRU order per set) must agree too.
+        assert cache._sets == ref_sets
+
+    def test_loads_only_matches_all_false_store_mask(self):
+        rng = np.random.default_rng(3)
+        lines = rng.integers(0, 30, size=200).astype(np.int64)
+        a = Cache(4 * 2 * 64, assoc=2, line_bytes=64)
+        b = Cache(4 * 2 * 64, assoc=2, line_bytes=64)
+        va, vb = [], []
+        ma = a.access_lines(lines, victims_out=va)
+        mb = b.access_lines(lines, np.zeros(200, dtype=bool), victims_out=vb)
+        assert np.array_equal(ma, mb)
+        assert va == vb == []  # clean victims never write back
+        assert vars(a.stats) == vars(b.stats)
+        assert a.stats.writebacks == 0
+
+
 class TestScaledConsistency:
     def test_scaled_clamps_to_accesses(self):
         from repro.sim.cache import CacheStats
@@ -212,6 +302,45 @@ class TestScaledConsistency:
         t = CacheStats(accesses=accesses, misses=misses).scaled(factor)
         assert 0 <= t.misses <= t.accesses
         assert t.hits >= 0
+
+    def test_scaled_clamps_full_causal_chain(self):
+        from repro.sim.cache import CacheStats
+
+        # Inconsistent counters: more evictions than misses, more
+        # writebacks than evictions.  The clamp chain restores
+        # misses <= accesses, evictions <= misses, writebacks <= evictions.
+        s = CacheStats(accesses=10, misses=3, evictions=9, writebacks=12)
+        t = s.scaled(1.0)
+        assert t.misses <= t.accesses
+        assert t.evictions <= t.misses
+        assert t.writebacks <= t.evictions
+
+    @given(
+        accesses=st.integers(0, 1000),
+        miss_frac=st.floats(0.0, 1.0),
+        evict_frac=st.floats(0.0, 1.0),
+        wb_frac=st.floats(0.0, 1.0),
+        factor=st.floats(0.0, 3.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scaled_chain_never_binds_on_consistent_counters(
+        self, accesses, miss_frac, evict_frac, wb_frac, factor
+    ):
+        """For counters that already satisfy the causal chain, scaling
+        preserves it and the clamps never alter the rounded values."""
+        from repro.sim.cache import CacheStats
+
+        misses = int(accesses * miss_frac)
+        evictions = int(misses * evict_frac)
+        writebacks = int(evictions * wb_frac)
+        t = CacheStats(accesses=accesses, misses=misses,
+                       evictions=evictions, writebacks=writebacks).scaled(factor)
+        assert 0 <= t.writebacks <= t.evictions <= t.misses <= t.accesses
+        assert t.hits >= 0
+        # Rounding is monotone, so the clamps are no-ops here.
+        assert t.misses == int(round(misses * factor))
+        assert t.evictions == int(round(evictions * factor))
+        assert t.writebacks == int(round(writebacks * factor))
 
     def test_cache_stats_dict_roundtrip(self):
         from repro.sim.cache import CacheStats

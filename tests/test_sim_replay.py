@@ -1,0 +1,134 @@
+"""Tests for the stream record/replay cache (repro.sim.replay)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    Simulator,
+    StreamCache,
+    SystemConfig,
+    default_stream_cache,
+    set_default_stream_cache,
+)
+from tests.test_sim_system import make_stream_nest
+
+
+class TestStreamCacheReplay:
+    def test_replay_is_byte_identical_to_generation(self):
+        nest = make_stream_nest(32, 4)
+        cache = StreamCache(max_bytes=1 << 20)
+        streams = cache.streams(nest, 64)
+        first = [streams.segment(o) for o in range(4)]
+        again = [streams.segment(o) for o in range(4)]
+        for (l1, s1), (l2, s2) in zip(first, again):
+            assert np.array_equal(l1, l2)
+            assert np.array_equal(s1, s2)
+        fresh = [nest.stream_for_outer(o, 64) for o in range(4)]
+        for (l1, s1), (l2, s2) in zip(again, fresh):
+            assert np.array_equal(l1, l2)
+            assert np.array_equal(s1, s2)
+        assert cache.stats.recorded_segments == 4
+        assert cache.stats.replayed_segments == 4
+        assert cache.stats.generated_segments == 4
+
+    def test_cached_segments_are_read_only(self):
+        nest = make_stream_nest(8, 1)
+        cache = StreamCache(max_bytes=1 << 20)
+        lines, stores = cache.streams(nest, 64).segment(0)
+        with pytest.raises(ValueError):
+            lines[0] = 99
+        with pytest.raises(ValueError):
+            stores[0] = True
+
+    def test_streams_keyed_by_line_bytes(self):
+        nest = make_stream_nest(8, 1)
+        cache = StreamCache(max_bytes=1 << 20)
+        l64, _ = cache.streams(nest, 64).segment(0)
+        l128, _ = cache.streams(nest, 128).segment(0)
+        assert cache.nests_resident == 2
+        assert not np.array_equal(l64, l128)
+
+    def test_zero_budget_never_records_but_stays_correct(self):
+        nest = make_stream_nest(16, 2)
+        cache = StreamCache(max_bytes=0)
+        streams = cache.streams(nest, 64)
+        a = streams.segment(0)
+        b = streams.segment(0)
+        assert np.array_equal(a[0], b[0])
+        assert cache.stats.recorded_segments == 0
+        assert cache.stats.replayed_segments == 0
+        assert cache.stats.generated_segments == 2
+        assert cache.stats.bytes == 0
+        # Unrecordable segments stay writable (caller-owned arrays).
+        a[0][:] = 0
+
+    def test_lru_eviction_at_nest_granularity(self):
+        nests = [make_stream_nest(64, 1, name=f"n{i}") for i in range(4)]
+        seg_bytes = sum(
+            a.nbytes for a in nests[0].stream_for_outer(0, 64)
+        )
+        # Room for two recordings only.
+        cache = StreamCache(max_bytes=2 * seg_bytes)
+        for n in nests[:2]:
+            cache.streams(n, 64).segment(0)
+        assert cache.nests_resident == 2
+        cache.streams(nests[0], 64).segment(0)  # touch: n0 becomes MRU
+        cache.streams(nests[2], 64).segment(0)  # evicts n1 (LRU), not n0
+        assert cache.stats.evicted_nests == 1
+        before = cache.stats.generated_segments
+        cache.streams(nests[0], 64).segment(0)
+        assert cache.stats.generated_segments == before  # n0 still cached
+        cache.streams(nests[1], 64).segment(0)
+        assert cache.stats.generated_segments == before + 1  # n1 was evicted
+
+    def test_oversized_nest_marked_unrecordable(self):
+        nest = make_stream_nest(64, 3)
+        seg_bytes = sum(a.nbytes for a in nest.stream_for_outer(0, 64))
+        cache = StreamCache(max_bytes=seg_bytes)  # fits 1 segment, not 2
+        streams = cache.streams(nest, 64)
+        streams.segment(0)
+        assert cache.stats.recorded_segments == 1
+        streams.segment(1)  # over budget: entry cleared, unrecordable
+        assert cache.stats.bytes == 0
+        streams.segment(2)
+        streams.segment(0)
+        assert cache.stats.recorded_segments == 1  # never recorded again
+        assert cache.stats.replayed_segments == 0
+
+    def test_clear_drops_recordings(self):
+        nest = make_stream_nest(16, 1)
+        cache = StreamCache(max_bytes=1 << 20)
+        cache.streams(nest, 64).segment(0)
+        assert cache.nests_resident == 1 and cache.stats.bytes > 0
+        cache.clear()
+        assert cache.nests_resident == 0 and cache.stats.bytes == 0
+
+
+class TestSimulatorReplayIdentity:
+    def test_shared_cache_simulation_is_bit_identical(self):
+        """Simulating the same program twice through one StreamCache
+        (record, then replay) must match a fresh-cache run exactly —
+        in both the exact and the sampled regime."""
+        program = [make_stream_nest(256, 8), make_stream_nest(64, 3, name="b")]
+        for max_lines in (10**9, 300):
+            cfg = SystemConfig(max_sim_lines=max_lines)
+            shared = StreamCache(max_bytes=1 << 22)
+            recorded = Simulator(cfg, stream_cache=shared).run(program)
+            replayed = Simulator(cfg, stream_cache=shared).run(program)
+            fresh = Simulator(
+                cfg, stream_cache=StreamCache(max_bytes=0)
+            ).run(program)
+            assert replayed == recorded == fresh
+            assert shared.stats.replayed_segments > 0
+
+    def test_default_cache_accessors(self):
+        previous = set_default_stream_cache(None)
+        try:
+            a = default_stream_cache()
+            assert default_stream_cache() is a  # lazily created once
+            mine = StreamCache(max_bytes=123)
+            assert set_default_stream_cache(mine) is a
+            assert default_stream_cache() is mine
+            assert Simulator(SystemConfig())._streams is mine
+        finally:
+            set_default_stream_cache(previous)

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigError, SimulationError
 from repro.isa import OpClass
@@ -198,6 +199,80 @@ class TestSimulator:
         stats = Simulator(SystemConfig()).run([make_stream_nest(16, 1)])
         text = stats.report()
         assert "L2 miss rate" in text and "GFLOP/s" in text
+
+
+class TestDegenerateSamplingWindows:
+    """Regression tests for the sampling window edge cases.
+
+    A nest whose trip count cannot cover warmup plus one sample window
+    used to divide by zero (``(outer - warm) / sample`` with
+    ``sample == 0``); the policy is now to simulate such nests exactly.
+    """
+
+    def test_outer_one_oversized_nest_runs_exactly(self):
+        # The ISSUE repro: outer == 1 and the single iteration alone
+        # exceeds max_sim_lines, so warm clamps to 1 == outer and the
+        # sample window is empty.  This used to raise ZeroDivisionError.
+        nest = make_stream_nest(64, 1)  # dims == (1, 64)
+        stats = Simulator(SystemConfig(max_sim_lines=10)).run([nest])
+        exact = Simulator(SystemConfig(max_sim_lines=10**9)).run([nest])
+        assert stats.hierarchy.to_dict() == exact.hierarchy.to_dict()
+        assert stats.hierarchy.l1.accesses == 64
+        assert stats.hierarchy.l1.misses == 64
+        assert stats.cycles == exact.cycles
+
+    def test_outer_equals_clamped_warmup(self):
+        # warmup_outer >= outer: warm clamps to outer - 1 and exactly
+        # one sample iteration remains.
+        nest = make_stream_nest(16, 4)
+        cfg = SystemConfig(max_sim_lines=10, warmup_outer=8, sample_outer=8)
+        stats = Simulator(cfg).run([nest])
+        h = stats.hierarchy
+        assert h.l1.accesses == 4 * 16  # windows cover the whole nest
+        assert 0 <= h.l1.misses <= h.l1.accesses
+
+    def test_outer_equals_warmup_plus_one(self):
+        # outer == warm + 1: a single-iteration sample window scaled by
+        # (outer - warm) / sample == 1 — must equal exact simulation.
+        nest = make_stream_nest(16, 3)
+        cfg = SystemConfig(max_sim_lines=10, warmup_outer=2, sample_outer=8)
+        stats = Simulator(cfg).run([nest])
+        exact = Simulator(SystemConfig(max_sim_lines=10**9)).run([nest])
+        assert stats.hierarchy.to_dict() == exact.hierarchy.to_dict()
+
+    @given(
+        n_lines=st.integers(1, 64),
+        reps=st.integers(1, 6),
+        max_lines=st.integers(1, 400),
+        warmup=st.integers(0, 4),
+        sample=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sampling_always_runs_and_stays_consistent(
+        self, n_lines, reps, max_lines, warmup, sample
+    ):
+        """Property: for any window geometry the simulator completes,
+        agrees bit-for-bit with exact simulation when the nest fits
+        under ``max_sim_lines``, and otherwise reports counters that
+        respect the causal chain (no negative hits, evictions bounded
+        by misses, writebacks by evictions)."""
+        nest = make_stream_nest(n_lines, reps)
+        cfg = SystemConfig(
+            max_sim_lines=max_lines, warmup_outer=warmup, sample_outer=sample
+        )
+        stats = Simulator(cfg).run([nest])
+        h = stats.hierarchy
+        for lvl in (h.l1, h.l2):
+            assert 0 <= lvl.misses <= lvl.accesses
+            assert lvl.evictions <= lvl.misses
+            assert lvl.writebacks <= lvl.evictions
+            assert lvl.hits >= 0
+        if n_lines * reps <= max_lines:
+            exact = Simulator(
+                cfg.with_(max_sim_lines=10**9)
+            ).run([nest])
+            assert h.to_dict() == exact.hierarchy.to_dict()
+            assert stats.cycles == exact.cycles
 
 
 class TestTraceSimulation:

@@ -45,6 +45,14 @@ STRICT_OBS_MODULES = [
     "repro.obs.export",
 ]
 
+#: The strict-mypy slice of repro.sim: the batched cache engine, the
+#: stream record/replay cache, and the sampling simulator.
+STRICT_SIM_MODULES = [
+    "repro.sim.cache",
+    "repro.sim.replay",
+    "repro.sim.system",
+]
+
 
 def test_pyproject_configures_the_tools():
     text = (REPO / "pyproject.toml").read_text()
@@ -52,7 +60,7 @@ def test_pyproject_configures_the_tools():
     assert "[tool.mypy]" in text
     assert 'module = "repro.analysis.*"' in text
     assert "strict = true" in text
-    for mod in STRICT_OBS_MODULES:
+    for mod in STRICT_OBS_MODULES + STRICT_SIM_MODULES:
         assert f'"{mod}"' in text, (
             f"{mod} missing from the strict-mypy override in pyproject.toml"
         )
@@ -108,5 +116,15 @@ def test_mypy_clean_on_strict_obs_modules():
     except ImportError:
         pytest.skip("mypy not installed (dev extra)")
     mods = [a for m in STRICT_OBS_MODULES for a in ("-m", m)]
+    proc = _run([sys.executable, "-m", "mypy", *mods])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_mypy_clean_on_strict_sim_modules():
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        pytest.skip("mypy not installed (dev extra)")
+    mods = [a for m in STRICT_SIM_MODULES for a in ("-m", m)]
     proc = _run([sys.executable, "-m", "mypy", *mods])
     assert proc.returncode == 0, proc.stdout + proc.stderr
