@@ -107,10 +107,8 @@ def _tuple_mult_harness(variant: str) -> Callable[[VectorEngine], None]:
     def run(machine: VectorEngine) -> None:
         rng = np.random.default_rng(13)
         geom, bufs = _stage_winograd(machine)
-        machine.memory.view(bufs.v, geom.v_size, np.float32)[:] = (
-            rng.standard_normal(geom.v_size).astype(np.float32))
-        machine.memory.view(bufs.u, geom.u_size, np.float32)[:] = (
-            rng.standard_normal(geom.u_size).astype(np.float32))
+        machine.memory.fill_noise(bufs.v, geom.v_size, rng)
+        machine.memory.fill_noise(bufs.u, geom.u_size, rng)
         tuple_multiplication(machine, geom, bufs, variant=variant)
     return run
 
@@ -124,20 +122,19 @@ def _transform_harness(which: str) -> Callable[[VectorEngine], None]:
         elif which == "filter":
             filter_transform(machine, geom, bufs)
         else:
-            machine.memory.view(bufs.m, geom.m_size, np.float32)[:] = (
-                rng.standard_normal(geom.m_size).astype(np.float32))
+            machine.memory.fill_noise(bufs.m, geom.m_size, rng)
             output_transform(machine, geom, bufs)
     return run
 
 
 def _transpose_harness(which: str) -> Callable[[VectorEngine], None]:
     def run(machine: VectorEngine) -> None:
+        rng = np.random.default_rng(41)
         vl = machine.setvl(machine.vlen_bits // 32)
         src = machine.memory.alloc_f32(4 * vl, label="transpose.src")
         buf = machine.memory.alloc_f32(4 * vl, label="transpose.buf")
         out = machine.memory.alloc_f32(4 * vl, label="transpose.out")
-        machine.memory.write_f32(
-            src, np.arange(4 * vl, dtype=np.float32))
+        machine.memory.fill_noise(src, 4 * vl, rng)
         nregs = 9 if which == "indexed" else 8
         with machine.alloc.scoped(nregs) as regs:
             ins, outs = list(regs[:4]), list(regs[4:8])

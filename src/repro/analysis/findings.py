@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from enum import Enum, unique
+from typing import Any, Iterable
 
 
 @unique
@@ -28,7 +30,9 @@ class Finding:
     the listing line of the offending instruction, so a finding is
     actionable without re-running the kernel.  ``vlen_bits`` records
     which VLEN the program was lifted at (None when the finding spans
-    several, as VLA findings do).
+    several, as VLA findings do).  ``count`` is the number of identical
+    occurrences this finding stands for after deduplication (loops emit
+    the same defect once per iteration; the report keeps the first).
     """
 
     pass_id: str
@@ -37,19 +41,59 @@ class Finding:
     message: str
     disasm: str = ""
     vlen_bits: int | None = None
+    count: int = 1
 
     def render(self) -> str:
         where = f"@{self.index}" if self.index >= 0 else "@program"
         vlen = f" [VLEN={self.vlen_bits}]" if self.vlen_bits else ""
-        line = f"  {self.severity.value:<7} {self.pass_id:<9} {where:>8}{vlen}: {self.message}"
+        times = f" (x{self.count})" if self.count > 1 else ""
+        line = (f"  {self.severity.value:<7} {self.pass_id:<9} "
+                f"{where:>8}{vlen}: {self.message}{times}")
         if self.disasm:
             line += f"\n            {self.disasm}"
         return line
 
+    def to_json(self) -> dict[str, Any]:
+        """Stable machine-readable form (``repro lint-kernels --json``)."""
+        d = dataclasses.asdict(self)
+        d["severity"] = self.severity.value
+        return d
+
+
+def dedupe_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Collapse repeated identical findings into one with a count.
+
+    Two findings are identical when everything but the instruction
+    index matches — a loop that trips the same check every iteration
+    produces one finding anchored at its first occurrence, with
+    ``count`` recording how many times it fired.  Order of first
+    occurrence is preserved.
+    """
+    seen: dict[tuple[Any, ...], int] = {}
+    kept: list[Finding] = []
+    for f in findings:
+        key = (f.pass_id, f.severity, f.message, f.disasm, f.vlen_bits)
+        at = seen.get(key)
+        if at is None:
+            seen[key] = len(kept)
+            kept.append(f)
+        else:
+            prev = kept[at]
+            kept[at] = dataclasses.replace(prev, count=prev.count + f.count)
+    return kept
+
 
 @dataclass
 class KernelAuditReport:
-    """All findings for one kernel variant on one machine flavor."""
+    """All findings for one kernel variant on one machine flavor.
+
+    ``mode`` is ``"trace"`` for the classic execute-and-lift audit and
+    ``"static"`` for the symbolic audit, which additionally reports the
+    ``regimes`` it proved (each a tuple of VLENs whose instruction
+    streams are structurally identical), any ``unsupported`` VLENs the
+    kernel rejected by construction, and non-gating performance-lint
+    ``perf`` findings.
+    """
 
     kernel: str
     machine: str
@@ -57,6 +101,10 @@ class KernelAuditReport:
     findings: list[Finding] = field(default_factory=list)
     instr_counts: dict[int, int] = field(default_factory=dict)
     passes_run: tuple[str, ...] = ()
+    mode: str = "trace"
+    regimes: tuple[tuple[int, ...], ...] = ()
+    unsupported: dict[int, str] = field(default_factory=dict)
+    perf: list[Finding] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -65,6 +113,22 @@ class KernelAuditReport:
     def by_pass(self, pass_id: str) -> list[Finding]:
         return [f for f in self.findings if f.pass_id == pass_id]
 
+    def to_json(self) -> dict[str, Any]:
+        """Stable machine-readable form (``repro lint-kernels --json``)."""
+        return {
+            "kernel": self.kernel,
+            "machine": self.machine,
+            "mode": self.mode,
+            "vlens": list(self.vlens),
+            "ok": self.ok,
+            "passes_run": list(self.passes_run),
+            "instr_counts": {str(v): n for v, n in self.instr_counts.items()},
+            "regimes": [list(r) for r in self.regimes],
+            "unsupported": {str(v): r for v, r in self.unsupported.items()},
+            "findings": [f.to_json() for f in self.findings],
+            "perf": [f.to_json() for f in self.perf],
+        }
+
     def render(self) -> str:
         instrs = sum(self.instr_counts.values())
         head = (
@@ -72,8 +136,21 @@ class KernelAuditReport:
             f"VLEN={','.join(str(v) for v in self.vlens)} "
             f"({instrs} instrs, passes: {', '.join(self.passes_run)})"
         )
+        tail: list[str] = []
+        if self.mode == "static" and self.regimes:
+            groups = " | ".join(
+                ",".join(str(v) for v in r) for r in self.regimes)
+            tail.append(f"        regimes: {groups}")
+        if self.unsupported:
+            why = "; ".join(
+                f"{v}: {r}" for v, r in sorted(self.unsupported.items()))
+            tail.append(f"        unsupported: {why}")
+        if self.perf:
+            tail.append("        perf lints (non-gating):")
+            tail.extend(f.render() for f in self.perf)
         if self.ok:
-            return f"ok    {head}"
+            return "\n".join([f"ok    {head}", *tail])
         lines = [f"FAIL  {head}"]
         lines.extend(f.render() for f in self.findings)
+        lines.extend(tail)
         return "\n".join(lines)

@@ -1,0 +1,267 @@
+"""Performance-lint passes over the lifted IR.
+
+Unlike passes 1-5, nothing here is a correctness hazard: these lints
+flag instruction sequences that are architecturally fine but leave
+performance on the table — the questions a reviewer of hand-written
+vector code asks.  They run on concrete *and* parametric (symbolic)
+programs, and they are **non-gating**: ``repro lint-kernels`` reports
+them separately from the audit verdict.  The shipped registry audits
+clean under them too — ``im2col`` and the direct convolution take a
+dedicated unit-stride path at conv stride 1 instead of issuing
+``vlse32`` with a 4-byte stride, which is precisely the degeneration
+:data:`PASS_MEMSTRIDE` exists to catch in hand-written code.
+
+- ``vsetvl`` lint: configurations superseded before any vector
+  instruction uses them (dead config), and vtype (SEW/LMUL) state
+  ping-ponging A-B-A-B between configurations (thrash) — strip-mining
+  varies ``vl``, it does not need to flip vtype.
+- ``copies`` lint: whole-register copies (``vmv.v.v``/``mov``) that
+  are self-copies, or that repeat an earlier copy while neither side
+  changed.
+- ``pressure`` lint: peak simultaneously-live architectural registers
+  (LMUL-weighted) above :data:`PRESSURE_LIMIT` — a schedule this tight
+  spills the moment anything else needs a register.
+- ``memstride`` lint: strided accesses whose stride equals the element
+  size and gathers/scatters whose offsets form the unit-stride
+  sequence — a plain unit-stride access would move the same bytes for
+  a fraction of the address-generation cost, which on the paper's
+  memory-bound kernels is the difference that matters.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.ir import LiftedInstr, LiftedProgram
+from repro.analysis.passes.defuse import _uses_defs
+
+PASS_VSETVL = "vsetvl"
+PASS_COPIES = "copies"
+PASS_PRESSURE = "pressure"
+PASS_MEMSTRIDE = "memstride"
+
+#: Minimum A-B-A vtype returns before the thrash lint fires.
+THRASH_MIN_SWITCHES = 4
+
+#: Peak live register units above which the pressure lint fires.
+PRESSURE_LIMIT = 28
+
+#: Whole-register copy mnemonics (RVV / SVE).
+_COPY_MNEMONICS = frozenset({"vmv.v.v", "mov"})
+
+
+# ----------------------------------------------------------------------
+# vsetvl lint: dead configurations and vtype thrash
+# ----------------------------------------------------------------------
+def check_vsetvl(program: LiftedProgram) -> list[Finding]:
+    findings: list[Finding] = []
+    last_cfg: LiftedInstr | None = None
+    cfg_used = True
+    vtypes: list[tuple[tuple[int, int], LiftedInstr]] = []
+    for instr in program:
+        if not instr.is_vector:
+            continue
+        if instr.is_config:
+            if last_cfg is not None and not cfg_used:
+                findings.append(Finding(
+                    PASS_VSETVL, Severity.WARNING, last_cfg.index,
+                    "configuration is superseded before any vector "
+                    "instruction executes under it — dead vsetvl",
+                    last_cfg.disasm(), program.vlen_bits,
+                ))
+            last_cfg, cfg_used = instr, False
+            state = (instr.event.eew, instr.event.lmul)
+            if not vtypes or vtypes[-1][0] != state:
+                vtypes.append((state, instr))
+        else:
+            cfg_used = True
+    switches = [j for j in range(2, len(vtypes))
+                if vtypes[j][0] == vtypes[j - 2][0]]
+    if len(switches) >= THRASH_MIN_SWITCHES:
+        first = vtypes[switches[0]][1]
+        states = {f"SEW={s}/LMUL={m}" for (s, m), _ in vtypes}
+        findings.append(Finding(
+            PASS_VSETVL, Severity.WARNING, first.index,
+            f"vtype thrashes between {sorted(states)} "
+            f"({len(switches)} returns to a previous SEW/LMUL) — group "
+            "work by vtype instead of reconfiguring per operation",
+            first.disasm(), program.vlen_bits,
+        ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# copies lint: self-copies and repeated copies
+# ----------------------------------------------------------------------
+def check_copies(program: LiftedProgram) -> list[Finding]:
+    findings: list[Finding] = []
+    # (vd, vs) -> (index of the live earlier copy, its register units)
+    live_copies: dict[tuple[int, int], tuple[int, frozenset[int]]] = {}
+    for instr in program:
+        ops = instr.ops
+        if ops is None or not instr.is_vector or instr.is_config:
+            continue
+        _, defs = _uses_defs(instr)
+        is_copy = (ops.mnemonic in _COPY_MNEMONICS and ops.vd is not None
+                   and len(ops.vs) == 1)
+        if is_copy:
+            vd, vs = ops.vd, ops.vs[0]
+            assert vd is not None
+            if vd == vs:
+                findings.append(Finding(
+                    PASS_COPIES, Severity.WARNING, instr.index,
+                    f"v{vd} is copied onto itself — the instruction has "
+                    "no architectural effect",
+                    instr.disasm(), program.vlen_bits,
+                ))
+                continue
+            key = (vd, vs)
+            prev = live_copies.get(key)
+            if prev is not None:
+                findings.append(Finding(
+                    PASS_COPIES, Severity.WARNING, instr.index,
+                    f"copy v{vs} -> v{vd} repeats instruction {prev[0]} "
+                    "while neither register changed in between — "
+                    "redundant copy",
+                    instr.disasm(), program.vlen_bits,
+                ))
+                continue
+            lmul = instr.lmul
+            units = frozenset(range(vd, vd + lmul)) | frozenset(
+                range(vs, vs + lmul))
+            # This copy defines vd; drop stale entries it invalidates
+            # before registering itself.
+            _invalidate(live_copies, defs)
+            live_copies[key] = (instr.index, units)
+            continue
+        if defs:
+            _invalidate(live_copies, defs)
+    return findings
+
+
+def _invalidate(
+    live_copies: dict[tuple[int, int], tuple[int, frozenset[int]]],
+    defs: set[int],
+) -> None:
+    for key in [k for k, (_, units) in live_copies.items() if units & defs]:
+        del live_copies[key]
+
+
+# ----------------------------------------------------------------------
+# pressure lint: peak simultaneously-live register units
+# ----------------------------------------------------------------------
+def check_pressure(program: LiftedProgram) -> list[Finding]:
+    instrs = [i for i in program
+              if i.ops is not None and i.is_vector and not i.is_config]
+    # unit -> list of (event index, is_def) in program order
+    events: dict[int, list[tuple[int, bool]]] = {}
+    for instr in instrs:
+        uses, defs = _uses_defs(instr)
+        for u in uses:
+            events.setdefault(u, []).append((instr.index, False))
+        for u in defs:
+            events.setdefault(u, []).append((instr.index, True))
+    # A unit is live from each def to the last use before its next def
+    # (defs that are never read contribute a single-instruction interval).
+    intervals: list[tuple[int, int]] = []
+    for evs in events.values():
+        start: int | None = None
+        end = 0
+        for idx, is_def in evs:
+            if is_def:
+                if start is not None:
+                    intervals.append((start, end))
+                start, end = idx, idx
+            elif start is not None:
+                end = idx
+        if start is not None:
+            intervals.append((start, end))
+    if not intervals:
+        return []
+    deltas: dict[int, int] = {}
+    for s, e in intervals:
+        deltas[s] = deltas.get(s, 0) + 1
+        deltas[e + 1] = deltas.get(e + 1, 0) - 1
+    live = peak = 0
+    peak_at = 0
+    for idx in sorted(deltas):
+        live += deltas[idx]
+        if live > peak:
+            peak, peak_at = live, idx
+    if peak <= PRESSURE_LIMIT:
+        return []
+    at = next((i for i in instrs if i.index >= peak_at), instrs[-1])
+    return [Finding(
+        PASS_PRESSURE, Severity.WARNING, at.index,
+        f"register pressure peaks at {peak} simultaneously-live "
+        f"register units (> {PRESSURE_LIMIT} of 32) — the schedule "
+        "has no headroom before spilling",
+        at.disasm(), program.vlen_bits,
+    )]
+
+
+# ----------------------------------------------------------------------
+# memstride lint: unit-stride work issued through strided/indexed ops
+# ----------------------------------------------------------------------
+def _unit_equivalent_offsets(m: Any) -> bool:
+    """True when the access's offsets form base + i*ebytes."""
+    offs = m.offsets
+    if offs is None:
+        content = getattr(m, "sym_offsets", None)
+        if content is None:
+            return False
+        if content.kind == "lin":
+            return content.mask is None and content.step == m.ebytes
+        offs = content.arr
+    arr = np.asarray(offs, dtype=np.int64)
+    if arr.size < 2:
+        return False
+    return bool(np.all(np.diff(arr) == m.ebytes))
+
+
+def check_memstride(program: LiftedProgram) -> list[Finding]:
+    findings: list[Finding] = []
+    for instr in program.mem_instrs():
+        m = instr.mem
+        assert m is not None
+        what = "load" if m.is_load else "store"
+        if m.kind == "strided":
+            if m.stride == m.ebytes:
+                findings.append(Finding(
+                    PASS_MEMSTRIDE, Severity.WARNING, instr.index,
+                    f"strided {what} with stride == element size "
+                    f"({m.ebytes} bytes) — a unit-stride access moves "
+                    "the same bytes without per-element address "
+                    "generation",
+                    instr.disasm(), program.vlen_bits,
+                ))
+            elif m.stride == 0:
+                findings.append(Finding(
+                    PASS_MEMSTRIDE, Severity.WARNING, instr.index,
+                    f"strided {what} with stride 0 re-reads one address "
+                    "per lane — a scalar load plus a splat would do",
+                    instr.disasm(), program.vlen_bits,
+                ))
+        elif m.kind == "indexed" and _unit_equivalent_offsets(m):
+            findings.append(Finding(
+                PASS_MEMSTRIDE, Severity.WARNING, instr.index,
+                f"indexed {what} whose offsets are the unit-stride "
+                "sequence — a contiguous access would avoid the "
+                "gather/scatter entirely",
+                instr.disasm(), program.vlen_bits,
+            ))
+    return findings
+
+
+#: The perf-lint pass family, in pipeline order.
+PERF_PASSES: tuple[tuple[str, Any], ...] = (
+    (PASS_VSETVL, check_vsetvl),
+    (PASS_COPIES, check_copies),
+    (PASS_PRESSURE, check_pressure),
+    (PASS_MEMSTRIDE, check_memstride),
+)
+
+PERF_PASS_IDS: tuple[str, ...] = tuple(p for p, _ in PERF_PASSES)

@@ -1,21 +1,28 @@
 """Pass pipeline: run the checkers over lifted programs.
 
-:func:`analyze_program` runs the four per-program passes over one
-lifted execution; :func:`analyze_programs` additionally runs the
-cross-VLEN VLA pass over a family of executions of the same kernel.
-Passes are independent — the pipeline concatenates their findings in
-pass order, then in instruction order within each pass.
+:func:`analyze_program` runs the four per-program correctness passes
+over one lifted execution; :func:`analyze_programs` additionally runs
+the cross-VLEN VLA pass over a family of executions of the same
+kernel.  Passes are independent — the pipeline concatenates their
+findings in pass order, then in instruction order within each pass,
+and deduplicates identical findings emitted once per loop iteration
+(the first occurrence is kept with a count).
+
+The performance lints (:mod:`repro.analysis.passes.perf`) are a
+separate, non-gating family: :func:`analyze_perf` runs them on demand
+(``repro analyze``, ``repro lint-kernels --perf``) without affecting
+the audit verdict.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.analysis.findings import Finding
+from repro.analysis.findings import Finding, dedupe_findings
 from repro.analysis.ir import LiftedProgram
-from repro.analysis.passes import defuse, memsafety, overlap, vla, vtype
+from repro.analysis.passes import defuse, memsafety, overlap, perf, vla, vtype
 
-#: The per-program passes, in pipeline order.
+#: The per-program correctness passes, in pipeline order.
 PER_PROGRAM_PASSES: tuple[tuple[str, Callable[[LiftedProgram], list[Finding]]], ...] = (
     (overlap.PASS_ID, overlap.check),
     (vtype.PASS_ID, vtype.check),
@@ -23,8 +30,11 @@ PER_PROGRAM_PASSES: tuple[tuple[str, Callable[[LiftedProgram], list[Finding]]], 
     (memsafety.PASS_ID, memsafety.check),
 )
 
-#: Every pass id the pipeline can emit findings for.
+#: Every correctness pass id the pipeline can emit findings for.
 PASS_IDS: tuple[str, ...] = tuple(p for p, _ in PER_PROGRAM_PASSES) + (vla.PASS_ID,)
+
+#: The non-gating performance-lint pass ids.
+PERF_PASS_IDS: tuple[str, ...] = perf.PERF_PASS_IDS
 
 
 def analyze_program(
@@ -37,7 +47,20 @@ def analyze_program(
         if passes is not None and pass_id not in passes:
             continue
         findings.extend(run(program))
-    return findings
+    return dedupe_findings(findings)
+
+
+def analyze_perf(
+    program: LiftedProgram,
+    passes: tuple[str, ...] | None = None,
+) -> list[Finding]:
+    """Run the performance-lint passes (non-gating, see module doc)."""
+    findings: list[Finding] = []
+    for pass_id, run in perf.PERF_PASSES:
+        if passes is not None and pass_id not in passes:
+            continue
+        findings.extend(run(program))
+    return dedupe_findings(findings)
 
 
 def analyze_programs(
@@ -51,4 +74,4 @@ def analyze_programs(
         findings.extend(analyze_program(programs[vlen], passes))
     if passes is None or vla.PASS_ID in passes:
         findings.extend(vla.check(programs, fixed_work=fixed_work))
-    return findings
+    return dedupe_findings(findings)

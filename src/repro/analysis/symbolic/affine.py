@@ -1,0 +1,284 @@
+"""Exact affine expressions over named integer symbols.
+
+The symbolic analyzer reports memory extents, trip counts and cost-model
+counts as *closed forms* in (VLEN, shape).  This module provides the
+tiny exact algebra those closed forms live in: an :class:`AffineExpr` is
+
+    c0 + c1*s1 + c2*s2 + ...
+
+with :class:`~fractions.Fraction` coefficients (``VLEN/8`` is affine
+with a rational coefficient even though every concrete evaluation is an
+integer).  The algebra is deliberately *partial*: multiplying two
+non-constant expressions, or dividing by anything that does not divide
+exactly, raises :class:`NonAffineError` instead of silently
+approximating.  The abstract interpreter never depends on staying
+inside the affine fragment — it tracks exact per-domain-point values —
+so affine forms are *derived* afterwards by fitting
+(:func:`fit_affine`) and verified against every point of the domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence, Union
+
+from repro.errors import ReproError
+
+Rational = Union[int, Fraction]
+
+
+class NonAffineError(ReproError):
+    """An operation left the affine fragment (e.g. symbol * symbol)."""
+
+
+def _frac(x: Rational) -> Fraction:
+    if isinstance(x, Fraction):
+        return x
+    if isinstance(x, int):
+        return Fraction(x)
+    raise TypeError(f"not a rational: {x!r}")
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """An immutable affine form ``const + sum(coeffs[s] * s)``.
+
+    ``coeffs`` maps symbol names to non-zero Fraction coefficients; the
+    canonical representation never stores a zero coefficient, so
+    structural equality coincides with semantic equality.
+    """
+
+    const: Fraction = Fraction(0)
+    coeffs: tuple[tuple[str, Fraction], ...] = field(default_factory=tuple)
+
+    # -- construction -------------------------------------------------
+    @staticmethod
+    def constant(value: Rational) -> "AffineExpr":
+        return AffineExpr(const=_frac(value))
+
+    @staticmethod
+    def symbol(name: str) -> "AffineExpr":
+        return AffineExpr(coeffs=((name, Fraction(1)),))
+
+    @staticmethod
+    def _make(const: Fraction, coeffs: Mapping[str, Fraction]) -> "AffineExpr":
+        canon = tuple(sorted((s, c) for s, c in coeffs.items() if c != 0))
+        return AffineExpr(const=const, coeffs=canon)
+
+    # -- inspection ---------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    @property
+    def symbols(self) -> tuple[str, ...]:
+        return tuple(s for s, _ in self.coeffs)
+
+    def coeff(self, name: str) -> Fraction:
+        for s, c in self.coeffs:
+            if s == name:
+                return c
+        return Fraction(0)
+
+    # -- ring operations ---------------------------------------------
+    def __add__(self, other: "AffineExpr | Rational") -> "AffineExpr":
+        o = _coerce(other)
+        if o is None:
+            return NotImplemented
+        acc = dict(self.coeffs)
+        for s, c in o.coeffs:
+            acc[s] = acc.get(s, Fraction(0)) + c
+        return AffineExpr._make(self.const + o.const, acc)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr._make(-self.const, {s: -c for s, c in self.coeffs})
+
+    def __sub__(self, other: "AffineExpr | Rational") -> "AffineExpr":
+        o = _coerce(other)
+        if o is None:
+            return NotImplemented
+        return self + (-o)
+
+    def __rsub__(self, other: "AffineExpr | Rational") -> "AffineExpr":
+        o = _coerce(other)
+        if o is None:
+            return NotImplemented
+        return o + (-self)
+
+    def __mul__(self, other: "AffineExpr | Rational") -> "AffineExpr":
+        o = _coerce(other)
+        if o is None:
+            return NotImplemented
+        if not o.is_constant and not self.is_constant:
+            raise NonAffineError(
+                f"product of two non-constant affine forms: "
+                f"({self}) * ({o})")
+        if o.is_constant:
+            k = o.const
+            var = self
+        else:
+            k = self.const
+            var = o
+        return AffineExpr._make(var.const * k, {s: c * k for s, c in var.coeffs})
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "AffineExpr | Rational") -> "AffineExpr":
+        o = _coerce(other)
+        if o is None:
+            return NotImplemented
+        if not o.is_constant:
+            raise NonAffineError(f"division by non-constant: ({self}) / ({o})")
+        if o.const == 0:
+            raise ZeroDivisionError("affine division by zero")
+        return self * Fraction(1, 1) * (1 / o.const)
+
+    # -- substitution and evaluation ----------------------------------
+    def substitute(self, env: Mapping[str, Rational]) -> "AffineExpr":
+        """Replace the named symbols with rational values; keep the rest."""
+        const = self.const
+        acc: dict[str, Fraction] = {}
+        for s, c in self.coeffs:
+            if s in env:
+                const += c * _frac(env[s])
+            else:
+                acc[s] = c
+        return AffineExpr._make(const, acc)
+
+    def evaluate(self, env: Mapping[str, Rational]) -> Fraction:
+        """Fully evaluate; raises KeyError if a symbol is missing."""
+        out = self.substitute(env)
+        if not out.is_constant:
+            missing = ", ".join(out.symbols)
+            raise KeyError(f"unbound symbols in evaluation: {missing}")
+        return out.const
+
+    def evaluate_int(self, env: Mapping[str, Rational]) -> int:
+        """Evaluate and require an integral result."""
+        v = self.evaluate(env)
+        if v.denominator != 1:
+            raise NonAffineError(f"non-integral evaluation of {self}: {v}")
+        return int(v)
+
+    def bounds(
+        self, intervals: Mapping[str, tuple[Rational, Rational]]
+    ) -> tuple[Fraction, Fraction]:
+        """Exact [lo, hi] of the form over a box of symbol intervals."""
+        lo = hi = self.const
+        for s, c in self.coeffs:
+            a, b = intervals[s]
+            fa, fb = _frac(a), _frac(b)
+            if fa > fb:
+                raise ValueError(f"empty interval for {s}: [{fa}, {fb}]")
+            if c >= 0:
+                lo += c * fa
+                hi += c * fb
+            else:
+                lo += c * fb
+                hi += c * fa
+        return lo, hi
+
+    # -- rendering ----------------------------------------------------
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for s, c in self.coeffs:
+            if c == 1:
+                parts.append(s)
+            elif c == -1:
+                parts.append(f"-{s}")
+            elif c.denominator == 1:
+                parts.append(f"{c.numerator}*{s}")
+            elif c.numerator == 1:
+                parts.append(f"{s}/{c.denominator}")
+            elif c.numerator == -1:
+                parts.append(f"-{s}/{c.denominator}")
+            else:
+                parts.append(f"{c.numerator}*{s}/{c.denominator}")
+        if self.const != 0 or not parts:
+            if self.const.denominator == 1:
+                parts.append(str(self.const.numerator))
+            else:
+                parts.append(str(self.const))
+        out = " + ".join(parts)
+        return out.replace("+ -", "- ")
+
+
+def _coerce(x: "AffineExpr | Rational | object") -> AffineExpr | None:
+    if isinstance(x, AffineExpr):
+        return x
+    if isinstance(x, (int, Fraction)):
+        return AffineExpr.constant(x)
+    return None
+
+
+def fit_affine(
+    symbols: Sequence[str],
+    points: Iterable[tuple[Mapping[str, int], Rational]],
+) -> AffineExpr | None:
+    """Fit an exact affine form through sample points, or None.
+
+    ``points`` is an iterable of (environment, value) pairs.  The fit is
+    exact: a candidate is solved from a linearly independent subset via
+    Gaussian elimination over Fractions and *verified against every
+    point*; any mismatch returns None.  Underdetermined systems resolve
+    the free coefficients to zero (e.g. a single sample fits as a
+    constant), which is still exact on the sampled domain.
+    """
+    pts = [(dict(env), _frac(val)) for env, val in points]
+    if not pts:
+        return None
+    syms = list(symbols)
+    ncol = len(syms) + 1
+    # Build rows [coeff_s1, ..., coeff_sk, 1 | value].
+    rows = [[_frac(env.get(s, 0)) for s in syms] + [Fraction(1), val]
+            for env, val in pts]
+    # Gaussian elimination with partial (first non-zero) pivoting.
+    sol: list[Fraction | None] = [None] * ncol
+    pivots: list[tuple[int, list[Fraction]]] = []
+    work = [row[:] for row in rows]
+    # Pivot on the constant column first so underdetermined systems
+    # (e.g. a single-point regime) resolve to a constant rather than a
+    # spurious symbol coefficient.
+    for col in [ncol - 1, *range(ncol - 1)]:
+        pivot_row = None
+        for row in work:
+            if row[col] != 0:
+                pivot_row = row
+                break
+        if pivot_row is None:
+            continue
+        work.remove(pivot_row)
+        norm = [x / pivot_row[col] for x in pivot_row]
+        pivots.append((col, norm))
+        work = [
+            [x - row[col] * n for x, n in zip(row, norm)]
+            for row in work
+        ]
+    # Inconsistent system: a residual row 0 == nonzero.
+    for row in work:
+        if all(x == 0 for x in row[:-1]) and row[-1] != 0:
+            return None
+    # Back-substitute; unresolved columns default to zero.
+    # Each pivot row has zeros in every previously-pivoted column, so
+    # processing pivots in reverse resolves all its dependencies first;
+    # never-pivoted columns stay None and default to zero.
+    for col, norm in reversed(pivots):
+        rhs = norm[-1]
+        for c2 in range(ncol):
+            if c2 != col and norm[c2] != 0 and sol[c2] is not None:
+                rhs -= norm[c2] * sol[c2]  # type: ignore[operator]
+        sol[col] = rhs
+    coeffs = {s: (sol[i] if sol[i] is not None else Fraction(0))
+              for i, s in enumerate(syms)}
+    const = sol[len(syms)] if sol[len(syms)] is not None else Fraction(0)
+    expr = AffineExpr._make(
+        const,  # type: ignore[arg-type]
+        {s: c for s, c in coeffs.items() if c is not None},  # type: ignore[misc]
+    )
+    for env, val in pts:
+        if expr.evaluate({s: env.get(s, 0) for s in syms}) != val:
+            return None
+    return expr

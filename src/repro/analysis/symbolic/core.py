@@ -1,0 +1,403 @@
+"""Finite-domain relational values for the abstract kernel interpreter.
+
+The admissible hardware vector lengths form a *finite* set
+(:data:`repro.isa.VLEN_CHOICES`, 128..16384 bits), so the symbolic
+analyzer does not need a general-purpose symbolic integer theory: a
+quantity that depends on VLEN is represented *relationally*, as its
+exact integer value at every point of the domain
+(:class:`SymInt.values`), plus the identity of a *witness* point whose
+control-flow outcomes the interpretation follows.
+
+Comparisons are where abstraction meets control flow.  When the driver
+branches on a symbolic quantity (``while done < n``, ``min(a, b)``,
+``range(k_panels)``), the comparison returns the witness outcome and
+*restricts* the active domain to the points that agree with it — the
+classic guard of a path-sensitive abstract interpreter, specialized to
+a finite domain where the guard is computed exactly by enumeration.
+One interpretation therefore covers a *regime*: the maximal set of
+VLENs whose dynamic instruction stream is structurally identical to the
+witness's.  The driver in :mod:`repro.analysis.symbolic.audit` re-runs
+with fresh witnesses until every point is covered.
+
+Two coercions deserve a note:
+
+- ``__index__``/``__int__`` (hit by ``range()``, ``np.arange`` and
+  friends) *pin* the domain to the points equal to the witness value —
+  the coarsest sound response to a value escaping into a world that
+  needs one concrete integer.
+- uniform values collapse: any operation whose result is equal at every
+  *active* point returns a plain ``int``.  The active set only ever
+  shrinks, so the collapse stays sound — and it makes singleton-regime
+  interpretation nearly as cheap as a concrete counts-only run.
+
+After the run the context is *sealed*: comparisons switch from
+guard-semantics to verdict-semantics (``==`` means "equal at every
+active point"), which is what the analysis passes want when they compare
+fields of a parametric program.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Iterable, Sequence, Union
+
+from repro.errors import ReproError
+
+from .affine import AffineExpr, fit_affine
+
+IntLike = Union[int, "SymInt"]
+
+
+class SymbolicError(ReproError):
+    """The abstract interpreter was used outside its contract."""
+
+
+class SymContext:
+    """The domain, active set and witness of one abstract interpretation.
+
+    ``names`` are the symbol names (currently ``("VLEN",)``) and
+    ``points`` the full domain grid: one tuple of symbol values per
+    point.  ``active`` is the set of point indices still compatible
+    with every branch outcome observed so far; it always contains the
+    witness.
+    """
+
+    __slots__ = ("names", "points", "witness_index", "active",
+                 "recording", "_symcache")
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        points: Sequence[Sequence[int]],
+        witness: Sequence[int],
+    ) -> None:
+        self.names = tuple(names)
+        self.points = tuple(tuple(p) for p in points)
+        if not self.points:
+            raise SymbolicError("empty symbolic domain")
+        for p in self.points:
+            if len(p) != len(self.names):
+                raise SymbolicError(f"point arity mismatch: {p}")
+        try:
+            self.witness_index = self.points.index(tuple(witness))
+        except ValueError:
+            raise SymbolicError(
+                f"witness {tuple(witness)} not in domain") from None
+        self.active: tuple[int, ...] = tuple(range(len(self.points)))
+        self.recording = True
+        self._symcache: dict[str, SymInt] = {}
+
+    # -- construction helpers -----------------------------------------
+    @staticmethod
+    def for_vlens(vlens: Sequence[int], witness: int) -> "SymContext":
+        return SymContext(("VLEN",), [(v,) for v in vlens], (witness,))
+
+    def symbol(self, name: str) -> IntLike:
+        """The SymInt whose value at each point is that point's symbol."""
+        cached = self._symcache.get(name)
+        if cached is not None:
+            return cached
+        col = self.names.index(name)
+        sym = SymInt(self, tuple(p[col] for p in self.points))
+        self._symcache[name] = sym
+        return self.collapse(sym)
+
+    # -- domain bookkeeping -------------------------------------------
+    def seal(self) -> None:
+        """Freeze the active set; comparisons become verdicts."""
+        self.recording = False
+
+    def restrict(self, keep: Iterable[int]) -> None:
+        if not self.recording:
+            raise SymbolicError("cannot restrict a sealed context")
+        kept = tuple(i for i in self.active if i in set(keep))
+        if self.witness_index not in kept:
+            raise SymbolicError("restriction dropped the witness point")
+        self.active = kept
+
+    def active_points(self) -> tuple[tuple[int, ...], ...]:
+        return tuple(self.points[i] for i in self.active)
+
+    def active_envs(self) -> tuple[dict[str, int], ...]:
+        return tuple(dict(zip(self.names, p)) for p in self.active_points())
+
+    # -- value helpers ------------------------------------------------
+    def collapse(self, x: "SymInt") -> IntLike:
+        """Return a plain int when the value is uniform on the active set."""
+        vals = x.values
+        it = iter(self.active)
+        first = vals[next(it)]
+        for i in it:
+            if vals[i] != first:
+                return x
+        return first
+
+    def lift(self, x: IntLike) -> "SymInt":
+        if isinstance(x, SymInt):
+            return x
+        return SymInt(self, (int(x),) * len(self.points))
+
+    def value_at(self, x: IntLike, point_index: int) -> int:
+        if isinstance(x, SymInt):
+            return x.values[point_index]
+        return int(x)
+
+    def witness_of(self, x: IntLike) -> int:
+        return self.value_at(x, self.witness_index)
+
+    def pointwise(self, fn: Callable[..., int], *xs: IntLike) -> IntLike:
+        """Apply fn at every point WITHOUT touching control flow.
+
+        This is how machine internals compute data that happens to be
+        exactly representable (``vl = min(avl, VLMAX)``): no guard, no
+        domain restriction, just the pointwise image.  Points outside
+        the active set are computed on a best-effort basis (they are
+        never read back) — if fn raises there, the witness value is
+        substituted.
+        """
+        if not any(isinstance(x, SymInt) for x in xs):
+            return fn(*xs)
+        cols = [x.values if isinstance(x, SymInt) else None for x in xs]
+        n = len(self.points)
+        out = [0] * n
+        active = set(self.active)
+        wvals: list[int] | None = None
+        for i in range(n):
+            args = [c[i] if c is not None else x
+                    for c, x in zip(cols, xs)]
+            try:
+                out[i] = fn(*args)
+            except Exception:
+                if i in active:
+                    raise
+                if wvals is None:
+                    wi = self.witness_index
+                    wvals = [c[wi] if c is not None else x
+                             for c, x in zip(cols, xs)]
+                out[i] = fn(*wvals)
+        return self.collapse(SymInt(self, tuple(out)))
+
+    def pointwise_min(self, a: IntLike, b: IntLike) -> IntLike:
+        return self.pointwise(min, a, b)
+
+    def pointwise_max(self, a: IntLike, b: IntLike) -> IntLike:
+        return self.pointwise(max, a, b)
+
+    def forall(self, pred: Callable[[int], bool], x: IntLike) -> bool:
+        if isinstance(x, SymInt):
+            return all(pred(x.values[i]) for i in self.active)
+        return pred(int(x))
+
+    def exists(self, pred: Callable[[int], bool], x: IntLike) -> bool:
+        return not self.forall(lambda v: not pred(v), x)
+
+    # -- rendering ----------------------------------------------------
+    def as_affine(self, x: IntLike) -> AffineExpr | None:
+        """Fit an exact affine closed form over the active points."""
+        if not isinstance(x, SymInt):
+            return AffineExpr.constant(int(x))
+        pts = [(dict(zip(self.names, self.points[i])), x.values[i])
+               for i in self.active]
+        return fit_affine(self.names, pts)
+
+    def render(self, x: IntLike) -> str:
+        if not isinstance(x, SymInt):
+            return str(int(x))
+        expr = self.as_affine(x)
+        if expr is not None:
+            return str(expr)
+        pairs = ", ".join(
+            f"{'/'.join(str(v) for v in self.points[i])}:{x.values[i]}"
+            for i in self.active)
+        return "{" + pairs + "}"
+
+
+class SymInt:
+    """An integer-valued function on the context's domain points.
+
+    Only the entries at *active* indices are meaningful; inactive
+    entries are whatever the pointwise computation produced before the
+    domain was restricted.  Uniform values never reach user code as
+    SymInt — :meth:`SymContext.collapse` turns them into plain ints —
+    so observing a SymInt means the quantity genuinely varies across
+    the current regime.
+    """
+
+    __slots__ = ("ctx", "values")
+
+    def __init__(self, ctx: SymContext, values: tuple[int, ...]) -> None:
+        if len(values) != len(ctx.points):
+            raise SymbolicError("value/domain arity mismatch")
+        self.ctx = ctx
+        self.values = values
+
+    # -- arithmetic ---------------------------------------------------
+    def _binop(self, other: object, fn: Callable[[int, int], int],
+               swap: bool = False) -> IntLike:
+        if isinstance(other, SymInt):
+            if other.ctx is not self.ctx:
+                raise SymbolicError("mixing values from different contexts")
+            ov: Sequence[int] | None = other.values
+        elif isinstance(other, int):
+            ov = None
+        else:
+            return NotImplemented
+        sv = self.values
+        if ov is None:
+            o = int(other)  # type: ignore[arg-type]
+            if swap:
+                vals = tuple(fn(o, a) for a in sv)
+            else:
+                vals = tuple(fn(a, o) for a in sv)
+        elif swap:
+            vals = tuple(fn(b, a) for a, b in zip(sv, ov))
+        else:
+            vals = tuple(fn(a, b) for a, b in zip(sv, ov))
+        return self.ctx.collapse(SymInt(self.ctx, vals))
+
+    def __add__(self, other: object) -> IntLike:
+        return self._binop(other, operator.add)
+
+    def __radd__(self, other: object) -> IntLike:
+        return self._binop(other, operator.add, swap=True)
+
+    def __sub__(self, other: object) -> IntLike:
+        return self._binop(other, operator.sub)
+
+    def __rsub__(self, other: object) -> IntLike:
+        return self._binop(other, operator.sub, swap=True)
+
+    def __mul__(self, other: object) -> IntLike:
+        return self._binop(other, operator.mul)
+
+    def __rmul__(self, other: object) -> IntLike:
+        return self._binop(other, operator.mul, swap=True)
+
+    def __floordiv__(self, other: object) -> IntLike:
+        return self._binop(other, operator.floordiv)
+
+    def __rfloordiv__(self, other: object) -> IntLike:
+        return self._binop(other, operator.floordiv, swap=True)
+
+    def __mod__(self, other: object) -> IntLike:
+        return self._binop(other, operator.mod)
+
+    def __rmod__(self, other: object) -> IntLike:
+        return self._binop(other, operator.mod, swap=True)
+
+    def __and__(self, other: object) -> IntLike:
+        return self._binop(other, operator.and_)
+
+    __rand__ = __and__
+
+    def __neg__(self) -> "SymInt":
+        return SymInt(self.ctx, tuple(-a for a in self.values))
+
+    def __abs__(self) -> IntLike:
+        return self.ctx.collapse(
+            SymInt(self.ctx, tuple(abs(a) for a in self.values)))
+
+    # -- comparisons: guards while recording, verdicts when sealed ----
+    def _cmp(self, other: object, op: Callable[[int, int], bool],
+             swap: bool = False) -> bool:
+        if isinstance(other, SymInt):
+            if other.ctx is not self.ctx:
+                raise SymbolicError("mixing values from different contexts")
+            get: Callable[[int], int] = other.values.__getitem__
+        elif isinstance(other, int):
+            o = int(other)
+            get = lambda i: o  # noqa: E731
+        else:
+            return NotImplemented  # type: ignore[return-value]
+        ctx = self.ctx
+        sv = self.values
+
+        def at(i: int) -> bool:
+            a, b = sv[i], get(i)
+            return op(b, a) if swap else op(a, b)
+
+        w = at(ctx.witness_index)
+        if ctx.recording:
+            keep = [i for i in ctx.active if at(i) == w]
+            if len(keep) != len(ctx.active):
+                ctx.restrict(keep)
+            return w
+        return all(at(i) for i in ctx.active)
+
+    def __lt__(self, other: object) -> bool:
+        return self._cmp(other, operator.lt)
+
+    def __le__(self, other: object) -> bool:
+        return self._cmp(other, operator.le)
+
+    def __gt__(self, other: object) -> bool:
+        return self._cmp(other, operator.gt)
+
+    def __ge__(self, other: object) -> bool:
+        return self._cmp(other, operator.ge)
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        out = self._cmp(other, operator.eq)
+        if out is NotImplemented:
+            return NotImplemented  # type: ignore[return-value]
+        return out
+
+    # __eq__ restricts/quantifies over a *subset* of points, so no hash
+    # can be consistent with it.
+    __hash__ = None  # type: ignore[assignment]
+
+    def __bool__(self) -> bool:
+        ctx = self.ctx
+        w = bool(self.values[ctx.witness_index])
+        if ctx.recording:
+            keep = [i for i in ctx.active if bool(self.values[i]) == w]
+            if len(keep) != len(ctx.active):
+                ctx.restrict(keep)
+            return w
+        return all(bool(self.values[i]) for i in ctx.active)
+
+    # -- escape hatches: pin the domain to the witness value ----------
+    def __index__(self) -> int:
+        ctx = self.ctx
+        w = self.values[ctx.witness_index]
+        if ctx.recording:
+            keep = [i for i in ctx.active if self.values[i] == w]
+            if len(keep) != len(ctx.active):
+                ctx.restrict(keep)
+            return w
+        if all(self.values[i] == w for i in ctx.active):
+            return w
+        raise SymbolicError(
+            f"cannot concretize {ctx.render(self)} after sealing")
+
+    __int__ = __index__
+
+    def __float__(self) -> float:
+        return float(self.__index__())
+
+    # True division leaves the integers, so it pins like __index__
+    # (np.arange sizes its output with a true division of the stop).
+    def __truediv__(self, other: object) -> float:
+        if not isinstance(other, (int, float)):
+            return NotImplemented  # type: ignore[return-value]
+        return self.__index__() / other
+
+    def __rtruediv__(self, other: object) -> float:
+        if not isinstance(other, (int, float)):
+            return NotImplemented  # type: ignore[return-value]
+        return other / self.__index__()
+
+    # -- rendering ----------------------------------------------------
+    def __str__(self) -> str:
+        return self.ctx.render(self)
+
+    def __repr__(self) -> str:
+        return f"SymInt({self.ctx.render(self)})"
+
+    def __format__(self, spec: str) -> str:
+        vals = {self.values[i] for i in self.ctx.active}
+        if len(vals) == 1:
+            return format(next(iter(vals)), spec)
+        return self.ctx.render(self)

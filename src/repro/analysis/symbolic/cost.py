@@ -1,0 +1,217 @@
+"""Static cost model: per-opclass counts as functions of VLEN.
+
+The abstract interpreter's tracer accumulates the same per-opclass
+statistics a concrete counts-only run accumulates — except the counters
+are :class:`~.core.SymInt` values, exact at every VLEN of a regime at
+once.  :class:`StaticCostModel` reads them off and serves predictions
+at any admissible VLEN; :func:`reconcile` is the trust gate that
+machine-checks the model **bit-exactly** against concrete executions
+(per-opclass instruction counts, element counts, flops and bytes
+moved), including agreeing on which VLENs the kernel refuses to run
+at.  This is the surrogate a schedule-search loop can query thousands
+of times without ever executing a kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError, ReproError
+from repro.isa import VLEN_CHOICES
+
+from .affine import AffineExpr, fit_affine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.audit import KernelSpec
+
+    from .audit import SymbolicKernelAudit
+
+#: The per-opclass metrics the model predicts (OpStats fields).
+METRICS: tuple[str, ...] = (
+    "instrs", "elems", "flops", "bytes_loaded", "bytes_stored")
+
+#: Default VLENs reconciled against concrete runs: one per regime shape
+#: of the paper's sweep (small / mid / beyond the sampled window).
+RECONCILE_VLENS: tuple[int, ...] = (512, 2048, 8192)
+
+
+@dataclass(frozen=True)
+class CostForm:
+    """One metric of one opclass over one regime, as a closed form.
+
+    ``expr`` is the exact affine form in VLEN when one exists (it does
+    for every shipped kernel — trip counts and grants are piecewise
+    affine in VLEN within a regime); None when the metric is not affine
+    over the regime, in which case ``values`` still carries the exact
+    per-VLEN numbers.
+    """
+
+    opclass: str
+    metric: str
+    vlens: tuple[int, ...]
+    values: tuple[int, ...]
+    expr: AffineExpr | None
+
+    def render(self) -> str:
+        if self.expr is not None:
+            return str(self.expr)
+        return "{" + ", ".join(
+            f"{v}:{n}" for v, n in zip(self.vlens, self.values)) + "}"
+
+
+@dataclass
+class StaticCostModel:
+    """Per-kernel instruction/byte counts as functions of VLEN."""
+
+    kernel: str
+    machine: str
+    table: dict[int, dict[str, dict[str, int]]]  # vlen -> opclass -> metric
+    forms: tuple[CostForm, ...]
+    unsupported: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def vlens(self) -> tuple[int, ...]:
+        return tuple(sorted(self.table))
+
+    def at(self, vlen: int) -> dict[str, dict[str, int]]:
+        if vlen not in self.table:
+            reason = self.unsupported.get(vlen, "outside the audited domain")
+            raise ConfigError(
+                f"{self.kernel!r} has no cost at VLEN {vlen}: {reason}")
+        return self.table[vlen]
+
+    def totals(self, vlen: int) -> dict[str, int]:
+        """Aggregate metrics at one VLEN (instrs, flops, bytes, ...)."""
+        per = self.at(vlen)
+        out = dict.fromkeys(METRICS, 0)
+        for metrics in per.values():
+            for k in METRICS:
+                out[k] += metrics[k]
+        out["bytes"] = out["bytes_loaded"] + out["bytes_stored"]
+        return out
+
+    def render(self) -> str:
+        lines = [f"static cost model: {self.kernel} [{self.machine}] "
+                 f"VLEN={{{','.join(str(v) for v in self.vlens)}}}"]
+        if self.unsupported:
+            why = "; ".join(f"{v}: {r}"
+                            for v, r in sorted(self.unsupported.items()))
+            lines.append(f"  unsupported: {why}")
+        by_class: dict[str, list[CostForm]] = {}
+        for form in self.forms:
+            by_class.setdefault(form.opclass, []).append(form)
+        for opclass in sorted(by_class):
+            lines.append(f"  {opclass}:")
+            for form in by_class[opclass]:
+                span = f"{form.vlens[0]}..{form.vlens[-1]}"
+                lines.append(
+                    f"    {form.metric:<13} VLEN {span:<12} = {form.render()}")
+        return "\n".join(lines)
+
+
+def build_cost_model(audit: "SymbolicKernelAudit") -> StaticCostModel:
+    """Read the cost surface off a symbolic audit's compact traces."""
+    table: dict[int, dict[str, dict[str, int]]] = {}
+    forms: list[CostForm] = []
+    for rg in audit.regimes:
+        ctx = rg.ctx
+        pis = rg.point_indices()
+        # Counters come from an O(#signatures) fold per domain point;
+        # closed forms are fitted over the regime's full active set
+        # (a superset of its vlens when regimes overlapped during
+        # discovery), exactly as SymContext.as_affine does.
+        need = sorted(set(ctx.active) | set(pis))
+        stats = {pi: rg.strace.stats_at(pi) for pi in need}
+        envs = {pi: dict(zip(ctx.names, ctx.points[pi])) for pi in need}
+        active = sorted(ctx.active)
+        per_class: dict[str, dict[str, tuple[int, ...]]] = {}
+        for opclass in sorted(stats[pis[0]]):
+            oc = opclass.value
+            per_class[oc] = {
+                m: tuple(getattr(stats[pi][opclass], m) for pi in pis)
+                for m in METRICS
+            }
+            for m in METRICS:
+                forms.append(CostForm(
+                    oc, m, rg.vlens, per_class[oc][m],
+                    fit_affine(ctx.names,
+                               [(envs[pi], getattr(stats[pi][opclass], m))
+                                for pi in active])))
+        for v_i, vlen in enumerate(rg.vlens):
+            table[vlen] = {
+                oc: {m: vals[v_i] for m, vals in metrics.items()}
+                for oc, metrics in per_class.items()
+            }
+    return StaticCostModel(
+        kernel=audit.kernel,
+        machine=audit.machine,
+        table=table,
+        forms=tuple(forms),
+        unsupported=dict(audit.unsupported),
+    )
+
+
+def cost_model_for(
+    spec: "KernelSpec",
+    flavor: str = "rvv",
+    vlens: tuple[int, ...] = VLEN_CHOICES,
+) -> StaticCostModel:
+    """Interpret a kernel symbolically and build its cost model."""
+    from .audit import interpret_kernel
+
+    return build_cost_model(interpret_kernel(spec, flavor, vlens))
+
+
+def reconcile(
+    model: StaticCostModel,
+    spec: "KernelSpec",
+    flavor: str | None = None,
+    vlens: tuple[int, ...] = RECONCILE_VLENS,
+) -> list[str]:
+    """Bit-exactly check the model against concrete executions.
+
+    Runs the kernel concretely (counts-only tracer) at each requested
+    VLEN and compares every per-opclass metric.  Returns a list of
+    human-readable mismatch descriptions — empty means the static model
+    is exact.  A VLEN the model marks unsupported must also fail
+    concretely (and vice versa).
+    """
+    from repro.analysis.audit import MACHINE_FLAVORS
+    from repro.rvv import Memory, Tracer
+
+    flavor = model.machine if flavor is None else flavor
+    mismatches: list[str] = []
+    for vlen in vlens:
+        try:
+            machine = MACHINE_FLAVORS[flavor](
+                vlen, memory=Memory(1 << 26), tracer=Tracer(capture=False))
+            spec.run(machine)
+        except ReproError as exc:
+            if vlen in model.table:
+                mismatches.append(
+                    f"VLEN {vlen}: concrete run failed ({type(exc).__name__}: "
+                    f"{exc}) but the model predicts "
+                    f"{model.table[vlen]}")
+            continue
+        if vlen not in model.table:
+            mismatches.append(
+                f"VLEN {vlen}: concrete run succeeded but the model marks "
+                f"it {model.unsupported.get(vlen, 'uncovered')!r}")
+            continue
+        predicted = model.at(vlen)
+        actual = {c.value: {m: getattr(st, m) for m in METRICS}
+                  for c, st in machine.tracer.by_class.items()}
+        for oc in sorted(set(predicted) | set(actual)):
+            p = predicted.get(oc)
+            a = actual.get(oc)
+            if p is None or a is None:
+                mismatches.append(
+                    f"VLEN {vlen} {oc}: predicted={p} actual={a}")
+                continue
+            for m in METRICS:
+                if p[m] != a[m]:
+                    mismatches.append(
+                        f"VLEN {vlen} {oc}.{m}: predicted={p[m]} "
+                        f"actual={a[m]}")
+    return mismatches

@@ -1,0 +1,273 @@
+"""Compact signature-interned recording for the abstract machines.
+
+A concrete capture trace stores one :class:`~repro.rvv.tracer.InstrEvent`
+per dynamic instruction.  Abstract interpretation cannot afford that:
+the static audit's value proposition is being an order of magnitude
+faster than execute-and-lift, and allocating three dataclasses per
+dynamic op *is* the execute-and-lift cost profile.
+
+The observation that makes a cheaper encoding exact is that a dynamic
+instruction stream is a loop unrolling: almost every op is a repeat of
+an earlier op with identical *static* signature — mnemonic, registers,
+vector configuration, stride — differing at most in its memory base
+address (strip-mined loops walk a buffer) or requested AVL.  So a
+:class:`SymTrace` interns each distinct signature once as a :class:`Sig`
+and records the stream as a flat ``list[int]`` of signature ids, plus a
+per-signature *payload* list holding only the genuinely varying data:
+
+- configuration sigs (vsetvl/whilelt) carry the per-occurrence AVL;
+- memory sigs carry the per-occurrence base address (and, for indexed
+  accesses, the abstract index-register content);
+- everything else carries nothing — the signature is the instruction.
+
+The hot recording path is a tuple hash, a dict lookup and a list
+append.  Everything a concrete trace offers is recoverable:
+
+- :meth:`SymTrace.lift` materializes the exact
+  :class:`~repro.analysis.ir.LiftedProgram` the old eager path built
+  (bit-identical events, including ``seq`` stamps), for the perf lints
+  and the abstract-vs-concrete equivalence tests;
+- :meth:`SymTrace.instr_at` materializes a single instruction, so pass
+  findings can quote real disassembly without paying for the rest;
+- :meth:`SymTrace.stats_at` reproduces the per-opclass
+  :class:`~repro.rvv.tracer.OpStats` accounting of a counts-only tracer
+  at any domain point, in O(#signatures) — the static cost model reads
+  these.
+
+A SymTrace is append-only while the machine runs and read-only during
+analysis; the occurrence counts and id arrays are cached on first use.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+import numpy as np
+
+from repro.isa import FLOPS_PER_ELEM, OpClass
+from repro.rvv.memory import Extent
+from repro.rvv.tracer import InstrEvent, Operands, OpStats
+
+from .core import IntLike, SymContext, SymInt
+
+__all__ = ["Sig", "SymTrace", "sig_key_part"]
+
+
+def sig_key_part(x: IntLike) -> Any:
+    """A hashable intern-key component for a possibly-symbolic value.
+
+    SymInt is deliberately unhashable (its ``__eq__`` is a domain
+    guard), so symbolic values intern by their full per-point value
+    tuple — stable for the whole run, unlike the shrinking active set.
+    """
+    return x.values if isinstance(x, SymInt) else x
+
+
+class Sig:
+    """One interned static instruction signature.
+
+    ``elems``/``vl`` are the (possibly symbolic) grant the op retired
+    under; ``vl``/``sew``/``cfg_lmul`` are the lifted configuration
+    state (for a configuration sig: the newly established values).
+    ``payload`` is None for ops whose occurrences are fully described
+    by the signature, else the per-occurrence varying datum (see the
+    module docstring).  ``first`` is the position of the sig's first
+    occurrence in the stream.
+    """
+
+    __slots__ = ("sid", "opclass", "mn", "ops", "eew", "lmul", "elems",
+                 "vl", "sew", "cfg_lmul", "is_config", "kind", "stride",
+                 "is_load", "indexed", "payload", "first")
+
+    def __init__(self, sid: int, opclass: OpClass, mn: str,
+                 ops: Operands | None, eew: int, lmul: int, elems: IntLike,
+                 vl: IntLike | None, sew: int | None, cfg_lmul: int | None,
+                 is_config: bool, kind: str | None, stride: IntLike,
+                 is_load: bool, indexed: bool, payload: list[Any] | None,
+                 first: int) -> None:
+        self.sid = sid
+        self.opclass = opclass
+        self.mn = mn
+        self.ops = ops
+        self.eew = eew
+        self.lmul = lmul
+        self.elems = elems
+        self.vl = vl
+        self.sew = sew
+        self.cfg_lmul = cfg_lmul
+        self.is_config = is_config
+        self.kind = kind
+        self.stride = stride
+        self.is_load = is_load
+        self.indexed = indexed
+        self.payload = payload
+        self.first = first
+
+
+class SymTrace:
+    """The compact dynamic stream: interned sigs + id list + payloads."""
+
+    __slots__ = ("ctx", "sig_ids", "sigs", "_map", "_counts", "_ids_arr")
+
+    def __init__(self, ctx: SymContext) -> None:
+        self.ctx = ctx
+        self.sig_ids: list[int] = []
+        self.sigs: list[Sig] = []
+        self._map: dict[Any, int] = {}
+        self._counts: dict[int, int] | None = None
+        self._ids_arr: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.sig_ids)
+
+    # -- recording (hot path lives in the machine overrides) -----------
+    def new_config(self, key: Any, opclass: OpClass, mn: str, vl: IntLike,
+                   sew: int, lmul: int) -> int:
+        """Intern a vsetvl/whilelt signature (payload: per-occurrence AVL)."""
+        sid = len(self.sigs)
+        self.sigs.append(Sig(
+            sid, opclass, mn, None, sew, lmul, vl, vl, sew, lmul,
+            True, None, 0, True, False, [], len(self.sig_ids)))
+        self._map[key] = sid
+        return sid
+
+    def new_op(self, key: Any, opclass: OpClass, ops: Operands | None,
+               cfg: "Sig | None", *, eew: int = 32, lmul: int = 1,
+               kind: str | None = None, stride: IntLike = 0,
+               is_load: bool = True, indexed: bool = False) -> int:
+        """Intern a non-configuration signature under config state ``cfg``."""
+        if cfg is None:
+            vl: IntLike | None = None
+            sew: int | None = None
+            cfg_lmul: int | None = None
+            elems: IntLike = 1
+        else:
+            vl, sew, cfg_lmul = cfg.vl, cfg.sew, cfg.cfg_lmul
+            elems = cfg.elems
+        if opclass is OpClass.SCALAR:
+            elems = 1
+        payload: list[Any] | None = [] if kind is not None else None
+        sid = len(self.sigs)
+        self.sigs.append(Sig(
+            sid, opclass, ops.mnemonic if ops is not None else "", ops,
+            eew, lmul, elems, vl, sew, cfg_lmul, False, kind, stride,
+            is_load, indexed, payload, len(self.sig_ids)))
+        self._map[key] = sid
+        return sid
+
+    # -- cached read-side indexes --------------------------------------
+    def counts(self) -> dict[int, int]:
+        """Occurrences per sig id, in first-occurrence order (cached)."""
+        if self._counts is None:
+            self._counts = dict(Counter(self.sig_ids))
+        return self._counts
+
+    def ids_array(self) -> np.ndarray:
+        """The id stream as an int64 array (cached)."""
+        if self._ids_arr is None:
+            self._ids_arr = np.asarray(self.sig_ids, dtype=np.int64)
+        return self._ids_arr
+
+    def occurrences(self, sid: int) -> np.ndarray:
+        """Absolute stream positions of every occurrence of ``sid``."""
+        return np.nonzero(self.ids_array() == sid)[0]
+
+    # -- materialization -----------------------------------------------
+    def _event(self, s: Sig, item: Any, seq: int) -> InstrEvent:
+        from .machine import SymMemAccess
+
+        if s.is_config:
+            return InstrEvent(s.opclass, s.elems, s.eew, None,  # type: ignore[arg-type]
+                              s.lmul, Operands(s.mn, avl=item))
+        if s.kind is not None:
+            base, content = item if s.indexed else (item, None)
+            mem = SymMemAccess(
+                kind=s.kind, base=base, elems=s.elems,  # type: ignore[arg-type]
+                ebytes=4, stride=s.stride,  # type: ignore[arg-type]
+                offsets=None, is_load=s.is_load, seq=seq, sew=s.eew,
+                lmul=s.lmul, sym_offsets=content)
+            return InstrEvent(s.opclass, s.elems, s.eew, mem,  # type: ignore[arg-type]
+                              s.lmul, s.ops)
+        return InstrEvent(s.opclass, s.elems, s.eew, None,  # type: ignore[arg-type]
+                          s.lmul, s.ops)
+
+    def instr_at(self, pos: int) -> Any:
+        """Materialize the single LiftedInstr at stream position ``pos``.
+
+        O(pos) — used to quote evidence for the rare finding, not to
+        walk programs.
+        """
+        from repro.analysis.ir import LiftedInstr
+
+        sid = self.sig_ids[pos]
+        s = self.sigs[sid]
+        item = None
+        if s.payload is not None:
+            item = s.payload[self.sig_ids[:pos].count(sid)]
+        return LiftedInstr(pos, self._event(s, item, pos),
+                           s.vl, s.sew, s.cfg_lmul)  # type: ignore[arg-type]
+
+    def lift(self, vlen_bits: int | None = None,
+             extents: tuple[Extent, ...] = ()) -> Any:
+        """Materialize the full parametric LiftedProgram.
+
+        Bit-identical to what lifting an eagerly-captured tracer would
+        have produced (the equivalence tests compare events field by
+        field at concrete VLENs).  Only the perf lints and those tests
+        pay this cost; the static audit itself runs on the compact form.
+        """
+        from repro.analysis.ir import LiftedInstr, LiftedProgram
+
+        sigs = self.sigs
+        cursors = [0] * len(sigs)
+        instrs = []
+        for i, sid in enumerate(self.sig_ids):
+            s = sigs[sid]
+            item = None
+            if s.payload is not None:
+                item = s.payload[cursors[sid]]
+                cursors[sid] += 1
+            instrs.append(LiftedInstr(
+                i, self._event(s, item, i), s.vl, s.sew, s.cfg_lmul))  # type: ignore[arg-type]
+        return LiftedProgram(tuple(instrs), vlen_bits, tuple(extents))
+
+    # -- accounting -----------------------------------------------------
+    def stats_at(self, point_index: int) -> dict[OpClass, OpStats]:
+        """Per-opclass counters at one domain point, as plain ints.
+
+        Reproduces exactly what a concrete counts-only
+        :class:`~repro.rvv.Tracer` accumulates at that VLEN — every
+        occurrence of a sig retires the same element count at a fixed
+        point, so the fold is O(#sigs), not O(#ops).
+        """
+        out: dict[OpClass, OpStats] = {}
+        for sid, c in self.counts().items():
+            s = self.sigs[sid]
+            e = s.elems
+            ev = e.values[point_index] if isinstance(e, SymInt) else e
+            st = out.get(s.opclass)
+            if st is None:
+                st = out[s.opclass] = OpStats()
+            st.instrs += c
+            st.elems += c * ev
+            fl = FLOPS_PER_ELEM.get(s.opclass, 0)
+            if fl:
+                st.flops += fl * c * ev
+            if s.kind is not None:
+                if s.is_load:
+                    st.bytes_loaded += 4 * c * ev
+                else:
+                    st.bytes_stored += 4 * c * ev
+        return out
+
+    def max_grant_at(self, point_index: int) -> int:
+        """The largest vl any configuration instruction granted."""
+        mg = 0
+        for s in self.sigs:
+            if s.is_config:
+                e = s.elems
+                v = e.values[point_index] if isinstance(e, SymInt) else int(e)
+                if v > mg:
+                    mg = v
+        return mg

@@ -22,8 +22,17 @@ workflow:
                into a versioned ``BENCH_<rev>.json`` baseline,
                ``compare`` re-runs it and exits non-zero on regression;
 - ``roofline``     print the Figure 5/6 rooflines;
-- ``lint-kernels`` audit every kernel variant with the trace-lifted
-                   verifier (spec conformance, hazards, VLA portability);
+- ``lint-kernels`` audit every kernel variant with the verifier passes
+                   (spec conformance, hazards, VLA portability) — by
+                   trace lifting, or with ``--static`` by VLEN-symbolic
+                   abstract interpretation with zero kernel executions;
+                   ``--json`` emits a stable machine-readable report,
+                   ``--perf`` adds the non-gating performance lints;
+- ``analyze``      symbolically analyze one kernel: structural VLEN
+                   regimes, perf lints, and with ``--cost`` a static
+                   cost model (closed forms in VLEN) that
+                   ``--reconcile`` machine-checks bit-exactly against
+                   concrete traced runs;
 - ``info``         describe a system configuration.
 """
 
@@ -443,9 +452,17 @@ def cmd_disasm(args) -> int:
 
 
 def cmd_lint_kernels(args) -> int:
-    from repro.analysis import KERNEL_SPECS, audit_kernel, fast_specs, find_spec
+    import json
 
-    vlens = tuple(int(v) for v in args.vlens.split(","))
+    from repro.analysis import KERNEL_SPECS, audit_kernel, fast_specs, find_spec
+    from repro.analysis.symbolic import audit_kernel_static
+    from repro.isa import VLEN_CHOICES
+
+    static = args.static
+    if args.vlens is not None:
+        vlens = tuple(int(v) for v in args.vlens.split(","))
+    else:
+        vlens = VLEN_CHOICES if static else (512, 1024, 2048, 4096)
     if args.kernel:
         specs = [find_spec(name) for name in args.kernel]
     elif args.fast:
@@ -454,24 +471,83 @@ def cmd_lint_kernels(args) -> int:
         specs = list(KERNEL_SPECS)
 
     failed = 0
+    reports = []
     for spec in specs:
         flavors = spec.machines
         if args.machine:
             flavors = tuple(f for f in flavors if f in args.machine)
         for flavor in flavors:
-            report = audit_kernel(spec, flavor, vlens)
-            if report.ok and not args.verbose:
-                print(report.render().splitlines()[0])
+            if static:
+                report = audit_kernel_static(spec, flavor, vlens,
+                                             perf=args.perf)
             else:
-                print(report.render())
+                report = audit_kernel(spec, flavor, vlens)
+            reports.append(report)
+            if not args.json:
+                if report.ok and not args.verbose:
+                    print(report.render().splitlines()[0])
+                else:
+                    print(report.render())
             if not report.ok:
                 failed += 1
+    if args.json:
+        print(json.dumps([r.to_json() for r in reports], indent=2))
+        return 1 if failed else 0
     print()
     if failed:
         print(f"FAIL: {failed} kernel audit(s) reported findings")
         return 1
-    print(f"ok: {len(specs)} kernel(s) audited clean at VLEN "
+    mode = "statically at VLEN" if static else "clean at VLEN"
+    print(f"ok: {len(specs)} kernel(s) audited {mode} "
           f"{','.join(str(v) for v in vlens)}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.analysis import find_spec
+    from repro.analysis.pipeline import analyze_perf
+    from repro.analysis.symbolic import (
+        build_cost_model,
+        interpret_kernel,
+        reconcile,
+    )
+    from repro.isa import VLEN_CHOICES
+
+    spec = find_spec(args.kernel)
+    flavor = args.machine or spec.machines[0]
+    if flavor not in spec.machines:
+        print(f"error: {spec.name!r} does not support machine {flavor!r} "
+              f"(supported: {', '.join(spec.machines)})", file=sys.stderr)
+        return 2
+    audit = interpret_kernel(spec, flavor, VLEN_CHOICES)
+    groups = " | ".join(",".join(str(v) for v in rg.vlens)
+                        for rg in audit.regimes)
+    print(f"{spec.name} [{flavor}]  regimes: {groups or '(none)'}")
+    if audit.unsupported:
+        why = "; ".join(f"{v}: {r}"
+                        for v, r in sorted(audit.unsupported.items()))
+        print(f"  unsupported: {why}")
+    if args.perf:
+        print("perf lints (non-gating):")
+        n = 0
+        for rg in audit.regimes:
+            for f in analyze_perf(rg.program):
+                print(f.render())
+                n += 1
+        if not n:
+            print("  (clean)")
+    if args.cost:
+        model = build_cost_model(audit)
+        print(model.render())
+        if args.reconcile:
+            mismatches = reconcile(model, spec, flavor)
+            if mismatches:
+                print(f"RECONCILE FAIL ({len(mismatches)} mismatches):")
+                for m in mismatches:
+                    print(f"  {m}")
+                return 1
+            print("reconcile: static model matches concrete traces "
+                  "bit-exactly")
     return 0
 
 
@@ -650,14 +726,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", action="append",
                    choices=["rvv", "rvv+", "sve"],
                    help="restrict to this machine flavor (repeatable)")
-    p.add_argument("--vlens", default="512,1024,2048,4096",
-                   help="comma-separated VLENs to lift and diff across")
+    p.add_argument("--vlens", default=None,
+                   help="comma-separated VLENs to audit (default: "
+                        "512,1024,2048,4096 traced; the full admissible "
+                        "domain with --static)")
+    p.add_argument("--static", action="store_true",
+                   help="audit by abstract interpretation — zero kernel "
+                        "executions, verdict covers every admissible VLEN")
+    p.add_argument("--perf", action="store_true",
+                   help="also run the non-gating performance lints "
+                        "(with --static)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the reports as a JSON list (stable schema; "
+                        "exit status still reflects findings)")
     p.add_argument("--fast", action="store_true",
                    help="audit only the fast subset (skips full conv "
                         "drivers)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print per-pass detail even for clean kernels")
     p.set_defaults(func=cmd_lint_kernels)
+
+    p = sub.add_parser(
+        "analyze",
+        help="symbolically analyze one kernel: regimes, perf lints, "
+             "static cost model")
+    p.add_argument("kernel", help="registered kernel name "
+                                  "(see lint-kernels)")
+    p.add_argument("--machine", choices=["rvv", "rvv+", "sve"],
+                   default=None,
+                   help="machine flavor (default: the kernel's first)")
+    p.add_argument("--cost", action="store_true",
+                   help="print the static cost model (closed forms in "
+                        "VLEN per opclass and metric)")
+    p.add_argument("--reconcile", action="store_true",
+                   help="with --cost: machine-check the model against "
+                        "concrete traced runs")
+    p.add_argument("--perf", action="store_true",
+                   help="run the non-gating performance lints")
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("info", help="describe a system configuration")
     _add_system_args(p)

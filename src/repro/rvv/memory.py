@@ -142,6 +142,18 @@ class Memory:
         arr = np.ascontiguousarray(values, dtype=np.float32).ravel()
         self.view(addr, arr.size, np.float32)[:] = arr
 
+    def fill_noise(self, addr: int, nelems: int,
+                   rng: np.random.Generator) -> None:
+        """Fill ``nelems`` float32 values at ``addr`` with random data.
+
+        Driver-side staging protocol shared with the abstract memory of
+        the symbolic analyzer (where it is a no-op): harnesses that
+        only need *some* data in a buffer stage it through this hook so
+        the buffer size never has to be concretized.
+        """
+        self.view(addr, int(nelems), np.float32)[:] = (
+            rng.standard_normal(int(nelems)).astype(np.float32))
+
     def gather_f32(self, base: int, byte_offsets: np.ndarray) -> np.ndarray:
         """Element gather: read float32 at ``base + off`` for each offset."""
         offs = np.asarray(byte_offsets, dtype=np.int64)

@@ -1,0 +1,190 @@
+"""Property-based campaign over the exact affine algebra.
+
+The symbolic analyzer's closed forms (extents, trip counts, cost-model
+counts) all live in :mod:`repro.analysis.symbolic.affine`; the static
+cost model is only trustworthy if that algebra is.  Hypothesis pins:
+
+- the ring laws the partial algebra does satisfy (commutativity,
+  associativity, distributivity over constant multiplication);
+- substitution/evaluation coherence: substituting part of an
+  environment and evaluating the rest equals evaluating everything;
+- soundness of interval ``bounds`` against randomized concrete points;
+- ``fit_affine`` round-trips: a fit through exact samples of an affine
+  form reproduces that form's value at every sample.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.symbolic import AffineExpr, NonAffineError, fit_affine
+
+SYMS = ("VLEN", "n", "m", "k")
+
+fractions = st.fractions(
+    min_value=-64, max_value=64, max_denominator=8)
+
+
+@st.composite
+def affine_exprs(draw):
+    expr = AffineExpr.constant(draw(fractions))
+    for s in draw(st.sets(st.sampled_from(SYMS))):
+        expr = expr + AffineExpr.symbol(s) * draw(fractions)
+    return expr
+
+
+envs = st.fixed_dictionaries(
+    {s: st.integers(min_value=-100, max_value=100) for s in SYMS})
+
+
+class TestRingLaws:
+    @given(affine_exprs(), affine_exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_addition_commutes(self, x, y):
+        assert x + y == y + x
+
+    @given(affine_exprs(), affine_exprs(), affine_exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_addition_associates(self, x, y, z):
+        assert (x + y) + z == x + (y + z)
+
+    @given(affine_exprs(), affine_exprs(), fractions)
+    @settings(max_examples=60, deadline=None)
+    def test_constant_multiplication_distributes(self, x, y, k):
+        assert (x + y) * k == x * k + y * k
+
+    @given(affine_exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_additive_inverse(self, x):
+        assert x - x == AffineExpr.constant(0)
+        assert -(-x) == x
+
+    @given(affine_exprs(), fractions, fractions)
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_multiplication_composes(self, x, k1, k2):
+        assert (x * k1) * k2 == x * (k1 * k2)
+
+    @given(affine_exprs())
+    @settings(max_examples=30, deadline=None)
+    def test_units(self, x):
+        assert x + 0 == x
+        assert x * 1 == x
+        assert x * 0 == AffineExpr.constant(0)
+
+    def test_non_affine_product_raises(self):
+        v = AffineExpr.symbol("VLEN")
+        n = AffineExpr.symbol("n")
+        with pytest.raises(NonAffineError):
+            v * n
+        with pytest.raises(NonAffineError):
+            (v + 1) * (n - 2)
+
+    def test_division_is_exact_and_partial(self):
+        v = AffineExpr.symbol("VLEN")
+        assert (v / 8).coeff("VLEN") == Fraction(1, 8)
+        with pytest.raises(NonAffineError):
+            v / (v + 1)
+        with pytest.raises(ZeroDivisionError):
+            v / 0
+
+
+class TestSubstitutionEvaluation:
+    @given(affine_exprs(), envs, st.sets(st.sampled_from(SYMS)))
+    @settings(max_examples=80, deadline=None)
+    def test_partial_substitution_commutes_with_evaluation(
+            self, x, env, first):
+        """substitute(E1) then evaluate(E2) == evaluate(E1 | E2)."""
+        e1 = {s: v for s, v in env.items() if s in first}
+        e2 = {s: v for s, v in env.items() if s not in first}
+        assert x.substitute(e1).evaluate(e2) == x.evaluate(env)
+
+    @given(affine_exprs(), envs)
+    @settings(max_examples=60, deadline=None)
+    def test_full_substitution_is_evaluation(self, x, env):
+        out = x.substitute(env)
+        assert out.is_constant
+        assert out.const == x.evaluate(env)
+
+    @given(affine_exprs(), affine_exprs(), envs)
+    @settings(max_examples=60, deadline=None)
+    def test_evaluation_is_a_homomorphism(self, x, y, env):
+        assert (x + y).evaluate(env) == x.evaluate(env) + y.evaluate(env)
+        assert (x - y).evaluate(env) == x.evaluate(env) - y.evaluate(env)
+
+    def test_evaluate_requires_every_symbol(self):
+        x = AffineExpr.symbol("VLEN") + AffineExpr.symbol("n")
+        with pytest.raises(KeyError):
+            x.evaluate({"VLEN": 512})
+
+    def test_evaluate_int_rejects_non_integral_results(self):
+        x = AffineExpr.symbol("VLEN") / 8
+        assert x.evaluate_int({"VLEN": 512}) == 64
+        with pytest.raises(NonAffineError):
+            x.evaluate_int({"VLEN": 4})
+
+
+class TestBoundsSoundness:
+    @given(affine_exprs(),
+           st.fixed_dictionaries({
+               s: st.tuples(st.integers(-50, 50), st.integers(0, 60))
+               for s in SYMS}),
+           st.integers(min_value=0))
+    @settings(max_examples=80, deadline=None)
+    def test_bounds_contain_randomized_concrete_evaluations(
+            self, x, raw_box, seed):
+        box = {s: (lo, lo + width) for s, (lo, width) in raw_box.items()}
+        lo, hi = x.bounds(box)
+        rng = random.Random(seed)
+        for _ in range(8):
+            env = {s: rng.randint(a, b) for s, (a, b) in box.items()}
+            v = x.evaluate(env)
+            assert lo <= v <= hi
+        # The box corners attain the bounds (exactness, not just
+        # soundness): minimize/maximize each coordinate independently.
+        corner_lo = {s: (box[s][0] if x.coeff(s) >= 0 else box[s][1])
+                     for s in SYMS}
+        corner_hi = {s: (box[s][1] if x.coeff(s) >= 0 else box[s][0])
+                     for s in SYMS}
+        assert x.evaluate(corner_lo) == lo
+        assert x.evaluate(corner_hi) == hi
+
+    def test_empty_interval_rejected(self):
+        x = AffineExpr.symbol("VLEN")
+        with pytest.raises(ValueError):
+            x.bounds({"VLEN": (512, 128)})
+
+
+class TestFitAffine:
+    @given(affine_exprs(), st.lists(envs, min_size=1, max_size=10))
+    @settings(max_examples=80, deadline=None)
+    def test_fit_through_exact_samples_reproduces_them(self, x, sample):
+        pts = [(env, x.evaluate(env)) for env in sample]
+        fit = fit_affine(SYMS, pts)
+        assert fit is not None, f"exact affine samples must fit: {x}"
+        for env, val in pts:
+            assert fit.evaluate(env) == val
+
+    @given(affine_exprs())
+    @settings(max_examples=40, deadline=None)
+    def test_fit_recovers_the_form_from_enough_points(self, x):
+        # A deterministic spanning set: the origin plus one unit step
+        # per symbol pins every coefficient uniquely.
+        pts = [({s: 0 for s in SYMS}, x.evaluate({s: 0 for s in SYMS}))]
+        for s in SYMS:
+            env = {t: (1 if t == s else 0) for t in SYMS}
+            pts.append((env, x.evaluate(env)))
+        assert fit_affine(SYMS, pts) == x
+
+    def test_non_affine_samples_return_none(self):
+        pts = [({"VLEN": v}, v * v) for v in (1, 2, 3)]
+        assert fit_affine(("VLEN",), pts) is None
+
+    def test_single_point_fits_as_a_constant(self):
+        fit = fit_affine(("VLEN",), [({"VLEN": 512}, 7)])
+        assert fit == AffineExpr.constant(7)
+
+    def test_no_points_fit_nothing(self):
+        assert fit_affine(("VLEN",), []) is None

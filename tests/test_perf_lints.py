@@ -1,0 +1,261 @@
+"""Golden fragments for the performance-lint passes.
+
+Every lint ships a known-bad fragment *and* a clean counterpart: the
+bad one pins the message and anchor, the clean one pins the absence of
+false positives on the idiomatic version of the same code.  The lints
+run on concrete lifted traces and on the parametric programs of the
+symbolic auditor; both paths are exercised, and the lints stay
+non-gating (``report.ok`` ignores them).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import KernelSpec, find_spec, lift
+from repro.analysis.pipeline import analyze_perf
+from repro.analysis.symbolic import audit_kernel_static
+from repro.rvv import Memory, RvvMachine, Tracer
+
+
+def _perf(run, vlen=512):
+    machine = RvvMachine(vlen, memory=Memory(1 << 20),
+                         tracer=Tracer(capture=True))
+    run(machine)
+    program = lift(machine.tracer, vlen_bits=vlen,
+                   extents=machine.memory.allocations)
+    return analyze_perf(program)
+
+
+def _perf_static(run, vlens=(512,)):
+    spec = KernelSpec("frag/perf", run, machines=("rvv",))
+    report = audit_kernel_static(spec, "rvv", vlens, perf=True)
+    return report
+
+
+def _only(findings, pass_id):
+    return [f for f in findings if f.pass_id == pass_id]
+
+
+# ----------------------------------------------------------------------
+# vsetvl: dead configurations and vtype thrash
+# ----------------------------------------------------------------------
+class TestVsetvlLint:
+    @staticmethod
+    def _dead_config(machine):
+        machine.setvl(8)            # superseded before any vector op
+        machine.setvl(16)
+        with machine.alloc.scoped(1) as (v,):
+            machine.vfmv_v_f(v, 1.0)
+
+    @staticmethod
+    def _dead_config_clean(machine):
+        machine.setvl(8)
+        with machine.alloc.scoped(1) as (v,):
+            machine.vfmv_v_f(v, 1.0)
+            machine.setvl(16)
+            machine.vfmv_v_f(v, 2.0)
+
+    @staticmethod
+    def _thrash(machine):
+        # Register 0 keeps LMUL=2 group alignment in both vtypes.
+        for _ in range(4):
+            machine.setvl(8, sew=32, lmul=1)
+            machine.vfmv_v_f(0, 1.0)
+            machine.setvl(8, sew=32, lmul=2)
+            machine.vfmv_v_f(0, 2.0)
+
+    @staticmethod
+    def _thrash_clean(machine):
+        machine.setvl(8, sew=32, lmul=1)
+        for _ in range(4):
+            machine.vfmv_v_f(0, 1.0)
+        machine.setvl(8, sew=32, lmul=2)
+        for _ in range(4):
+            machine.vfmv_v_f(0, 2.0)
+
+    def test_dead_config_flagged(self):
+        hits = _only(_perf(self._dead_config), "vsetvl")
+        assert len(hits) == 1
+        assert "dead vsetvl" in hits[0].message
+        assert hits[0].index == 0  # anchored at the superseded config
+
+    def test_dead_config_clean_counterpart(self):
+        assert not _only(_perf(self._dead_config_clean), "vsetvl")
+
+    def test_thrash_flagged(self):
+        hits = _only(_perf(self._thrash), "vsetvl")
+        assert any("thrashes" in f.message for f in hits)
+        msg = next(f.message for f in hits if "thrashes" in f.message)
+        assert "LMUL=1" in msg and "LMUL=2" in msg
+
+    def test_thrash_clean_counterpart(self):
+        assert not _only(_perf(self._thrash_clean), "vsetvl")
+
+
+# ----------------------------------------------------------------------
+# copies: self-copies and repeated copies
+# ----------------------------------------------------------------------
+class TestCopiesLint:
+    @staticmethod
+    def _self_copy(machine):
+        machine.setvl(8)
+        with machine.alloc.scoped(1) as (v,):
+            machine.vfmv_v_f(v, 1.0)
+            machine.vmv_v_v(v, v)
+
+    @staticmethod
+    def _repeated_copy(machine):
+        machine.setvl(8)
+        with machine.alloc.scoped(2) as (a, b):
+            machine.vfmv_v_f(b, 1.0)
+            machine.vmv_v_v(a, b)
+            machine.vmv_v_v(a, b)  # neither side changed in between
+
+    @staticmethod
+    def _copy_clean(machine):
+        machine.setvl(8)
+        with machine.alloc.scoped(2) as (a, b):
+            machine.vfmv_v_f(b, 1.0)
+            machine.vmv_v_v(a, b)
+            machine.vfmv_v_f(b, 2.0)  # b redefined: the next copy is live
+            machine.vmv_v_v(a, b)
+
+    def test_self_copy_flagged(self):
+        hits = _only(_perf(self._self_copy), "copies")
+        assert len(hits) == 1 and "onto itself" in hits[0].message
+
+    def test_repeated_copy_flagged(self):
+        hits = _only(_perf(self._repeated_copy), "copies")
+        assert len(hits) == 1 and "redundant copy" in hits[0].message
+
+    def test_clean_counterpart(self):
+        assert not _only(_perf(self._copy_clean), "copies")
+
+
+# ----------------------------------------------------------------------
+# pressure: peak live register units
+# ----------------------------------------------------------------------
+class TestPressureLint:
+    @staticmethod
+    def _hot(machine):
+        machine.setvl(8)
+        with machine.alloc.scoped(30) as regs:
+            for r in regs:
+                machine.vfmv_v_f(r, float(r))
+            acc = regs[0]
+            for r in regs[1:]:
+                machine.vfadd_vv(acc, acc, r)  # all 30 live at the first add
+
+    @staticmethod
+    def _cool(machine):
+        machine.setvl(8)
+        with machine.alloc.scoped(4) as regs:
+            for r in regs:
+                machine.vfmv_v_f(r, float(r))
+            machine.vfadd_vv(regs[0], regs[1], regs[2])
+
+    def test_tight_schedule_flagged(self):
+        hits = _only(_perf(self._hot), "pressure")
+        assert len(hits) == 1
+        assert "simultaneously-live register units (> 28 of 32)" in \
+            hits[0].message
+
+    def test_clean_counterpart(self):
+        assert not _only(_perf(self._cool), "pressure")
+
+
+# ----------------------------------------------------------------------
+# memstride: unit-stride work issued as strided/indexed accesses
+# ----------------------------------------------------------------------
+class TestMemstrideLint:
+    @staticmethod
+    def _unit_as_strided(machine):
+        vl = machine.setvl(8)
+        buf = machine.memory.alloc_f32(vl, label="buf")
+        machine.memory.fill_noise(buf, vl, np.random.default_rng(1))
+        with machine.alloc.scoped(1) as (v,):
+            machine.vlse32(v, buf, 4)  # stride == element size
+
+    @staticmethod
+    def _unit_as_indexed(machine):
+        vl = machine.setvl(8)
+        buf = machine.memory.alloc_f32(vl, label="buf")
+        machine.memory.fill_noise(buf, vl, np.random.default_rng(2))
+        with machine.alloc.scoped(2) as (v, vidx):
+            machine.load_index_u32(vidx, np.arange(vl) * 4)
+            machine.vluxei32(v, buf, vidx)
+
+    @staticmethod
+    def _honest_strided(machine):
+        vl = machine.setvl(8)
+        buf = machine.memory.alloc_f32(2 * vl, label="buf")
+        machine.memory.fill_noise(buf, 2 * vl, np.random.default_rng(3))
+        with machine.alloc.scoped(1) as (v,):
+            machine.vlse32(v, buf, 8)  # every other element: genuine stride
+
+    @staticmethod
+    def _honest_gather(machine):
+        vl = machine.setvl(8)
+        buf = machine.memory.alloc_f32(vl, label="buf")
+        machine.memory.fill_noise(buf, vl, np.random.default_rng(4))
+        with machine.alloc.scoped(2) as (v, vidx):
+            offsets = (np.arange(vl)[::-1]) * 4  # reversed: not unit-stride
+            machine.load_index_u32(vidx, offsets)
+            machine.vluxei32(v, buf, vidx)
+
+    def test_unit_stride_issued_as_strided_flagged(self):
+        hits = _only(_perf(self._unit_as_strided), "memstride")
+        assert len(hits) == 1
+        assert "stride == element size" in hits[0].message
+
+    def test_unit_stride_issued_as_gather_flagged(self):
+        hits = _only(_perf(self._unit_as_indexed), "memstride")
+        assert any("unit-stride sequence" in f.message for f in hits)
+
+    def test_clean_counterparts(self):
+        assert not _only(_perf(self._honest_strided), "memstride")
+        assert not _only(_perf(self._honest_gather), "memstride")
+
+
+# ----------------------------------------------------------------------
+# The symbolic path: same lints, parametric programs, non-gating.
+# ----------------------------------------------------------------------
+class TestSymbolicPerfPath:
+    @pytest.mark.parametrize("run,pass_id,needle", [
+        (TestVsetvlLint._dead_config, "vsetvl", "dead vsetvl"),
+        (TestCopiesLint._self_copy, "copies", "onto itself"),
+        (TestPressureLint._hot, "pressure", "simultaneously-live"),
+        (TestMemstrideLint._unit_as_strided, "memstride",
+         "stride == element size"),
+        (TestMemstrideLint._unit_as_indexed, "memstride",
+         "unit-stride sequence"),
+    ])
+    def test_static_audit_reports_the_same_lints(self, run, pass_id, needle):
+        report = _perf_static(run)
+        hits = [f for f in report.perf if f.pass_id == pass_id]
+        assert any(needle in f.message for f in hits), report.render()
+        # Perf lints never gate the audit verdict.
+        assert report.ok
+        assert not report.findings
+
+    def test_static_matches_concrete_lint_for_lint(self):
+        # Disasm is excluded: concrete gather events render their
+        # materialized offsets, parametric events cannot (the offsets
+        # differ per domain point).  Everything else is identical.
+        run = TestMemstrideLint._unit_as_indexed
+        concrete = _perf(run)
+        report = _perf_static(run)
+        assert [(f.pass_id, f.severity, f.index, f.message, f.count)
+                for f in report.perf] == \
+               [(f.pass_id, f.severity, f.index, f.message, f.count)
+                for f in concrete]
+
+    def test_registry_convolutions_take_the_unit_stride_path(self):
+        # im2col and the direct convolution branch to vle32 at conv
+        # stride 1 rather than issuing vlse32 with a 4-byte stride —
+        # the degeneration this lint exists to catch stays absent.
+        for kernel in ("im2col", "direct1x1"):
+            report = audit_kernel_static(
+                find_spec(kernel), "rvv", (512,), perf=True)
+            assert report.ok
+            assert not report.perf, report.render()

@@ -1,0 +1,108 @@
+"""The static cost model and its bit-exact reconciliation gate.
+
+The acceptance bar for the symbolic analyzer's cost model is not
+"close": :func:`repro.analysis.symbolic.reconcile` machine-checks the
+predicted per-opclass instruction counts, element counts, flops and
+bytes moved against *concrete executions* at three VLENs (one inside,
+one at the edge, one beyond the paper's sampled window) — for every
+registered kernel variant on every machine flavor, including agreement
+on which VLENs a kernel refuses.  A model that earns an empty mismatch
+list here is a surrogate a schedule-search loop can query instead of
+running kernels.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import KERNEL_SPECS, find_spec
+from repro.analysis.symbolic import (
+    METRICS,
+    RECONCILE_VLENS,
+    cost_model_for,
+    reconcile,
+)
+from repro.errors import ConfigError
+
+
+@pytest.mark.lint_static
+@pytest.mark.parametrize(
+    "spec,flavor",
+    [(s, f) for s in KERNEL_SPECS for f in s.machines],
+    ids=[f"{s.name}[{f}]" for s in KERNEL_SPECS for f in s.machines])
+def test_model_reconciles_bit_exactly(spec, flavor):
+    model = cost_model_for(spec, flavor)
+    mismatches = reconcile(model, spec, flavor)
+    assert not mismatches, (
+        f"{spec.name}[{flavor}] static model diverges from concrete "
+        f"traces at {RECONCILE_VLENS}:\n" + "\n".join(mismatches))
+
+
+def test_reconcile_agrees_on_refusals():
+    # VLEN 128 cannot hold a Winograd tuple; the model marks it
+    # unsupported and the concrete machine refuses too — reconcile
+    # treats that agreement as exact, not as a failure.
+    spec = find_spec("tuple_mult/slideup")
+    model = cost_model_for(spec, "rvv")
+    assert 128 in model.unsupported
+    assert reconcile(model, spec, "rvv", vlens=(128,)) == []
+    with pytest.raises(ConfigError):
+        model.at(128)
+
+
+def test_forms_are_verified_closed_forms():
+    model = cost_model_for(find_spec("gemm"), "rvv")
+    assert model.forms
+    for form in model.forms:
+        assert len(form.vlens) == len(form.values)
+        if form.expr is None:
+            continue
+        for vlen, value in zip(form.vlens, form.values):
+            assert form.expr.evaluate({"VLEN": vlen}) == value, (
+                f"{form.opclass}.{form.metric} closed form {form.expr} "
+                f"wrong at VLEN {vlen}")
+
+
+def test_fixed_work_kernels_have_vlen_invariant_totals():
+    # gemm's flop count is a property of the problem, not the machine:
+    # the same total at every supported VLEN (fewer, longer vectors).
+    model = cost_model_for(find_spec("gemm"), "rvv")
+    flops = {v: model.totals(v)["flops"] for v in model.vlens}
+    assert len(set(flops.values())) == 1, flops
+    # Instruction counts, by contrast, must shrink as VLEN grows.
+    instrs = [model.totals(v)["instrs"] for v in model.vlens]
+    assert instrs == sorted(instrs, reverse=True)
+    assert instrs[0] > instrs[-1]
+
+
+def test_streaming_memcpy_moves_exactly_its_buffers():
+    model = cost_model_for(find_spec("streaming/memcpy"), "rvv")
+    for v in model.vlens:
+        totals = model.totals(v)
+        assert totals["bytes_loaded"] == 400   # 100 fp32 in
+        assert totals["bytes_stored"] == 400   # 100 fp32 out
+        assert totals["bytes"] == 800
+
+
+def test_per_register_kernels_scale_with_vlen():
+    # transpose4 works on whole registers (fixed_work=False): elements
+    # per call are VLEN/8 bytes per buffer row, so the closed form has
+    # a genuine VLEN coefficient, not just a constant.
+    model = cost_model_for(find_spec("transpose4/strided"), "rvv")
+    loads = {v: model.totals(v)["bytes_loaded"] for v in model.vlens}
+    assert loads[1024] == 2 * loads[512]
+    vlen_forms = [f for f in model.forms
+                  if f.expr is not None and f.expr.coeff("VLEN") != 0]
+    assert vlen_forms, "expected VLEN-dependent closed forms"
+    assert any(f.expr.coeff("VLEN") >= Fraction(1, 8) for f in vlen_forms)
+
+
+def test_table_and_metrics_shape():
+    model = cost_model_for(find_spec("streaming/dot"), "sve")
+    assert model.kernel == "streaming/dot" and model.machine == "sve"
+    for v in model.vlens:
+        per = model.at(v)
+        for metrics in per.values():
+            assert set(metrics) == set(METRICS)
+    rendered = model.render()
+    assert "streaming/dot" in rendered and "VLEN" in rendered

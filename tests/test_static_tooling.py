@@ -59,6 +59,10 @@ def test_pyproject_configures_the_tools():
     assert "[tool.ruff]" in text
     assert "[tool.mypy]" in text
     assert 'module = "repro.analysis.*"' in text
+    assert "repro.analysis.symbolic" in text, (
+        "the strict-mypy scope must name the symbolic analyzer "
+        "(covered by the repro.analysis.* glob)"
+    )
     assert "strict = true" in text
     for mod in STRICT_OBS_MODULES + STRICT_SIM_MODULES:
         assert f'"{mod}"' in text, (
@@ -107,6 +111,16 @@ def test_mypy_clean_on_analysis_package():
     except ImportError:
         pytest.skip("mypy not installed (dev extra)")
     proc = _run([sys.executable, "-m", "mypy", "-p", "repro.analysis"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_mypy_clean_on_symbolic_package():
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        pytest.skip("mypy not installed (dev extra)")
+    proc = _run(
+        [sys.executable, "-m", "mypy", "-p", "repro.analysis.symbolic"])
     assert proc.returncode == 0, proc.stdout + proc.stderr
 
 

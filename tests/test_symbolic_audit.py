@@ -1,0 +1,305 @@
+"""The static audit: tier-1 gate, golden fragments, and fold parity.
+
+Four claims are pinned here:
+
+- the whole kernel registry audits clean *statically* — every variant,
+  every machine flavor, every admissible VLEN at once, with zero
+  kernel executions (``lint_static``, the tier-1 gate);
+- the symbolic VLA pass subsumes sampled cross-VLEN diffing: a golden
+  fragment that is VLA-unsafe only at VLENs *outside* the sampled
+  512–4096 window passes the trace-lifted audit and fails the static
+  one;
+- the folded passes are drop-in equal to the concrete pipeline: on
+  known-bad fragments the static audit reproduces the trace-lifted
+  findings tuple-for-tuple (pass, severity, index, message, evidence,
+  count) — including the loop deduplication that collapses a finding
+  repeated every iteration into one record with an occurrence count;
+- the ``lint-kernels --static`` CLI keeps its stable JSON schema and
+  nonzero exit on errors.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import KERNEL_SPECS, KernelSpec, audit_kernel
+from repro.analysis.audit import DEFAULT_VLENS
+from repro.analysis.symbolic import audit_kernel_static, audit_kernels_static
+from repro.cli import main
+from repro.isa import VLEN_CHOICES
+
+
+# ----------------------------------------------------------------------
+# Golden fragments.  Each runs unmodified on both the concrete capture
+# machines and the abstract machines — that is the point: one harness,
+# two auditors, identical verdicts.
+# ----------------------------------------------------------------------
+def _uninit_loop_kernel(machine):
+    """Reads an uninitialized accumulator every iteration (dedup case)."""
+    n = 72
+    x = machine.memory.alloc_f32(n, label="x")
+    machine.memory.fill_noise(x, n, np.random.default_rng(3))
+    i = 0
+    while i < n:
+        vl = machine.setvl(n - i)
+        with machine.alloc.scoped(2) as (v, acc):
+            machine.vle32(v, x + 4 * i)
+            machine.vfmacc_vv(acc, v, v)  # acc never initialized
+        i += vl
+
+
+def _oob_store_kernel(machine):
+    """Stores past the end of a 10-element buffer at every VLEN."""
+    machine.setvl(4)
+    buf = machine.memory.alloc_f32(10, label="small")
+    with machine.alloc.scoped(1) as (v,):
+        machine.vfmv_v_f(v, 1.0)
+        machine.vse32(v, buf + 4 * 7)  # elements 7..10: one past the end
+
+
+def _slide_overlap_kernel(machine):
+    machine.setvl(machine.setvl(1 << 20))
+    with machine.alloc.scoped(1) as (v,):
+        machine.vfmv_v_f(v, 2.0)
+        machine.vslideup_vx(v, v, 1)  # vd == vs: reserved in RVV 1.0
+
+
+def _pinned_vl_kernel(machine):
+    """Hard-codes vl=16: VLA-unsafe inside the sampled window."""
+    n = 64
+    x = machine.memory.alloc_f32(n, label="x")
+    y = machine.memory.alloc_f32(n, label="y")
+    machine.memory.fill_noise(x, n, np.random.default_rng(5))
+    for i in range(0, n, 16):
+        machine.setvl(16)
+        with machine.alloc.scoped(1) as (v,):
+            machine.vle32(v, x + 4 * i)
+            machine.vfmul_vf(v, v, 2.0)
+            machine.vse32(v, y + 4 * i)
+
+
+def _out_of_window_kernel(machine):
+    """VLA-unsafe only beyond the sampled window (the S2 fragment).
+
+    ``vlmax`` stays <= 128 elements for every VLEN in 512..4096, so the
+    problem size is the constant 512 there and sampled cross-VLEN
+    diffing sees nothing.  At VLEN 8192+ the driver silently derives
+    the problem size from VLEN — exactly the bug class the symbolic
+    pass proves absent over the *whole* domain.
+    """
+    vlmax = machine.setvl(1 << 20)
+    n = 4 * vlmax if vlmax > 128 else 512
+    x = machine.memory.alloc_f32(n, label="x")
+    y = machine.memory.alloc_f32(n, label="y")
+    machine.memory.fill_noise(x, n, np.random.default_rng(7))
+    i = 0
+    while i < n:
+        vl = machine.setvl(n - i)
+        with machine.alloc.scoped(1) as (v,):
+            machine.vle32(v, x + 4 * i)
+            machine.vfadd_vf(v, v, 1.0)
+            machine.vse32(v, y + 4 * i)
+        i += vl
+
+
+def _spec(name, run, fixed_work=True):
+    return KernelSpec(name, run, machines=("rvv",), fixed_work=fixed_work)
+
+
+def _key(f):
+    return (f.pass_id, f.severity.value, f.index, f.message, f.disasm,
+            f.vlen_bits, f.count)
+
+
+# ----------------------------------------------------------------------
+# The tier-1 gate: the registry is statically clean, with zero
+# executions.
+# ----------------------------------------------------------------------
+@pytest.mark.lint_static
+def test_registry_audits_clean_statically(monkeypatch):
+    def boom(*a, **k):
+        raise AssertionError(
+            "static audit must not construct concrete machine state")
+
+    monkeypatch.setattr("repro.rvv.registers.VRegFile.__init__", boom)
+    monkeypatch.setattr("repro.rvv.memory.Memory.__init__", boom)
+    reports = audit_kernels_static()
+    assert len(reports) == sum(len(s.machines) for s in KERNEL_SPECS)
+    bad = [r for r in reports if not r.ok]
+    assert not bad, "static audit found defects:\n" + "\n".join(
+        r.render() for r in bad)
+    for r in reports:
+        assert r.mode == "static"
+        # Every VLEN is either covered by a regime or explicitly
+        # refused with a reason — never silently dropped.
+        covered = set(r.vlens) | set(r.unsupported)
+        assert covered == set(VLEN_CHOICES), (r.kernel, r.machine)
+
+
+# ----------------------------------------------------------------------
+# S2: unsafe only outside the sampled window.
+# ----------------------------------------------------------------------
+class TestOutOfWindowVla:
+    spec = _spec("bad/out_of_window", _out_of_window_kernel)
+
+    def test_sampled_window_misses_it(self):
+        report = audit_kernel(self.spec, "rvv", DEFAULT_VLENS)
+        assert report.ok, report.render()
+
+    def test_static_audit_catches_it(self):
+        report = audit_kernel_static(self.spec, "rvv")
+        assert not report.ok
+        vla = [f for f in report.findings if f.pass_id == "vla"]
+        assert vla, report.render()
+        messages = " | ".join(f.message for f in vla)
+        assert "vary with VLEN" in messages
+        # The evidence names VLENs beyond the sampled window.
+        assert "8192" in messages and "16384" in messages
+
+    def test_static_audit_restricted_to_the_window_agrees_with_sampling(self):
+        report = audit_kernel_static(self.spec, "rvv", DEFAULT_VLENS)
+        assert report.ok, report.render()
+
+
+# ----------------------------------------------------------------------
+# Fold parity: static findings == trace-lifted findings, tuple for
+# tuple, on every golden fragment.
+# ----------------------------------------------------------------------
+class TestFoldParity:
+    @pytest.mark.parametrize("name,run", [
+        ("bad/uninit_loop", _uninit_loop_kernel),
+        ("bad/oob_store", _oob_store_kernel),
+        ("bad/slide_overlap", _slide_overlap_kernel),
+        ("good/out_of_window@512", _out_of_window_kernel),
+    ])
+    def test_single_vlen_parity(self, name, run):
+        spec = _spec(name, run)
+        static = audit_kernel_static(spec, "rvv", (512,))
+        trace = audit_kernel(spec, "rvv", (512,))
+        assert [_key(f) for f in static.findings] == \
+               [_key(f) for f in trace.findings]
+        assert static.instr_counts[512] == trace.instr_counts[512]
+
+    def test_pinned_vl_parity_across_the_window(self):
+        spec = _spec("bad/pinned", _pinned_vl_kernel)
+        static = audit_kernel_static(spec, "rvv", DEFAULT_VLENS)
+        trace = audit_kernel(spec, "rvv", DEFAULT_VLENS)
+        assert not static.ok and not trace.ok
+        assert [_key(f) for f in static.findings] == \
+               [_key(f) for f in trace.findings]
+        assert any("pinned at 16" in f.message for f in static.findings)
+
+    def test_static_verdict_extends_beyond_the_window(self):
+        # Over every VLEN whose VLMAX can honour the hard-coded grant,
+        # the pinned-vl verdict extends to the whole domain — the
+        # evidence names VLENs the sampled window never looked at.
+        domain = tuple(v for v in VLEN_CHOICES if v >= 512)
+        report = audit_kernel_static(
+            _spec("bad/pinned", _pinned_vl_kernel), "rvv", domain)
+        assert any("pinned at 16" in f.message and "16384" in f.message
+                   for f in report.findings), report.render()
+
+
+# ----------------------------------------------------------------------
+# S6: one finding per defect, not one per loop iteration.
+# ----------------------------------------------------------------------
+class TestDeduplication:
+    def test_loop_repeats_collapse_to_one_finding_with_a_count(self):
+        def run(machine):
+            machine.setvl(machine.setvl(1 << 20))
+            with machine.alloc.scoped(1) as (v,):
+                machine.vfmv_v_f(v, 2.0)
+                for _ in range(6):
+                    machine.vslideup_vx(v, v, 1)
+
+        static = audit_kernel_static(
+            _spec("bad/overlap_loop", run), "rvv", (512,))
+        trace = audit_kernel(_spec("bad/overlap_loop", run), "rvv", (512,))
+        for report in (static, trace):
+            hits = [f for f in report.findings if f.pass_id == "overlap"]
+            assert len(hits) == 1, report.render()
+            assert hits[0].count == 6  # once per defect, not per iteration
+            assert hits[0].index == 3  # anchored at the first occurrence
+
+    def test_first_iteration_defects_do_not_inflate(self):
+        # The accumulator is uninitialized only on the first trip —
+        # later iterations read the previous iteration's definition —
+        # so the count must stay 1, not the trip count.
+        report = audit_kernel_static(
+            _spec("bad/uninit_loop", _uninit_loop_kernel), "rvv", (512,))
+        uninit = [f for f in report.findings
+                  if f.pass_id == "defuse" and "uninitialized" in f.message]
+        assert len(uninit) == 1, report.render()
+        assert uninit[0].count == 1
+
+    def test_distinct_defects_stay_distinct(self):
+        def run(machine):
+            _oob_store_kernel(machine)
+            _slide_overlap_kernel(machine)
+
+        report = audit_kernel_static(_spec("bad/both", run), "rvv", (512,))
+        assert {f.pass_id for f in report.findings} >= {"overlap", "memsafety"}
+
+
+# ----------------------------------------------------------------------
+# S1: the CLI contract.
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_static_json_schema_and_exit_zero_on_clean(self, capsys):
+        rc = main(["lint-kernels", "--static", "--kernel", "gemm", "--json"])
+        assert rc == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert [r["kernel"] for r in reports] == ["gemm", "gemm"]
+        for r in reports:
+            assert r["mode"] == "static" and r["ok"] is True
+            assert set(r) >= {"kernel", "machine", "mode", "vlens", "ok",
+                              "passes_run", "instr_counts", "regimes",
+                              "unsupported", "findings", "perf"}
+
+    def test_nonzero_exit_and_finding_schema_on_errors(
+            self, capsys, monkeypatch):
+        bad = _spec("bad/pinned", _pinned_vl_kernel)
+        monkeypatch.setattr(
+            "repro.analysis.audit.KERNEL_SPECS", KERNEL_SPECS + (bad,))
+        rc = main(["lint-kernels", "--static", "--kernel", "bad/pinned",
+                   "--json"])
+        assert rc == 1
+        reports = json.loads(capsys.readouterr().out)
+        assert len(reports) == 1 and reports[0]["ok"] is False
+        f = reports[0]["findings"][0]
+        assert set(f) >= {"pass_id", "severity", "index", "message",
+                          "disasm", "vlen_bits", "count"}
+        assert f["severity"] in ("error", "warning")
+
+    def test_text_mode_nonzero_exit(self, capsys, monkeypatch):
+        bad = _spec("bad/oob", _oob_store_kernel)
+        monkeypatch.setattr(
+            "repro.analysis.audit.KERNEL_SPECS", KERNEL_SPECS + (bad,))
+        rc = main(["lint-kernels", "--static", "--kernel", "bad/oob"])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# The speed claim, measured end to end (opt-in: slow by construction,
+# it must run the full concrete audit to have a baseline).
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not os.environ.get("REPRO_RUN_WALL_BENCH"),
+                    reason="set REPRO_RUN_WALL_BENCH=1 to measure")
+def test_static_audit_is_10x_faster_than_trace_capture():
+    from repro.analysis import audit_kernels
+
+    t0 = time.perf_counter()
+    static_reports = audit_kernels_static()
+    t_static = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    trace_reports = audit_kernels()
+    t_trace = time.perf_counter() - t0
+    assert all(r.ok for r in static_reports)
+    assert all(r.ok for r in trace_reports)
+    assert t_trace / t_static >= 10.0, (
+        f"static {t_static:.2f}s vs trace {t_trace:.2f}s "
+        f"({t_trace / t_static:.1f}x)")
