@@ -49,6 +49,7 @@ from repro.kernels.tuple_mult import (
 )
 from repro.rvv import Memory, RvvMachine, RvvPlusMachine, Tracer
 from repro.rvv.machine import VectorEngine
+from repro.schedule.library import SCHEDULED_VARIANTS
 from repro.sve import SveMachine
 
 #: The paper's co-design sweep points; the VLA pass diffs across these.
@@ -225,6 +226,13 @@ KERNEL_SPECS: tuple[KernelSpec, ...] = (
                machines=("rvv",)),
     KernelSpec("conv/winograd", _winograd_driver_harness, fast=False),
     KernelSpec("conv/im2col_gemm", _im2col_driver_harness, fast=False),
+) + tuple(
+    # DSL-generated kernels (repro.schedule): the default schedules
+    # reproduce the hand-written gemm/im2col/direct1x1 programs, the
+    # rest keep LMUL grouping and reduction blocking under continuous
+    # audit.  Same passes, same gates — generated code earns no slack.
+    KernelSpec(v.name, v.run, machines=v.machines)
+    for v in SCHEDULED_VARIANTS
 )
 
 

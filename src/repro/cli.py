@@ -33,6 +33,9 @@ workflow:
                    cost model (closed forms in VLEN) that
                    ``--reconcile`` machine-checks bit-exactly against
                    concrete traced runs;
+- ``tune``         per-layer schedule search over the kernel DSL:
+                   surrogate-rank the space, exactly simulate the
+                   top-k, report the best schedule with provenance;
 - ``info``         describe a system configuration.
 """
 
@@ -561,6 +564,44 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_tune(args) -> int:
+    import json
+    from dataclasses import asdict
+    from pathlib import Path
+
+    from repro.codesign.tuner import tune_network
+    from repro.conv.layer import ConvLayerSpec
+    from repro.obs import run_manifest, write_manifest
+
+    config = _config(args)
+    layers = [l for l in _network(args.network)
+              if isinstance(l, ConvLayerSpec)]
+    if args.layers is not None:
+        layers = layers[: args.layers]
+    report = tune_network(
+        args.network, layers, config, seed=args.seed, budget=args.budget,
+        top_k=args.top_k, max_pixels=args.max_pixels,
+        max_channels=args.max_channels, exhaustive=args.exhaustive)
+    payload = report.to_dict()
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "tuning_report.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        write_manifest(out, run_manifest(
+            "tune", config=asdict(config), seed=args.seed,
+            extra={"network": args.network, "layers": args.layers,
+                   "budget": args.budget, "top_k": args.top_k,
+                   "max_pixels": args.max_pixels,
+                   "max_channels": args.max_channels,
+                   "exhaustive": args.exhaustive}))
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -764,6 +805,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--perf", action="store_true",
                    help="run the non-gating performance lints")
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "tune",
+        help="per-layer schedule search: surrogate-rank the DSL's "
+             "schedule space, exactly simulate the top-k on proxy "
+             "problems, report the best schedule per layer")
+    p.add_argument("network", choices=["vgg16", "yolov3"])
+    _add_system_args(p)
+    p.add_argument("--layers", type=int, default=None, metavar="N",
+                   help="tune only the first N conv layers")
+    p.add_argument("--seed", type=int, default=0,
+                   help="rng seed for space sampling and test data "
+                        "(results are a pure function of the seed)")
+    p.add_argument("--budget", type=int, default=24,
+                   help="candidate schedules surrogate-ranked per layer "
+                        "(default 24; 0 = the whole space)")
+    p.add_argument("--top-k", type=int, default=3, dest="top_k",
+                   help="surrogate leaders re-ranked by exact "
+                        "simulation (the default schedule is always "
+                        "included; default 3)")
+    p.add_argument("--max-pixels", type=int, default=1024,
+                   help="proxy cap: halve the layer's spatial extents "
+                        "until h_out*w_out fits (default 1024)")
+    p.add_argument("--max-channels", type=int, default=64,
+                   help="proxy cap on c_in/c_out (default 64)")
+    p.add_argument("--exhaustive", action="store_true",
+                   help="exactly simulate every sampled candidate "
+                        "(slow; for surrogate validation)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full tuning report as JSON")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="write tuning_report.json + manifest.json to DIR")
+    p.set_defaults(func=cmd_tune)
 
     p = sub.add_parser("info", help="describe a system configuration")
     _add_system_args(p)

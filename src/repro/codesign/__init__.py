@@ -37,6 +37,14 @@ from repro.codesign.sweep import (
     codesign_sweep,
     validate_codesign_sweep,
 )
+from repro.codesign.tuner import (
+    LayerTuning,
+    TunedCandidate,
+    TuningReport,
+    proxy_layer,
+    tune_layer,
+    tune_network,
+)
 
 __all__ = [
     "codesign_sweep",
@@ -63,4 +71,10 @@ __all__ = [
     "PAPER_TABLE1_YOLO",
     "PAPER_TABLE2_VGG",
     "PAPER_HEADLINES",
+    "TunedCandidate",
+    "LayerTuning",
+    "TuningReport",
+    "proxy_layer",
+    "tune_layer",
+    "tune_network",
 ]

@@ -16,7 +16,13 @@ from repro.conv.layer import (
     choose_algorithm,
     run_layer,
 )
-from repro.conv.reference import conv_out_size, direct_conv2d, pad_input
+from repro.conv.reference import (
+    conv_out_size,
+    direct_conv2d,
+    gemm_fp32,
+    im2col_gemm_conv2d_fp32,
+    pad_input,
+)
 from repro.winograd.tiles import WinogradConv2d
 
 __all__ = [
@@ -26,6 +32,8 @@ __all__ = [
     "im2col",
     "gemm",
     "im2col_gemm_conv2d",
+    "gemm_fp32",
+    "im2col_gemm_conv2d_fp32",
     "WinogradConv2d",
     "ConvAlgorithm",
     "ConvLayerSpec",

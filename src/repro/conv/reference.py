@@ -67,3 +67,48 @@ def direct_conv2d(
     windows = np.lib.stride_tricks.sliding_window_view(xp, (kh, kw), axis=(1, 2))
     windows = windows[:, ::stride, ::stride][:, :h_out, :w_out]
     return np.einsum("chwij,kcij->khw", windows, weights, optimize=True)
+
+
+def gemm_fp32(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C = A @ B with the vector machine's exact fp32 rounding.
+
+    The RVV/SVE ``vfmacc.vf`` model computes, per lane and reduction
+    step, ``acc = fp32(acc + fp32(a_ik * b_kj))`` with ``k`` strictly
+    increasing.  Every schedule the DSL can express preserves that
+    per-element accumulation order (the reduction axis may be blocked
+    but never reordered or vectorized), so this k-ordered fp32
+    reference is *bit-identical* to any generated or hand-written
+    GEMM kernel — the comparison the differential campaign relies on.
+    """
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ConfigError(f"GEMM shape mismatch: {a.shape} x {b.shape}")
+    a32 = np.ascontiguousarray(a, dtype=np.float32)
+    b32 = np.ascontiguousarray(b, dtype=np.float32)
+    out = np.zeros((a32.shape[0], b32.shape[1]), dtype=np.float32)
+    for k in range(a32.shape[1]):
+        out += a32[:, k : k + 1] * b32[k]
+    return out
+
+
+def im2col_gemm_conv2d_fp32(
+    x: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """im2col + GEMM convolution with machine-exact fp32 accumulation.
+
+    The im2col stage only copies values (exact in any precision); the
+    GEMM stage uses :func:`gemm_fp32`, so the result matches the
+    vectorized kernels bit for bit.
+    """
+    from repro.conv.im2col_gemm import im2col
+
+    k, c, kh, kw = weights.shape
+    if x.shape[0] != c:
+        raise ConfigError(f"channel mismatch: input {x.shape[0]} vs filters {c}")
+    h_out = conv_out_size(x.shape[1], kh, stride, pad)
+    w_out = conv_out_size(x.shape[2], kw, stride, pad)
+    cols = im2col(np.ascontiguousarray(x, dtype=np.float32), kh, kw, stride, pad)
+    out = gemm_fp32(weights.reshape(k, c * kh * kw), cols)
+    return out.reshape(k, h_out, w_out)

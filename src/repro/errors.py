@@ -41,6 +41,17 @@ class VectorStateError(ReproError):
     """
 
 
+class ScheduleError(ReproError):
+    """A scheduling primitive or composed schedule is illegal.
+
+    Raised by :mod:`repro.schedule` *before* any instruction is emitted:
+    an illegal schedule (misaligned vector tile, LMUL register-group
+    overflow, vectorized reduction, ...) must never lower to a driver
+    program, so the machines and audit pipelines only ever see
+    well-formed kernels.
+    """
+
+
 class RegisterSpillError(ReproError):
     """A kernel requested more live vector registers than the file holds.
 

@@ -123,6 +123,21 @@ def ceil_div(a: int, b: int) -> int:
     return -(-a // b)
 
 
+#: Legal RVV 1.0 register-group multipliers (integer LMUL).
+LMUL_CHOICES: tuple[int, ...] = (1, 2, 4, 8)
+
+
+def validate_lmul(lmul: int) -> None:
+    """Reject register-group multipliers RVV 1.0 does not define.
+
+    Shared by the streaming micro-kernels and the schedule DSL so both
+    agree on what a legal grouping is (fractional LMUL is out of scope:
+    the kernels are fp32/SEW=32 throughout).
+    """
+    if lmul not in LMUL_CHOICES:
+        raise ConfigError(f"LMUL must be 1, 2, 4 or 8, got {lmul}")
+
+
 @dataclass(frozen=True)
 class WinogradGeometry:
     """All derived sizes and layouts of the blocked Winograd pipeline.

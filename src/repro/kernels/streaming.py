@@ -18,12 +18,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.kernels.common import validate_lmul
 from repro.rvv.machine import VectorEngine
 
 
 def _check_lmul(machine: VectorEngine, lmul: int) -> None:
-    if lmul not in (1, 2, 4, 8):
-        raise ConfigError(f"LMUL must be 1, 2, 4 or 8, got {lmul}")
+    validate_lmul(lmul)
 
 
 def memcpy_kernel(

@@ -1,0 +1,71 @@
+"""Kernel-generation DSL: algorithms, schedules, lowering and search.
+
+Exo-style separation of concerns for the repo's convolution kernels: a
+statement (:mod:`repro.schedule.algorithms`) says *what* is computed,
+a :class:`Schedule` (:mod:`repro.schedule.ir`) says *how* its loop
+nest is tiled/ordered/vectorized/unrolled, and the lowering
+(:mod:`repro.schedule.lower`) emits the same RVV/SVE driver programs
+the hand-written kernels produce — so the functional machines, audit
+pipelines and cost model consume generated kernels unchanged.
+
+``repro tune`` searches this space per layer
+(:mod:`repro.schedule.space`, :mod:`repro.codesign.tuner`).
+"""
+
+from repro.errors import ScheduleError
+from repro.schedule.algorithms import (
+    CopyAlgorithm,
+    CopyOperands,
+    MatmulAlgorithm,
+    MatmulOperands,
+)
+from repro.schedule.cost import SurrogateCost, copy_surrogate, matmul_surrogate
+from repro.schedule.ir import (
+    VL,
+    Schedule,
+    copy_schedule,
+    default_copy_schedule,
+    default_direct_schedule,
+    default_matmul_schedule,
+    matmul_schedule,
+)
+from repro.schedule.library import (
+    SCHEDULED_VARIANTS,
+    ScheduledVariant,
+    scheduled_direct1x1,
+    scheduled_gemm,
+    scheduled_im2col,
+    scheduled_im2col_gemm_conv2d_sim,
+)
+from repro.schedule.lower import GeneratedKernel, lower_copy, lower_matmul
+from repro.schedule.space import copy_space, matmul_space, sample_space
+
+__all__ = [
+    "Schedule",
+    "ScheduleError",
+    "VL",
+    "matmul_schedule",
+    "copy_schedule",
+    "default_matmul_schedule",
+    "default_direct_schedule",
+    "default_copy_schedule",
+    "MatmulAlgorithm",
+    "MatmulOperands",
+    "CopyAlgorithm",
+    "CopyOperands",
+    "lower_matmul",
+    "lower_copy",
+    "GeneratedKernel",
+    "scheduled_gemm",
+    "scheduled_im2col",
+    "scheduled_direct1x1",
+    "scheduled_im2col_gemm_conv2d_sim",
+    "SCHEDULED_VARIANTS",
+    "ScheduledVariant",
+    "matmul_space",
+    "copy_space",
+    "sample_space",
+    "matmul_surrogate",
+    "copy_surrogate",
+    "SurrogateCost",
+]

@@ -1,0 +1,87 @@
+"""Golden disassembly fixtures for DSL-generated programs.
+
+``tests/data/golden_schedule_*.json`` freeze the full disassembly
+listing (and schedule descriptor) of two canonical generated kernels
+at VLEN 512 on the registry harness problem:
+
+- ``gemm@default``: the schedule that reproduces the hand-written
+  GEMM (j-strips outermost, mr=8 register accumulators, LMUL=1);
+- ``gemm@ijk-lmul4``: rows outermost, LMUL=4 register groups, hoisted
+  vsetvl — a program no hand-written kernel emits.
+
+Any codegen change — instruction order, register allocation, AVL
+requests, memory operands — shows up as a byte diff here.  Regenerate
+deliberately after changing the lowering:
+``PYTHONPATH=src python tests/test_schedule_golden.py``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.rvv import Memory, RvvMachine, Tracer, listing
+from repro.schedule.ir import Schedule, default_matmul_schedule
+from repro.schedule.library import LMUL4_GEMM, _gemm_harness
+
+pytestmark = pytest.mark.dsl
+
+DATA = Path(__file__).resolve().parent / "data"
+GOLDEN_VLEN = 512
+
+#: name -> the schedule lowered on the registry GEMM harness problem.
+GOLDEN_SCHEDULES: dict[str, Schedule] = {
+    "gemm_default": default_matmul_schedule(),
+    "gemm_ijk_lmul4": LMUL4_GEMM,
+}
+FIXTURES = {name: DATA / f"golden_schedule_{name}.json"
+            for name in GOLDEN_SCHEDULES}
+
+
+def _payload(name: str) -> dict:
+    sched = GOLDEN_SCHEDULES[name]
+    machine = RvvMachine(GOLDEN_VLEN, memory=Memory(1 << 26),
+                         tracer=Tracer(capture=True))
+    _gemm_harness(sched)(machine)
+    return {
+        "kernel": name,
+        "vlen": GOLDEN_VLEN,
+        "schedule": sched.describe(),
+        "listing": listing(machine.tracer).splitlines(),
+    }
+
+
+def _serialize(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SCHEDULES))
+def test_generated_program_matches_golden_fixture(name):
+    stored = json.loads(FIXTURES[name].read_text())
+    fresh = _payload(name)
+    assert fresh["schedule"] == stored["schedule"]
+    assert fresh["listing"] == stored["listing"]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SCHEDULES))
+def test_fixture_bytes_are_stable(name):
+    """The on-disk bytes equal the canonical serialization exactly."""
+    stored_text = FIXTURES[name].read_text()
+    assert stored_text == _serialize(json.loads(stored_text))
+    assert stored_text == _serialize(_payload(name))
+
+
+def test_goldens_differ_from_each_other():
+    """The two schedules really pin different programs."""
+    a = json.loads(FIXTURES["gemm_default"].read_text())
+    b = json.loads(FIXTURES["gemm_ijk_lmul4"].read_text())
+    assert a["listing"] != b["listing"]
+    assert a["schedule"]["lmul"] == 1
+    assert b["schedule"]["lmul"] == 4
+
+
+if __name__ == "__main__":
+    DATA.mkdir(exist_ok=True)
+    for name, path in FIXTURES.items():
+        path.write_text(_serialize(_payload(name)))
+        print(f"wrote {path}")

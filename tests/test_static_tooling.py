@@ -28,6 +28,7 @@ COVERAGE_TESTS = [
     "tests/test_sim_cache.py",
     "tests/test_sim_events.py",
     "tests/test_sim_system.py",
+    "tests/test_schedule_tune.py",
 ]
 
 
@@ -53,6 +54,13 @@ STRICT_SIM_MODULES = [
     "repro.sim.system",
 ]
 
+#: The strict-mypy kernel-generation layer: the schedule DSL and the
+#: tuner that searches it (generator bugs become silent kernel bugs).
+STRICT_SCHEDULE_MODULES = [
+    "repro.schedule",
+    "repro.codesign.tuner",
+]
+
 
 def test_pyproject_configures_the_tools():
     text = (REPO / "pyproject.toml").read_text()
@@ -64,6 +72,12 @@ def test_pyproject_configures_the_tools():
         "(covered by the repro.analysis.* glob)"
     )
     assert "strict = true" in text
+    assert '"repro.schedule.*"' in text, (
+        "the kernel-generation DSL must be in the strict-mypy scope"
+    )
+    assert '"repro.codesign.tuner"' in text, (
+        "the schedule tuner must be in the strict-mypy scope"
+    )
     for mod in STRICT_OBS_MODULES + STRICT_SIM_MODULES:
         assert f'"{mod}"' in text, (
             f"{mod} missing from the strict-mypy override in pyproject.toml"
@@ -78,6 +92,7 @@ def test_pyproject_configures_coverage_and_markers():
     assert "differential:" in text
     assert "bench:" in text
     assert "traceio:" in text
+    assert "dsl:" in text
 
 
 def test_coverage_floor_on_sim_and_codesign():
@@ -141,4 +156,14 @@ def test_mypy_clean_on_strict_sim_modules():
         pytest.skip("mypy not installed (dev extra)")
     mods = [a for m in STRICT_SIM_MODULES for a in ("-m", m)]
     proc = _run([sys.executable, "-m", "mypy", *mods])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_mypy_clean_on_schedule_dsl():
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        pytest.skip("mypy not installed (dev extra)")
+    proc = _run([sys.executable, "-m", "mypy", "-p", "repro.schedule",
+                 "-m", "repro.codesign.tuner"])
     assert proc.returncode == 0, proc.stdout + proc.stderr
