@@ -34,6 +34,7 @@ import os
 import pytest
 
 from repro.codesign import codesign_sweep
+from repro.envknobs import env_dir, env_int
 from repro.nets import vgg16_layers, yolov3_layers
 
 _bench_recorder = None
@@ -52,11 +53,11 @@ def _session_recorder():
 
 def sweep_kwargs(tag: str) -> dict:
     """Executor arguments for one named sweep, from the environment."""
-    kwargs: dict = {"workers": int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))}
-    root = os.environ.get("REPRO_SWEEP_CHECKPOINT")
+    kwargs: dict = {"workers": env_int("REPRO_SWEEP_WORKERS", 1, minimum=1)}
+    root = env_dir("REPRO_SWEEP_CHECKPOINT")
     if root:
         kwargs["checkpoint_dir"] = os.path.join(root, tag)
-    trace_root = os.environ.get("REPRO_SWEEP_TRACE")
+    trace_root = env_dir("REPRO_SWEEP_TRACE")
     if trace_root:
         from repro.obs import JsonlSink, run_manifest, write_manifest
 
@@ -66,7 +67,7 @@ def sweep_kwargs(tag: str) -> dict:
                 k: str(v) for k, v in kwargs.items()}},
         ))
         kwargs["sink"] = JsonlSink(os.path.join(trace_dir, "events.jsonl"))
-    if os.environ.get("REPRO_BENCH_BASELINE"):
+    if env_dir("REPRO_BENCH_BASELINE"):
         kwargs["recorder"] = _session_recorder()
     return kwargs
 
@@ -75,7 +76,7 @@ def sweep_kwargs(tag: str) -> dict:
 def bench_baseline_session():
     """Freeze the session's recorded sweep points at teardown."""
     yield
-    root = os.environ.get("REPRO_BENCH_BASELINE")
+    root = env_dir("REPRO_BENCH_BASELINE")
     if not root or _bench_recorder is None or not len(_bench_recorder):
         return
     from repro.obs import BaselineStore, baseline_payload, git_rev
@@ -83,7 +84,7 @@ def bench_baseline_session():
     payload = baseline_payload(
         git_rev() or "untracked", _bench_recorder,
         config={"source": "benchmarks session",
-                "workers": int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))},
+                "workers": env_int("REPRO_SWEEP_WORKERS", 1, minimum=1)},
     )
     path = BaselineStore(root).save(payload)
     print(f"\nrecorded bench baseline {payload['rev']} -> {path}")

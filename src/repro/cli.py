@@ -185,6 +185,98 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the co-design query service until interrupted, then drain."""
+    import asyncio
+    import signal
+
+    from repro.serve import CodesignService, ResultStore, ServeServer
+
+    store = ResultStore(
+        max_bytes=(args.store_mb * 1024 * 1024
+                   if args.store_mb is not None else None),
+        directory=args.store_dir,
+    )
+    service = CodesignService(store, workers=args.workers)
+    server = ServeServer(service, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await server.start()
+        where = f"http://{args.host}:{server.port}"
+        print(f"repro serve listening on {where} "
+              f"(workers={service.workers}, "
+              f"store={store.max_bytes // (1024 * 1024)}MB"
+              + (f", dir={store.directory}" if store.directory else "")
+              + ")", file=sys.stderr)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await stop.wait()
+        print("repro serve: draining in-flight queries...", file=sys.stderr)
+        await server.stop()
+
+    asyncio.run(run())
+    return 0
+
+
+def cmd_query(args) -> int:
+    """Submit one query to a running service and print the sweep."""
+    import json
+    from pathlib import Path
+
+    from repro.codesign import SweepResult
+    from repro.serve import stream_query
+
+    payload: dict = {
+        "vlens": [int(v) for v in args.vlens.split(",")],
+        "l2_mbs": [int(v) for v in args.l2_sizes.split(",")],
+        "mode": args.mode,
+    }
+    if args.cfg is not None:
+        payload["cfg"] = Path(args.cfg).read_text()
+        payload["name"] = args.name or Path(args.cfg).stem
+    elif args.network is not None:
+        payload["network"] = args.network
+    else:
+        print("error: pass a network name or --cfg FILE", file=sys.stderr)
+        return 2
+    if args.layers is not None:
+        payload["max_layers"] = args.layers
+    if args.pure_gemm:
+        payload["hybrid"] = False
+    sweep_dict = None
+    try:
+        for ev in stream_query(args.host, args.port, payload,
+                               timeout=args.timeout):
+            kind = ev.get("event")
+            if kind == "point" and args.progress:
+                print(f"[{ev.get('done')}/{ev.get('total')}] "
+                      f"vlen={ev.get('vlen')} l2={ev.get('l2_mb')}MB "
+                      f"{ev.get('source')}", file=sys.stderr)
+            elif kind == "query_error":
+                print(f"error: {ev.get('reason')}", file=sys.stderr)
+                return 1
+            elif kind == "query_result":
+                sweep_dict = ev.get("sweep")
+    except OSError as e:
+        print(f"error: cannot reach {args.host}:{args.port} ({e})",
+              file=sys.stderr)
+        return 1
+    if sweep_dict is None:
+        print("error: event stream ended without a result (the service "
+              "may have rejected the query; see its log)", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(sweep_dict, indent=2))
+    else:
+        print(runtime_figure(SweepResult.from_dict(sweep_dict)))
+    return 0
+
+
 def cmd_profile(args) -> int:
     """Simulate one inference under the span tracer and report where
     the cycles went, per layer."""
@@ -650,6 +742,50 @@ def build_parser() -> argparse.ArgumentParser:
                         "(events.jsonl) and run manifest (manifest.json) "
                         "into DIR")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the co-design query service (async HTTP, NDJSON "
+             "event streams, content-addressed result store)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8037,
+                   help="listen port (0 picks an ephemeral port)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="VLEN columns evaluated concurrently")
+    p.add_argument("--store-mb", type=int, default=None, metavar="MB",
+                   help="in-memory result-store budget (default 64)")
+    p.add_argument("--store-dir", default=None, metavar="DIR",
+                   help="persist every computed point to DIR so the "
+                        "service restarts warm")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "query",
+        help="submit one co-design query to a running 'repro serve'")
+    p.add_argument("network", nargs="?", choices=["vgg16", "yolov3"],
+                   help="a named network (or use --cfg)")
+    p.add_argument("--cfg", default=None, metavar="FILE",
+                   help="darknet cfg file describing a custom topology")
+    p.add_argument("--name", default=None,
+                   help="label for a --cfg topology (default: file stem)")
+    p.add_argument("--layers", type=int, default=None, metavar="N",
+                   help="truncate the network to its first N layers")
+    p.add_argument("--vlens", default="512,1024,2048,4096",
+                   help="comma-separated vector lengths in bits")
+    p.add_argument("--l2-sizes", default="1,16,64,128,256",
+                   help="comma-separated L2 sizes in MB")
+    p.add_argument("--mode", choices=["exact", "fast"], default="exact")
+    p.add_argument("--pure-gemm", action="store_true",
+                   help="baseline policy: im2col+GEMM everywhere")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8037)
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="socket timeout in seconds (default: none)")
+    p.add_argument("--progress", action="store_true",
+                   help="print a per-point progress line to stderr")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable sweep dict")
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser(
         "profile",

@@ -8,7 +8,12 @@ the backend; :func:`validate_codesign_sweep` runs both and reports
 per-point miss-rate deltas.
 """
 
-from repro.codesign.executor import SweepProgress, run_sweep
+from repro.codesign.executor import (
+    SweepProgress,
+    evaluate_column,
+    evaluate_point,
+    run_sweep,
+)
 from repro.codesign.fastpath import (
     MISS_RATE_BOUND,
     LayerProfile,
@@ -50,6 +55,8 @@ __all__ = [
     "codesign_sweep",
     "validate_codesign_sweep",
     "run_sweep",
+    "evaluate_column",
+    "evaluate_point",
     "profile_network",
     "NetworkProfile",
     "LayerProfile",

@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 import warnings as _warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -365,6 +366,70 @@ def _evaluate_vlen_fast(
     return out, {"span": local.root.to_dict(), "counters": cap.delta()}
 
 
+def evaluate_column(
+    name: str,
+    layers: list[LayerSpec],
+    vlen: int,
+    l2_mbs: Sequence[int],
+    hybrid: bool = True,
+    variant: str = SLIDEUP,
+    base_config: SystemConfig | None = None,
+    mode: str = BACKEND_EXACT,
+    collect: bool = False,
+) -> tuple[list[tuple[int, NetworkResult, float]], dict]:
+    """Evaluate one VLEN column of the co-design grid — the executor's
+    reusable unit of work.
+
+    This is the API the sweep pool *and* the serve layer
+    (:mod:`repro.serve`) schedule: one call amortizes the per-VLEN pass
+    (exact recording or fast profiling) over every requested L2 size
+    and returns ``([(l2_mb, result, seconds), ...], extras)``, where
+    ``extras`` carries the picklable span/counter capture when
+    ``collect`` is set (see :func:`_evaluate_vlen_exact`).  Results are
+    bit-identical to a fresh
+    :func:`~repro.nets.inference.simulate_inference` /
+    :func:`~repro.codesign.fastpath.profile_network` evaluation at each
+    point regardless of how the l2 axis was batched.
+    """
+    if mode not in BACKENDS:
+        raise ConfigError(
+            f"unknown sweep mode {mode!r} (expected one of {BACKENDS})"
+        )
+    if not l2_mbs:
+        raise ConfigError("evaluate_column needs at least one L2 size")
+    base = base_config if base_config is not None else SystemConfig()
+    column_fn = (
+        _evaluate_vlen_fast if mode == BACKEND_FAST else _evaluate_vlen_exact
+    )
+    return column_fn(
+        name, layers, int(vlen), tuple(int(l) for l in l2_mbs),
+        hybrid, variant, base, collect,
+    )
+
+
+def evaluate_point(
+    name: str,
+    layers: list[LayerSpec],
+    vlen: int,
+    l2_mb: int,
+    hybrid: bool = True,
+    variant: str = SLIDEUP,
+    base_config: SystemConfig | None = None,
+    mode: str = BACKEND_EXACT,
+) -> NetworkResult:
+    """Evaluate a single (VLEN, L2) grid point.
+
+    A one-point :func:`evaluate_column`; bit-identical to the same
+    point of any sweep over a grid containing it.
+    """
+    column, _ = evaluate_column(
+        name, layers, vlen, (l2_mb,), hybrid=hybrid, variant=variant,
+        base_config=base_config, mode=mode,
+    )
+    (_, result, _), = column
+    return result
+
+
 # ----------------------------------------------------------------------
 # Checkpoint directory layout.
 # ----------------------------------------------------------------------
@@ -392,34 +457,106 @@ def _point_path(directory: Path, vlen: int, l2_mb: int) -> Path:
     return directory / f"point_v{vlen}_l2mb{l2_mb}.json"
 
 
+def _materialize_json(path: Path, payload: dict) -> str:
+    """Write ``payload`` to a *uniquely named* sibling temp file,
+    flushed and fsynced; returns the temp path, ready to publish.
+
+    The unique name (``tempfile.mkstemp``) is what makes concurrent
+    writers safe: two processes serving or resuming the same checkpoint
+    directory each write their own temp file, so one can never tear or
+    redirect the other's in-flight bytes (a fixed sibling ``.tmp`` name
+    let writer B's content be published under writer A's ``os.replace``
+    — a torn or wrong-point file).  The fsync makes the rename durable:
+    after ``os.replace``, a crash can lose the *write*, never publish
+    half of one.
+    """
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload))
+            fh.flush()
+            os.fsync(fh.fileno())
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return tmp
+
+
 def _write_json_atomic(path: Path, payload: dict) -> None:
-    """Write via a sibling temp file so a kill never leaves half a
-    checkpoint behind (a torn file is treated as absent on resume)."""
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload))
-    os.replace(tmp, path)
+    """Atomically (re)write ``path`` — safe against kills *and*
+    concurrent writers.
+
+    A kill mid-write leaves at most a stray uniquely-named ``.tmp``
+    file, never half a checkpoint (torn files are treated as absent on
+    resume); concurrent writers each publish a complete file and the
+    last ``os.replace`` wins.
+    """
+    tmp = _materialize_json(path, payload)
+    try:
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _create_json_excl(path: Path, payload: dict) -> bool:
+    """Atomically create ``path`` with ``payload`` only if it does not
+    exist yet (``O_EXCL`` semantics with full-content publication).
+
+    Returns ``False`` when another writer won the race — and because
+    publication is a hard link of an already-fsynced temp file, the
+    winner's file is complete the instant it is observable; the loser
+    can immediately read and validate it.
+    """
+    tmp = _materialize_json(path, payload)
+    try:
+        os.link(tmp, path)
+    except FileExistsError:
+        return False
+    finally:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+    return True
 
 
 def _open_checkpoint_dir(
     directory: Path, manifest: dict
 ) -> None:
-    """Create or validate a checkpoint directory for this sweep."""
+    """Create or validate a checkpoint directory for this sweep.
+
+    Creation is race-free: the manifest is published with ``O_EXCL``
+    semantics (:func:`_create_json_excl`), so two sweeps started
+    concurrently in one fresh directory cannot both believe they
+    created it — exactly one publishes, the other re-validates the
+    winner's manifest as if it had been there all along (the old
+    ``exists()``-then-write sequence was a TOCTOU: both writers saw no
+    manifest and silently proceeded, even with *different* identities).
+    """
     directory.mkdir(parents=True, exist_ok=True)
     mpath = directory / MANIFEST_NAME
-    if mpath.exists():
-        try:
-            existing = json.loads(mpath.read_text())
-        except (OSError, ValueError) as e:
-            raise ConfigError(
-                f"unreadable sweep manifest {mpath}: {e}"
-            ) from None
-        if _manifest_identity(existing) != manifest:
-            raise ConfigError(
-                f"checkpoint directory {directory} belongs to a different "
-                f"sweep (manifest mismatch); use a fresh directory"
-            )
-    else:
-        _write_json_atomic(mpath, manifest)
+    if not mpath.exists() and _create_json_excl(mpath, manifest):
+        return
+    try:
+        existing = json.loads(mpath.read_text())
+    except (OSError, ValueError) as e:
+        raise ConfigError(
+            f"unreadable sweep manifest {mpath}: {e}"
+        ) from None
+    if _manifest_identity(existing) != manifest:
+        raise ConfigError(
+            f"checkpoint directory {directory} belongs to a different "
+            f"sweep (manifest mismatch); use a fresh directory"
+        )
 
 
 def _load_point(

@@ -77,6 +77,7 @@ from repro.obs.events import (
     EventSink,
     JsonlSink,
     MemorySink,
+    ScopedSink,
     TeeSink,
     event,
     read_jsonl,
@@ -86,6 +87,7 @@ from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     RUN_MANIFEST_NAME,
     git_rev,
+    query_manifest,
     run_manifest,
     seed_state,
     write_manifest,
@@ -122,6 +124,7 @@ __all__ = [
     "MemorySink",
     "JsonlSink",
     "CallbackSink",
+    "ScopedSink",
     "TeeSink",
     "event",
     "read_jsonl",
@@ -129,6 +132,7 @@ __all__ = [
     "LEVEL_INFO",
     "LEVEL_WARNING",
     "run_manifest",
+    "query_manifest",
     "write_manifest",
     "seed_state",
     "git_rev",

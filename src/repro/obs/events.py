@@ -121,6 +121,36 @@ class JsonlSink(EventSink):
         self.close()
 
 
+class ScopedSink(EventSink):
+    """Stamps fixed fields onto every event before forwarding.
+
+    The serve layer's client-scoped sink: one shared producer (the
+    service, the executor) emits unscoped events, and each client's
+    ``ScopedSink(inner, query_id=..., client=...)`` tags its copy so an
+    interleaved NDJSON stream — or a flight recorder shared by many
+    concurrent queries — stays attributable.  Scope fields never
+    overwrite a field the event already carries (an event's own
+    ``event``/``level``/payload is the ground truth; the scope is
+    context).
+    """
+
+    def __init__(self, inner: EventSink, **scope: Any) -> None:
+        super().__init__()
+        self.inner = inner
+        self.scope = dict(scope)
+
+    def _deliver(self, ev: dict) -> None:
+        out = dict(ev)
+        out.pop("seq", None)  # the inner sink keeps its own numbering
+        for k, v in self.scope.items():
+            out.setdefault(k, v)
+        self.inner.emit(out)
+
+    def close(self) -> None:
+        """Closing a scope does *not* close the shared inner sink —
+        many scopes may be writing through it."""
+
+
 class TeeSink(EventSink):
     """Fans one event stream out to several sinks."""
 

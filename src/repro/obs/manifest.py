@@ -19,6 +19,7 @@ import random
 import subprocess
 import sys
 import time
+from functools import lru_cache
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -29,9 +30,14 @@ MANIFEST_SCHEMA = 1
 RUN_MANIFEST_NAME = "manifest.json"
 
 
+@lru_cache(maxsize=8)
 def git_rev(cwd: str | Path | None = None) -> str | None:
     """The current git revision, or None outside a checkout (or when
-    git itself is unavailable) — provenance must never fail a run."""
+    git itself is unavailable) — provenance must never fail a run.
+
+    Cached per process: the serve layer stamps a manifest onto every
+    query, and a subprocess per query would dominate the hot
+    (store-bound) path."""
     try:
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],
@@ -96,6 +102,30 @@ def run_manifest(
     if extra:
         manifest.update(dict(extra))
     return manifest
+
+
+def query_manifest(
+    query_id: str,
+    identity: Mapping[str, Any],
+    config: Mapping[str, Any] | None = None,
+    backend: str | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> dict:
+    """Assemble the manifest for one served co-design query.
+
+    The serve twin of :func:`run_manifest`: in addition to the usual
+    provenance block it pins the query's *content address* — the
+    ``identity`` mapping (network hash, policy, grid) that keys the
+    result store — so a streamed result can always be tied back to the
+    exact cache entries that answered it.
+    """
+    merged: dict[str, Any] = {"query_id": query_id,
+                              "identity": dict(identity)}
+    if extra:
+        merged.update(dict(extra))
+    return run_manifest(
+        "serve-query", config=config, backend=backend, extra=merged,
+    )
 
 
 def write_manifest(directory: str | Path, manifest: Mapping[str, Any]) -> Path:

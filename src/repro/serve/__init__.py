@@ -1,0 +1,54 @@
+"""Co-design-as-a-service: the async query front-end over the sweep.
+
+The paper's study answers one (network x VLEN x L2) grid for one user;
+the production framing is many concurrent clients submitting custom
+darknet ``.cfg`` queries, with hot configurations answered from cache
+and cold ones scheduled.  This package provides that serving loop,
+stdlib-only:
+
+- :mod:`repro.serve.protocol` — the query schema (named network or
+  darknet cfg text, VLEN/L2 grid, backend mode), the content address
+  that keys results (network hash x backend x grid point), NDJSON
+  framing, and the blocking client used by ``repro query``;
+- :mod:`repro.serve.store` — the content-addressed result store: a
+  thread-safe LRU with a byte budget, exactly-once get-or-compute
+  coalescing, optional disk persistence, and ingestion of
+  ``repro sweep --checkpoint-dir`` directories (the store speaks the
+  checkpoint JSON schema verbatim);
+- :mod:`repro.serve.service` — the asyncio service: per-query NDJSON
+  event streams (:mod:`repro.obs` events are the wire format),
+  in-flight point coalescing across clients, a bounded worker pool
+  driving :func:`repro.codesign.executor.evaluate_column`, the HTTP
+  front-end (``repro serve``), and graceful drain-on-shutdown.
+
+Results served from the store are bit-identical to a direct
+:func:`repro.codesign.codesign_sweep` call: points round-trip through
+the same shortest-repr JSON as sweep checkpoints, which preserves every
+float exactly.
+"""
+
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    Query,
+    iter_ndjson,
+    network_hash,
+    point_key,
+    query_identity,
+    stream_query,
+)
+from repro.serve.service import CodesignService, ServeServer
+from repro.serve.store import ResultStore, StoreStats
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Query",
+    "query_identity",
+    "network_hash",
+    "point_key",
+    "iter_ndjson",
+    "stream_query",
+    "ResultStore",
+    "StoreStats",
+    "CodesignService",
+    "ServeServer",
+]

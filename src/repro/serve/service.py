@@ -1,0 +1,464 @@
+"""The asyncio serving loop: queries in, NDJSON event streams out.
+
+:class:`CodesignService` is the engine — transport-free, so tests can
+drive it in-process — and :class:`ServeServer` is the stdlib HTTP/1.1
+front-end ``repro serve`` runs.  The design:
+
+- **store first** — every grid point is looked up in the
+  content-addressed :class:`~repro.serve.store.ResultStore` before any
+  work is scheduled; hot queries never touch the worker pool (the
+  ``bench_serve_load`` benchmark pins this under a millisecond).
+- **column batching** — cold points are grouped by VLEN and each group
+  becomes one :func:`~repro.codesign.executor.evaluate_column` call, so
+  the service amortizes the per-VLEN pass (exact recording / fast
+  profiling) exactly like the sweep executor does.
+- **cross-client coalescing** — each cold point registers an
+  :class:`asyncio.Future` in an in-flight map; a second query wanting
+  the same point (same content address) awaits that future instead of
+  scheduling the work again.  N concurrent clients asking for one cold
+  grid compute it exactly once.
+- **bounded workers** — columns run in a
+  :class:`~concurrent.futures.ThreadPoolExecutor` gated by an
+  :class:`asyncio.Semaphore`, so at most ``workers`` simulations run
+  at a time while the event loop keeps streaming progress.
+- **graceful drain** — :meth:`CodesignService.shutdown` refuses new
+  queries, lets scheduled columns finish (their points land in the
+  store and, when configured, its durable directory — the in-flight
+  checkpoint), then releases the pool.
+
+Every event carries the client's ``query_id`` (stamped by a
+:class:`~repro.obs.events.ScopedSink`), and the stream opens with a
+:func:`~repro.obs.manifest.query_manifest` pinning the query's content
+address, so any answer can be tied back to the cache entries that
+produced it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
+from typing import Any
+
+from repro.codesign.executor import CHECKPOINT_VERSION, evaluate_column
+from repro.codesign.sweep import SweepResult
+from repro.errors import ConfigError, ReproError
+from repro.model.layer_model import NetworkResult
+from repro.nets.layers import LayerSpec
+from repro.obs.counters import COUNTERS
+from repro.obs.events import (
+    LEVEL_WARNING,
+    CallbackSink,
+    EventSink,
+    ScopedSink,
+    event,
+)
+from repro.obs.manifest import query_manifest
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    Query,
+    encode_event,
+    network_hash,
+    point_key,
+    query_identity,
+)
+from repro.serve.store import (
+    SOURCE_COALESCED,
+    SOURCE_COMPUTED,
+    SOURCE_STORE,
+    ResultStore,
+)
+
+#: What a resolved in-flight point future carries.
+_PointValue = tuple[dict[str, Any], float]
+
+
+def _column_worker(
+    query: Query, vlen: int, l2_mbs: tuple[int, ...]
+) -> list[tuple[int, NetworkResult, float]]:
+    """Evaluate one VLEN column (runs on a worker thread)."""
+    layers: list[LayerSpec] = list(query.layers)
+    column, _ = evaluate_column(
+        query.network, layers, vlen, l2_mbs,
+        hybrid=query.hybrid, variant=query.variant,
+        base_config=query.config, mode=query.mode,
+    )
+    return column
+
+
+def _point_payload(
+    query: Query, vlen: int, l2_mb: int, result: NetworkResult
+) -> dict[str, Any]:
+    """One computed point in the checkpoint point schema (what the
+    store holds and what ``--checkpoint-dir`` would have written)."""
+    return {
+        "version": CHECKPOINT_VERSION,
+        "backend": query.mode,
+        "vlen": int(vlen),
+        "l2_mb": int(l2_mb),
+        "result": result.to_dict(),
+    }
+
+
+class CodesignService:
+    """The transport-free serving engine (one per process).
+
+    Args:
+        store: the content-addressed result store answering hot points.
+        workers: bound on concurrently evaluating columns.
+    """
+
+    def __init__(self, store: ResultStore | None = None,
+                 workers: int = 2) -> None:
+        self.store = store if store is not None else ResultStore()
+        self.workers = max(1, int(workers))
+        self._pool: ThreadPoolExecutor | None = None
+        self._sem = asyncio.Semaphore(self.workers)
+        self._inflight: dict[str, "asyncio.Future[_PointValue]"] = {}
+        self._tasks: set["asyncio.Task[None]"] = set()
+        self._draining = False
+        self.open_queries = 0
+        self.queries_served = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`shutdown` started; new queries are refused."""
+        return self._draining
+
+    def stats(self) -> dict[str, Any]:
+        """The ``GET /v1/stats`` payload."""
+        return {
+            "workers": self.workers,
+            "draining": self._draining,
+            "open_queries": self.open_queries,
+            "queries_served": self.queries_served,
+            "inflight_points": len(self._inflight),
+            "store": {
+                "entries": len(self.store),
+                "max_bytes": self.store.max_bytes,
+                **self.store.stats.to_dict(),
+            },
+        }
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="serve-worker",
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------
+    async def handle_query(
+        self,
+        query: Query,
+        sink: EventSink,
+        query_id: str | None = None,
+    ) -> SweepResult:
+        """Answer one query, streaming progress events into ``sink``.
+
+        Store hits are answered immediately; cold points are batched by
+        VLEN column onto the worker pool (or coalesced onto another
+        query's in-flight computation).  Returns the assembled
+        :class:`~repro.codesign.SweepResult`, bit-identical to a direct
+        :func:`~repro.codesign.codesign_sweep` over the same grid.
+        """
+        if self._draining:
+            raise ConfigError("service is draining (shutdown in progress)")
+        qid = query_id if query_id else uuid.uuid4().hex[:12]
+        scoped = ScopedSink(sink, query_id=qid)
+        COUNTERS.inc("serve.queries")
+        self.open_queries += 1
+        started = time.perf_counter()
+        try:
+            return await self._answer(query, scoped, qid, started)
+        finally:
+            self.open_queries -= 1
+
+    async def _answer(
+        self, query: Query, sink: ScopedSink, qid: str, started: float
+    ) -> SweepResult:
+        total = len(query.points)
+        sink.emit(event(
+            "query_start", protocol=PROTOCOL_VERSION, network=query.network,
+            backend=query.mode, network_hash=network_hash(query),
+            vlens=list(query.vlens), l2_mbs=list(query.l2_mbs), points=total,
+        ))
+        sink.emit(event("query_manifest", manifest=query_manifest(
+            qid, query_identity(query),
+            config=asdict(query.config), backend=query.mode,
+        )))
+
+        results: dict[tuple[int, int], NetworkResult] = {}
+        served = {SOURCE_STORE: 0, SOURCE_COMPUTED: 0, SOURCE_COALESCED: 0}
+        waits: list[
+            tuple[int, int, "asyncio.Future[_PointValue]", str]
+        ] = []
+        cold: dict[int, list[int]] = {}
+        for vlen, l2_mb in query.points:
+            key = point_key(query, vlen, l2_mb)
+            payload = self.store.get(key)
+            if payload is not None:
+                results[(vlen, l2_mb)] = NetworkResult.from_dict(
+                    payload["result"])
+                served[SOURCE_STORE] += 1
+                COUNTERS.inc("serve.points_hit")
+                sink.emit(event(
+                    "point", vlen=vlen, l2_mb=l2_mb, source=SOURCE_STORE,
+                    done=len(results), total=total,
+                ))
+                continue
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                waits.append((vlen, l2_mb, inflight, SOURCE_COALESCED))
+            else:
+                cold.setdefault(vlen, []).append(l2_mb)
+
+        loop = asyncio.get_running_loop()
+        for vlen, l2s in sorted(cold.items()):
+            futs: dict[int, "asyncio.Future[_PointValue]"] = {}
+            for l2_mb in l2s:
+                fut: "asyncio.Future[_PointValue]" = loop.create_future()
+                self._inflight[point_key(query, vlen, l2_mb)] = fut
+                futs[l2_mb] = fut
+                waits.append((vlen, l2_mb, fut, SOURCE_COMPUTED))
+            task = asyncio.create_task(
+                self._compute_column(query, vlen, tuple(l2s), futs))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+        # Shield every await: the in-flight futures may be shared with
+        # other queries, so one client vanishing must not cancel the
+        # computation under everyone else.  gather-with-exceptions so a
+        # failing column leaves no "exception never retrieved" noise.
+        outcomes = await asyncio.gather(
+            *(asyncio.shield(fut) for _, _, fut, _ in waits),
+            return_exceptions=True,
+        )
+        failure: BaseException | None = None
+        for (vlen, l2_mb, _fut, source), outcome in zip(waits, outcomes):
+            if isinstance(outcome, BaseException):
+                if failure is None:
+                    failure = outcome
+                continue
+            payload, seconds = outcome
+            results[(vlen, l2_mb)] = NetworkResult.from_dict(
+                payload["result"])
+            served[source] += 1
+            if source == SOURCE_COALESCED:
+                COUNTERS.inc("serve.points_coalesced")
+            sink.emit(event(
+                "point", vlen=vlen, l2_mb=l2_mb, source=source,
+                seconds=round(seconds, 6), done=len(results), total=total,
+            ))
+        if failure is not None:
+            raise failure
+
+        sweep = SweepResult(
+            name=query.network, vlens=query.vlens, l2_mbs=query.l2_mbs,
+            results=results, backend=query.mode,
+        )
+        sink.emit(event(
+            "query_end", seconds=round(time.perf_counter() - started, 6),
+            served=dict(served),
+        ))
+        sink.emit(event("query_result", sweep=sweep.to_dict()))
+        self.queries_served += 1
+        return sweep
+
+    async def _compute_column(
+        self,
+        query: Query,
+        vlen: int,
+        l2_mbs: tuple[int, ...],
+        futs: dict[int, "asyncio.Future[_PointValue]"],
+    ) -> None:
+        """Run one VLEN column on the pool and resolve its point futures."""
+        loop = asyncio.get_running_loop()
+        keys = {l2: point_key(query, vlen, l2) for l2 in l2_mbs}
+        try:
+            async with self._sem:
+                column = await loop.run_in_executor(
+                    self._ensure_pool(), _column_worker, query, vlen, l2_mbs,
+                )
+            for l2_mb, result, seconds in column:
+                payload = _point_payload(query, vlen, l2_mb, result)
+                self.store.put(keys[l2_mb], payload)
+                COUNTERS.inc("serve.points_computed")
+                self._inflight.pop(keys[l2_mb], None)
+                fut = futs[l2_mb]
+                if not fut.done():
+                    fut.set_result((payload, seconds))
+        except BaseException as e:
+            for l2_mb, fut in futs.items():
+                self._inflight.pop(keys[l2_mb], None)
+                if not fut.done():
+                    fut.set_exception(e)
+            if isinstance(e, asyncio.CancelledError):
+                raise
+
+    # ------------------------------------------------------------------
+    async def shutdown(self) -> None:
+        """Graceful drain: refuse new queries, finish in-flight columns
+        (their points land in the store — and its durable directory when
+        configured, the service's checkpoint), release the pool."""
+        self._draining = True
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        while self.open_queries:
+            await asyncio.sleep(0.01)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# ----------------------------------------------------------------------
+# The stdlib HTTP front-end.
+# ----------------------------------------------------------------------
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    503: "Service Unavailable",
+}
+
+
+def _write_json(
+    writer: asyncio.StreamWriter, status: int, payload: dict[str, Any]
+) -> None:
+    body = (json.dumps(payload) + "\n").encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, '')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, bytes] | None:
+    """Parse one HTTP/1.1 request (request line, headers, sized body)."""
+    line = await reader.readline()
+    parts = line.decode("latin-1").split()
+    if len(parts) < 2:
+        return None
+    method, target = parts[0].upper(), parts[1]
+    length = 0
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = header.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                length = 0
+    body = await reader.readexactly(length) if length > 0 else b""
+    return method, target, body
+
+
+class ServeServer:
+    """``repro serve``: the asyncio HTTP wrapper around a service.
+
+    Routes: ``GET /v1/healthz``, ``GET /v1/stats``, and
+    ``POST /v1/query`` → a ``Connection: close`` NDJSON event stream.
+    Malformed queries answer 400 with a one-line JSON error — never a
+    traceback — and a draining service answers 503.
+    """
+
+    def __init__(self, service: CodesignService,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.Server | None = None
+
+    async def start(self) -> None:
+        """Bind and start accepting (resolves ``port=0`` to the real
+        ephemeral port)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        for sock in self._server.sockets or []:
+            self.port = int(sock.getsockname()[1])
+            break
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, then drain the service (graceful shutdown)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.shutdown()
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await _read_request(reader)
+            if request is not None:
+                method, target, body = request
+                await self._route(writer, method, target, body)
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass  # client went away mid-request; nothing left to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(
+        self, writer: asyncio.StreamWriter, method: str, target: str,
+        body: bytes,
+    ) -> None:
+        if method == "GET" and target in ("/healthz", "/v1/healthz"):
+            _write_json(writer, 200, {
+                "ok": True, "draining": self.service.draining,
+            })
+        elif method == "GET" and target in ("/stats", "/v1/stats"):
+            _write_json(writer, 200, self.service.stats())
+        elif method == "POST" and target == "/v1/query":
+            await self._query(writer, body)
+        else:
+            _write_json(writer, 404, {
+                "error": f"no route for {method} {target}",
+            })
+
+    async def _query(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        if self.service.draining:
+            _write_json(writer, 503, {"error": "service is draining"})
+            return
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            query = Query.from_payload(payload)
+        except (ValueError, ReproError) as e:
+            _write_json(writer, 400, {"error": str(e)})
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        # Events are emitted from the event-loop thread only, so the
+        # synchronous write into the stream writer is safe; NDJSON lines
+        # flush with the final drain (and on backpressure).
+        sink = CallbackSink(lambda ev: writer.write(encode_event(ev)))
+        try:
+            await self.service.handle_query(query, sink)
+        except ReproError as e:
+            sink.emit(event("query_error", level=LEVEL_WARNING,
+                            reason=str(e)))

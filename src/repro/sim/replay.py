@@ -30,13 +30,14 @@ effectiveness (:data:`repro.obs.COUNTERS`).
 
 from __future__ import annotations
 
-import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 import numpy.typing as npt
 
+from repro.envknobs import env_int
 from repro.obs.counters import COUNTERS
 from repro.sim.events import LoopNest
 
@@ -51,12 +52,14 @@ _Key = tuple[LoopNest, int]
 
 
 def _default_budget_bytes() -> int:
-    raw = os.environ.get(BUDGET_ENV, "")
-    try:
-        mb = int(raw) if raw else DEFAULT_BUDGET_MB
-    except ValueError:
-        mb = DEFAULT_BUDGET_MB
-    return max(0, mb) * 1024 * 1024
+    """The process-wide budget from ``REPRO_STREAM_CACHE_MB``.
+
+    Invalid values are never silent: garbage falls back to the default
+    and negatives clamp to 0 (disabling the cache), each with a
+    :class:`RuntimeWarning` naming the bad value (see
+    :mod:`repro.envknobs` for the policy).
+    """
+    return env_int(BUDGET_ENV, DEFAULT_BUDGET_MB, minimum=0) * 1024 * 1024
 
 
 @dataclass
@@ -115,6 +118,7 @@ class StreamCache:
             _default_budget_bytes() if max_bytes is None else max(0, int(max_bytes))
         )
         self._entries: OrderedDict[_Key, _Entry] = OrderedDict()
+        self._lock = threading.Lock()
         self.stats = StreamCacheStats()
 
     def streams(self, nest: LoopNest, line_bytes: int) -> NestStreams:
@@ -123,51 +127,65 @@ class StreamCache:
 
     def clear(self) -> None:
         """Drop every recording (stats other than ``bytes`` persist)."""
-        self._entries.clear()
-        self.stats.bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self.stats.bytes = 0
 
     @property
     def nests_resident(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # ------------------------------------------------------------------
     def _segment(self, key: _Key, nest: LoopNest, line_bytes: int,
                  outer_index: int) -> _Segment:
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            seg = entry.segments.get(outer_index)
-            if seg is not None:
-                self.stats.replayed_segments += 1
-                COUNTERS.inc("stream_cache.replays")
-                return seg
+        # The cache is shared by every Simulator in the process, and the
+        # serve worker pool runs simulations from several threads at
+        # once; all bookkeeping therefore happens under the lock, while
+        # stream *generation* (the expensive numpy work) runs outside it
+        # so concurrent threads still materialize different nests in
+        # parallel.
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                seg = entry.segments.get(outer_index)
+                if seg is not None:
+                    self.stats.replayed_segments += 1
+                    COUNTERS.inc("stream_cache.replays")
+                    return seg
         lines, stores = nest.stream_for_outer(outer_index, line_bytes)
-        self.stats.generated_segments += 1
-        COUNTERS.inc("stream_cache.generated")
-        if entry is None:
-            entry = _Entry()
-            self._entries[key] = entry
-        if entry.recordable:
-            nbytes = int(lines.nbytes) + int(stores.nbytes)
-            if self._admit(key, nbytes):
-                lines.setflags(write=False)
-                stores.setflags(write=False)
-                entry.segments[outer_index] = (lines, stores)
-                entry.nbytes += nbytes
-                self.stats.bytes += nbytes
-                self.stats.recorded_segments += 1
-                COUNTERS.inc("stream_cache.records")
-            else:
-                # All-or-nothing per nest: a partial recording would
-                # regenerate the missing segments every replay anyway.
-                self.stats.bytes -= entry.nbytes
-                entry.segments.clear()
-                entry.nbytes = 0
-                entry.recordable = False
+        with self._lock:
+            self.stats.generated_segments += 1
+            COUNTERS.inc("stream_cache.generated")
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = _Entry()
+                self._entries[key] = entry
+            if entry.recordable and outer_index not in entry.segments:
+                nbytes = int(lines.nbytes) + int(stores.nbytes)
+                if self._admit(key, nbytes):
+                    lines.setflags(write=False)
+                    stores.setflags(write=False)
+                    entry.segments[outer_index] = (lines, stores)
+                    entry.nbytes += nbytes
+                    self.stats.bytes += nbytes
+                    self.stats.recorded_segments += 1
+                    COUNTERS.inc("stream_cache.records")
+                else:
+                    # All-or-nothing per nest: a partial recording would
+                    # regenerate the missing segments every replay anyway.
+                    self.stats.bytes -= entry.nbytes
+                    entry.segments.clear()
+                    entry.nbytes = 0
+                    entry.recordable = False
         return lines, stores
 
     def _admit(self, key: _Key, nbytes: int) -> bool:
-        """Make room for ``nbytes`` by LRU-evicting other nests."""
+        """Make room for ``nbytes`` by LRU-evicting other nests.
+
+        Caller holds ``self._lock``.
+        """
         if nbytes > self.max_bytes:
             return False
         while self.stats.bytes + nbytes > self.max_bytes:

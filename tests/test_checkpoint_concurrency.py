@@ -1,0 +1,281 @@
+"""Checkpoint concurrency: atomic point writes, racing directory opens,
+and resume after SIGKILL.
+
+The serve layer put the checkpoint machinery under genuine concurrency
+(several columns finishing at once in one process, several processes
+sharing a durable store directory), which exposed two bugs these tests
+pin:
+
+- ``_write_json_atomic`` used a *fixed* sibling ``.tmp`` name and never
+  fsynced — two concurrent writers could publish each other's (possibly
+  half-written) bytes, and a crash after ``os.replace`` could surface
+  an empty file.  Now every writer gets a unique ``mkstemp`` temp,
+  flushed and fsynced before the rename.
+- ``_open_checkpoint_dir`` checked ``manifest.json`` existence and then
+  wrote it (a TOCTOU): two racing opens both saw "no manifest" and both
+  proceeded, even with different identities.  Now creation is
+  O_EXCL-semantics (link of a fully-fsynced temp) and the loser
+  re-validates the winner's manifest.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.codesign import codesign_sweep
+from repro.codesign.executor import (
+    MANIFEST_NAME,
+    _create_json_excl,
+    _manifest_payload,
+    _open_checkpoint_dir,
+    _point_path,
+    _write_json_atomic,
+)
+from repro.errors import ConfigError
+from repro.nets import vgg16_layers
+from repro.obs import MemorySink
+from repro.sim import SystemConfig
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture(scope="module")
+def layers():
+    return vgg16_layers()[:2]
+
+
+class TestAtomicWrites:
+    def test_two_writer_stress_never_tears(self, tmp_path):
+        """N threads hammering one path: every read is a complete JSON
+        document written by exactly one writer — never torn, never a
+        mix of two writers' bytes."""
+        path = tmp_path / "point.json"
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def writer(ident: int) -> None:
+            i = 0
+            while not stop.is_set():
+                payload = {"writer": ident, "iter": i,
+                           "fill": f"{ident}:{i}" * 50}
+                _write_json_atomic(path, payload)
+                i += 1
+
+        def reader() -> None:
+            while not stop.is_set():
+                try:
+                    text = path.read_text()
+                except FileNotFoundError:
+                    continue
+                if not text:
+                    errors.append("read an empty file")
+                    continue
+                try:
+                    payload = json.loads(text)
+                except ValueError as e:
+                    errors.append(f"torn JSON: {e}")
+                    continue
+                if payload["fill"] != (
+                    f"{payload['writer']}:{payload['iter']}" * 50
+                ):
+                    errors.append(f"cross-writer mix: {payload}")
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(2)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        time.sleep(1.0)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors, errors[:5]
+        # No temp-file litter once every writer has finished.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_failed_write_leaves_no_temp(self, tmp_path):
+        path = tmp_path / "point.json"
+        with pytest.raises(TypeError):
+            _write_json_atomic(path, {"bad": object()})
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert not path.exists()
+
+    def test_create_excl_publishes_exactly_one_winner(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        barrier = threading.Barrier(8)
+        outcomes: list[bool] = []
+        lock = threading.Lock()
+
+        def racer(ident: int) -> None:
+            barrier.wait()
+            won = _create_json_excl(path, {"winner": ident})
+            with lock:
+                outcomes.append(won)
+
+        threads = [threading.Thread(target=racer, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(outcomes) == 1
+        # The loser always reads a complete file (full-content publish).
+        assert isinstance(json.loads(path.read_text())["winner"], int)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestRacingOpens:
+    def test_racing_opens_same_identity_both_succeed(self, tmp_path):
+        manifest = _manifest_payload(
+            "net", True, "slideup", SystemConfig(), "exact")
+        barrier = threading.Barrier(2)
+        failures: list[BaseException] = []
+
+        def opener() -> None:
+            barrier.wait()
+            try:
+                _open_checkpoint_dir(tmp_path, dict(manifest))
+            except BaseException as e:  # noqa: B036 - collected for assert
+                failures.append(e)
+
+        threads = [threading.Thread(target=opener) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert failures == []
+        on_disk = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert on_disk == manifest
+
+    def test_racing_opens_different_identity_one_loses(self, tmp_path):
+        """The TOCTOU regression: with two *different* sweeps racing to
+        claim one directory, exactly one must win; the other must raise
+        rather than silently sharing (old behaviour: both proceeded)."""
+        a = _manifest_payload("net-a", True, "slideup", SystemConfig(),
+                              "exact")
+        b = _manifest_payload("net-b", True, "slideup", SystemConfig(),
+                              "exact")
+        for _ in range(20):
+            for f in tmp_path.iterdir():
+                f.unlink()
+            barrier = threading.Barrier(2)
+            results: dict[str, BaseException | None] = {}
+
+            def opener(tag: str, manifest: dict,
+                       barrier=barrier, results=results) -> None:
+                barrier.wait()
+                try:
+                    _open_checkpoint_dir(tmp_path, manifest)
+                    results[tag] = None
+                except ConfigError as e:
+                    results[tag] = e
+
+            threads = [threading.Thread(target=opener, args=("a", dict(a))),
+                       threading.Thread(target=opener, args=("b", dict(b)))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            losses = [tag for tag, err in results.items() if err is not None]
+            assert len(losses) == 1, (
+                f"expected exactly one loser, got {results}"
+            )
+            winner = "b" if losses == ["a"] else "a"
+            on_disk = json.loads((tmp_path / MANIFEST_NAME).read_text())
+            assert on_disk == (a if winner == "a" else b)
+
+    def test_reopen_with_same_identity_still_works(self, tmp_path, layers):
+        """The normal resume path is untouched by the O_EXCL fix."""
+        kwargs = dict(vlens=(1024,), l2_mbs=(1,), mode="fast",
+                      checkpoint_dir=tmp_path)
+        first = codesign_sweep("net", layers, **kwargs)
+        again = codesign_sweep("net", layers, **kwargs)
+        assert first == again
+        with pytest.raises(ConfigError, match="different"):
+            codesign_sweep("other", layers, **kwargs)
+
+
+class TestKillMidRunResume:
+    def test_sigkill_mid_sweep_loses_at_most_inflight_point(
+        self, tmp_path, layers
+    ):
+        """SIGKILL a checkpointing sweep at an arbitrary moment; every
+        point file left behind must be complete (fsync+rename publishes
+        all-or-nothing), and a resume finishes the grid, restoring the
+        survivors instead of recomputing them."""
+        script = (
+            "import sys\n"
+            "from repro.codesign import codesign_sweep\n"
+            "from repro.nets import vgg16_layers\n"
+            "codesign_sweep('net', vgg16_layers()[:2],\n"
+            "               vlens=(512, 1024), l2_mbs=(1, 16),\n"
+            "               mode='fast', checkpoint_dir=sys.argv[1])\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parent.parent / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(tmp_path)], env=env)
+        deadline = time.monotonic() + 120
+        try:
+            # Kill as soon as the first point file is published.
+            while time.monotonic() < deadline:
+                if list(tmp_path.glob("point_v*_l2mb*.json")):
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.005)
+            proc.send_signal(signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+        survivors = sorted(tmp_path.glob("point_v*_l2mb*.json"))
+        # All-or-nothing publication: whatever exists parses cleanly.
+        for path in survivors:
+            payload = json.loads(path.read_text())
+            assert {"version", "backend", "vlen", "l2_mb", "result"} \
+                <= set(payload)
+
+        sink = MemorySink()
+        resumed = codesign_sweep(
+            "net", layers, vlens=(512, 1024), l2_mbs=(1, 16),
+            mode="fast", checkpoint_dir=tmp_path, sink=sink)
+        assert resumed.is_complete
+        restored = [e for e in sink.events
+                    if e["event"] == "point_restored"]
+        assert len(restored) == len(survivors)
+        # Nothing was silently dropped: a clean kill leaves no corrupt
+        # files, so no checkpoint_corrupt warnings either.
+        assert [e for e in sink.events
+                if e["event"] == "checkpoint_corrupt"] == []
+
+    def test_torn_point_file_surfaces_as_checkpoint_corrupt(
+        self, tmp_path, layers
+    ):
+        """A torn point file (pre-fix writer, disk fault) is dropped
+        *loudly* — a ``checkpoint_corrupt`` event naming the file — and
+        recomputed, never trusted and never silent."""
+        kwargs = dict(vlens=(1024,), l2_mbs=(1, 16), mode="fast",
+                      checkpoint_dir=tmp_path)
+        full = codesign_sweep("net", layers, **kwargs)
+        torn = _point_path(tmp_path, 1024, 16)
+        torn.write_text(torn.read_text()[: 40])
+        # A leftover temp from a killed writer must be ignored entirely.
+        (tmp_path / "point_v1024_l2mb16.json.dead0.tmp").write_text("{")
+        sink = MemorySink()
+        with pytest.warns(RuntimeWarning, match="checkpoint_corrupt"):
+            resumed = codesign_sweep("net", layers, sink=sink, **kwargs)
+        assert resumed == full
+        corrupt = [e for e in sink.events
+                   if e["event"] == "checkpoint_corrupt"]
+        assert len(corrupt) == 1
+        assert "point_v1024_l2mb16" in corrupt[0]["file"]
+        restored = [e for e in sink.events
+                    if e["event"] == "point_restored"]
+        assert len(restored) == 1

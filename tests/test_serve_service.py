@@ -1,0 +1,279 @@
+"""End-to-end tests of the async serving loop.
+
+The acceptance contract: an in-process service answering the same VGG16
+sub-grid to three concurrent clients computes every point exactly once
+(obs counters prove it), returns results bit-exact with a direct
+``codesign_sweep``, and answers a repeat query entirely from the store
+without touching the executor.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.codesign import SweepResult, codesign_sweep
+from repro.errors import ConfigError
+from repro.nets import vgg16_layers
+from repro.obs import COUNTERS, MemorySink
+from repro.serve import (
+    CodesignService,
+    Query,
+    ResultStore,
+    ServeServer,
+    query_identity,
+    stream_query,
+)
+from repro.serve import service as service_mod
+
+pytestmark = pytest.mark.serve
+
+PAYLOAD = {"network": "vgg16", "max_layers": 2,
+           "vlens": [512, 1024], "l2_mbs": [1, 16], "mode": "exact"}
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _drive_threads(threads):
+    """Start blocking-client threads and await them from the loop."""
+    for t in threads:
+        t.start()
+    while any(t.is_alive() for t in threads):
+        await asyncio.sleep(0.01)
+    for t in threads:
+        t.join()
+
+
+@pytest.fixture(scope="module")
+def direct_sweep():
+    """The bit-exactness reference: a direct sweep of the same grid."""
+    return codesign_sweep(
+        "vgg16", vgg16_layers()[:2], vlens=(512, 1024), l2_mbs=(1, 16),
+        mode="exact")
+
+
+class TestEndToEnd:
+    def test_three_concurrent_clients_compute_once_bit_exact(
+        self, direct_sweep
+    ):
+        service = CodesignService(ResultStore(max_bytes=1 << 22),
+                                  workers=2)
+        server = ServeServer(service)
+        outcomes = {}
+
+        async def main():
+            await server.start()
+            before = COUNTERS.snapshot()
+
+            def client(tag):
+                events = list(stream_query(
+                    "127.0.0.1", server.port, PAYLOAD, timeout=300))
+                outcomes[tag] = events
+
+            await _drive_threads(
+                [threading.Thread(target=client, args=(i,))
+                 for i in range(3)])
+            outcomes["computed"] = (
+                COUNTERS.get("serve.points_computed")
+                - before.get("serve.points_computed", 0))
+
+            # Repeat query: answered entirely from the store — prove it
+            # by making any executor call blow up.
+            real = service_mod.evaluate_column
+
+            def forbidden(*a, **k):
+                raise AssertionError("repeat query must not compute")
+
+            service_mod.evaluate_column = forbidden
+            try:
+                def repeat():
+                    outcomes["repeat"] = list(stream_query(
+                        "127.0.0.1", server.port, PAYLOAD, timeout=300))
+                await _drive_threads([threading.Thread(target=repeat)])
+            finally:
+                service_mod.evaluate_column = real
+            await server.stop()
+
+        _run(main())
+
+        # Exactly-once: 4 grid points, 3 clients, 4 computations.
+        assert outcomes["computed"] == 4
+
+        sweeps = []
+        for tag in range(3):
+            events = outcomes[tag]
+            kinds = [e["event"] for e in events]
+            assert kinds[0] == "query_start"
+            assert kinds[1] == "query_manifest"
+            assert kinds[-1] == "query_result"
+            assert kinds[-2] == "query_end"
+            points = [e for e in events if e["event"] == "point"]
+            assert len(points) == 4
+            # Every event carries this client's query_id.
+            qids = {e["query_id"] for e in events}
+            assert len(qids) == 1
+            sweeps.append(SweepResult.from_dict(events[-1]["sweep"]))
+        # One query_id per client.
+        assert len({next(iter({e["query_id"] for e in outcomes[t]}))
+                    for t in range(3)}) == 3
+
+        # Bit-exact: every client got exactly the direct sweep.
+        for sweep in sweeps:
+            assert sweep == direct_sweep
+            assert sweep.runtime_grid() == direct_sweep.runtime_grid()
+
+        # Repeat query: all four points served from the store, and the
+        # executor (patched to explode) was provably never entered.
+        repeat_points = [e for e in outcomes["repeat"]
+                         if e["event"] == "point"]
+        assert [e["source"] for e in repeat_points] == ["store"] * 4
+        repeat_sweep = SweepResult.from_dict(
+            outcomes["repeat"][-1]["sweep"])
+        assert repeat_sweep == direct_sweep
+
+    def test_cross_query_coalescing_counts(self):
+        """Three simultaneous identical cold queries: one computes,
+        the others coalesce or hit the store, never recompute."""
+        store = ResultStore(max_bytes=1 << 22)
+        service = CodesignService(store, workers=1)
+        payload = dict(PAYLOAD, mode="fast", vlens=[512], l2_mbs=[1, 16])
+        query = Query.from_payload(payload)
+        sinks = [MemorySink() for _ in range(3)]
+
+        async def main():
+            return await asyncio.gather(*(
+                service.handle_query(query, sink) for sink in sinks))
+
+        before = COUNTERS.snapshot()
+        results = _run(main())
+        computed = (COUNTERS.get("serve.points_computed")
+                    - before.get("serve.points_computed", 0))
+        assert computed == 2
+        assert results[0] == results[1] == results[2]
+        sources = [e["source"] for sink in sinks for e in sink.events
+                   if e["event"] == "point"]
+        assert sources.count("computed") == 2
+        assert sorted(set(sources)) != ["computed"], (
+            "the other clients must coalesce or hit the store"
+        )
+
+    def test_query_manifest_pins_identity(self):
+        service = CodesignService(ResultStore(max_bytes=1 << 22))
+        payload = dict(PAYLOAD, mode="fast", vlens=[512], l2_mbs=[1])
+        query = Query.from_payload(payload)
+        sink = MemorySink()
+        _run(service.handle_query(query, sink, query_id="qtest"))
+        manifest_ev, = (e for e in sink.events
+                        if e["event"] == "query_manifest")
+        manifest = manifest_ev["manifest"]
+        assert manifest["command"] == "serve-query"
+        assert manifest["query_id"] == "qtest"
+        assert manifest["identity"] == query_identity(query)
+        assert manifest["backend"] == "fast"
+
+
+class TestHttpSurface:
+    def _request(self, port, method, target, body=None):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        headers = {"Content-Length": str(len(body))} if body else {}
+        conn.request(method, target, body=body, headers=headers)
+        resp = conn.getresponse()
+        out = (resp.status, resp.read().decode("utf-8"))
+        conn.close()
+        return out
+
+    def test_routes_and_errors(self):
+        service = CodesignService(ResultStore(max_bytes=1 << 20))
+        server = ServeServer(service)
+        results = {}
+
+        async def main():
+            await server.start()
+
+            def client():
+                results["health"] = self._request(
+                    server.port, "GET", "/v1/healthz")
+                results["stats"] = self._request(
+                    server.port, "GET", "/v1/stats")
+                results["missing"] = self._request(
+                    server.port, "GET", "/nope")
+                results["bad_json"] = self._request(
+                    server.port, "POST", "/v1/query", b"{nope")
+                results["bad_query"] = self._request(
+                    server.port, "POST", "/v1/query",
+                    json.dumps({"network": "alexnet", "vlens": [512],
+                                "l2_mbs": [1]}).encode())
+
+            await _drive_threads([threading.Thread(target=client)])
+            await server.stop()
+
+        _run(main())
+        assert results["health"][0] == 200
+        assert json.loads(results["health"][1])["ok"] is True
+        assert results["stats"][0] == 200
+        stats = json.loads(results["stats"][1])
+        assert stats["workers"] == service.workers
+        assert "store" in stats
+        assert results["missing"][0] == 404
+        # Malformed queries: a one-line JSON error, never a traceback.
+        for tag in ("bad_json", "bad_query"):
+            status, body = results[tag]
+            assert status == 400
+            assert "error" in json.loads(body)
+            assert "Traceback" not in body
+        assert "alexnet" in json.loads(results["bad_query"][1])["error"]
+
+
+class TestShutdown:
+    def test_drain_finishes_inflight_and_refuses_new(self):
+        store = ResultStore(max_bytes=1 << 22)
+        service = CodesignService(store, workers=1)
+        payload = dict(PAYLOAD, mode="fast", vlens=[512], l2_mbs=[1, 16])
+        query = Query.from_payload(payload)
+
+        async def main():
+            sink = MemorySink()
+            task = asyncio.create_task(service.handle_query(query, sink))
+            await asyncio.sleep(0)  # let the query schedule its columns
+            await service.shutdown()
+            assert task.done(), "drain must wait for open queries"
+            sweep = task.result()
+            assert sweep.is_complete
+            # The drained points landed in the store (the serve
+            # checkpoint) before the pool was released.
+            assert len(store) == 2
+            with pytest.raises(ConfigError, match="draining"):
+                await service.handle_query(query, MemorySink())
+
+        _run(main())
+
+    def test_server_answers_503_while_draining(self):
+        service = CodesignService(ResultStore(max_bytes=1 << 20))
+        server = ServeServer(service)
+        results = {}
+
+        async def main():
+            await server.start()
+            service._draining = True
+            port = server.port
+
+            def client():
+                conn = http.client.HTTPConnection("127.0.0.1", port,
+                                                  timeout=30)
+                body = json.dumps(dict(PAYLOAD, mode="fast")).encode()
+                conn.request("POST", "/v1/query", body=body,
+                             headers={"Content-Length": str(len(body))})
+                resp = conn.getresponse()
+                results["status"] = resp.status
+                conn.close()
+
+            await _drive_threads([threading.Thread(target=client)])
+            server._server.close()
+            await server._server.wait_closed()
+
+        _run(main())
+        assert results["status"] == 503

@@ -61,6 +61,14 @@ STRICT_SCHEDULE_MODULES = [
     "repro.codesign.tuner",
 ]
 
+#: The strict-mypy serving layer: the query protocol, the
+#: content-addressed store, the async service, and the env-knob parser
+#: (schema slips here silently corrupt cached answers).
+STRICT_SERVE_MODULES = [
+    "repro.serve",
+    "repro.envknobs",
+]
+
 
 def test_pyproject_configures_the_tools():
     text = (REPO / "pyproject.toml").read_text()
@@ -93,6 +101,17 @@ def test_pyproject_configures_coverage_and_markers():
     assert "bench:" in text
     assert "traceio:" in text
     assert "dsl:" in text
+    assert "serve:" in text
+
+
+def test_pyproject_holds_serve_layer_strict():
+    text = (REPO / "pyproject.toml").read_text()
+    assert '"repro.serve.*"' in text, (
+        "the serving layer must be in the strict-mypy scope"
+    )
+    assert '"repro.envknobs"' in text, (
+        "the env-knob parser must be in the strict-mypy scope"
+    )
 
 
 def test_coverage_floor_on_sim_and_codesign():
@@ -166,4 +185,22 @@ def test_mypy_clean_on_schedule_dsl():
         pytest.skip("mypy not installed (dev extra)")
     proc = _run([sys.executable, "-m", "mypy", "-p", "repro.schedule",
                  "-m", "repro.codesign.tuner"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_mypy_clean_on_serve_layer():
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        pytest.skip("mypy not installed (dev extra)")
+    proc = _run([sys.executable, "-m", "mypy", "-p", "repro.serve",
+                 "-m", "repro.envknobs"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_ruff_clean_on_serve_layer():
+    if shutil.which("ruff") is None:
+        pytest.skip("ruff not installed (dev extra)")
+    proc = _run(["ruff", "check", str(REPO / "src" / "repro" / "serve"),
+                 str(REPO / "src" / "repro" / "envknobs.py")])
     assert proc.returncode == 0, proc.stdout + proc.stderr
