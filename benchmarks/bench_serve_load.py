@@ -21,7 +21,7 @@ import time
 import pytest
 
 from benchmarks.conftest import record
-from repro.obs import MemorySink
+from repro.obs import METRICS, MemorySink
 from repro.serve import (
     CodesignService,
     Query,
@@ -85,4 +85,52 @@ def test_hot_query_is_store_bound(benchmark):
     assert point_ms < 1.0, (
         f"hot grid point took {point_ms:.3f}ms through the service; "
         f"repeat queries must be store-bound (<1ms per point)"
+    )
+
+
+def test_metrics_overhead_on_hot_path_is_bounded(benchmark):
+    """Telemetry must be observation-only in cost terms too.
+
+    The same hot repeat-query loop is timed with the process metrics
+    registry enabled and disabled (``METRICS.disable()`` turns every
+    mutation into a no-op on the same code path); the instrumented run
+    must stay within 10% of the uninstrumented one.  Best-of-3 per arm,
+    interleaved, to keep scheduler noise out of the ratio.
+    """
+    query = Query.from_payload(PAYLOAD)
+    service = CodesignService(ResultStore(max_bytes=1 << 22), workers=2)
+
+    async def drive(n):
+        start = time.perf_counter()
+        for _ in range(n):
+            await service.handle_query(query, MemorySink())
+        return time.perf_counter() - start
+
+    asyncio.run(drive(1))  # warm: the grid lands in the store
+    asyncio.run(drive(20))  # warm the loop itself
+
+    enabled_s, disabled_s = [], []
+    try:
+        for _ in range(3):
+            METRICS.enable()
+            enabled_s.append(asyncio.run(drive(REPEATS)))
+            METRICS.disable()
+            disabled_s.append(asyncio.run(drive(REPEATS)))
+    finally:
+        METRICS.enable()
+
+    on_ms = min(enabled_s) / REPEATS * 1e3
+    off_ms = min(disabled_s) / REPEATS * 1e3
+    ratio = on_ms / off_ms
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    record(benchmark, hot_query_metrics_on_ms=round(on_ms, 4),
+           hot_query_metrics_off_ms=round(off_ms, 4),
+           metrics_overhead_ratio=round(ratio, 4))
+    print(f"\nhot query with metrics: {on_ms:.4f}ms  "
+          f"without: {off_ms:.4f}ms  ratio: {ratio:.3f}")
+
+    assert ratio < 1.10, (
+        f"metrics add {100 * (ratio - 1):.1f}% to the hot store-hit "
+        f"query; telemetry must stay under 10%"
     )

@@ -190,6 +190,7 @@ def cmd_serve(args) -> int:
     import asyncio
     import signal
 
+    from repro.obs import JsonlSink
     from repro.serve import CodesignService, ResultStore, ServeServer
 
     store = ResultStore(
@@ -197,7 +198,12 @@ def cmd_serve(args) -> int:
                    if args.store_mb is not None else None),
         directory=args.store_dir,
     )
-    service = CodesignService(store, workers=args.workers)
+    access_sink = (JsonlSink(args.access_log)
+                   if args.access_log is not None else None)
+    service = CodesignService(
+        store, workers=args.workers, trace_dir=args.trace,
+        access_sink=access_sink,
+    )
     server = ServeServer(service, host=args.host, port=args.port)
 
     async def run() -> None:
@@ -207,7 +213,11 @@ def cmd_serve(args) -> int:
               f"(workers={service.workers}, "
               f"store={store.max_bytes // (1024 * 1024)}MB"
               + (f", dir={store.directory}" if store.directory else "")
-              + ")", file=sys.stderr)
+              + (f", trace={service.trace_dir}" if service.trace_dir
+                 else "")
+              + (f", access-log={args.access_log}" if args.access_log
+                 else "")
+              + f"); metrics at {where}/metrics", file=sys.stderr)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -219,7 +229,11 @@ def cmd_serve(args) -> int:
         print("repro serve: draining in-flight queries...", file=sys.stderr)
         await server.stop()
 
-    asyncio.run(run())
+    try:
+        asyncio.run(run())
+    finally:
+        if access_sink is not None:
+            access_sink.close()
     return 0
 
 
@@ -249,14 +263,20 @@ def cmd_query(args) -> int:
     if args.pure_gemm:
         payload["hybrid"] = False
     sweep_dict = None
+    point_events: list[dict] = []
+    query_end: dict | None = None
     try:
         for ev in stream_query(args.host, args.port, payload,
                                timeout=args.timeout):
             kind = ev.get("event")
-            if kind == "point" and args.progress:
-                print(f"[{ev.get('done')}/{ev.get('total')}] "
-                      f"vlen={ev.get('vlen')} l2={ev.get('l2_mb')}MB "
-                      f"{ev.get('source')}", file=sys.stderr)
+            if kind == "point":
+                point_events.append(ev)
+                if args.progress:
+                    print(f"[{ev.get('done')}/{ev.get('total')}] "
+                          f"vlen={ev.get('vlen')} l2={ev.get('l2_mb')}MB "
+                          f"{ev.get('source')}", file=sys.stderr)
+            elif kind == "query_end":
+                query_end = ev
             elif kind == "query_error":
                 print(f"error: {ev.get('reason')}", file=sys.stderr)
                 return 1
@@ -274,7 +294,105 @@ def cmd_query(args) -> int:
         print(json.dumps(sweep_dict, indent=2))
     else:
         print(runtime_figure(SweepResult.from_dict(sweep_dict)))
+    if args.timing:
+        _print_query_timing(point_events, query_end)
     return 0
+
+
+def _print_query_timing(
+    point_events: list[dict], query_end: dict | None
+) -> None:
+    """The ``repro query --timing`` report (stderr, after the sweep).
+
+    Per-point wall latency as the service measured it — store hits
+    report the lookup time, computed/coalesced points their compute
+    share — plus the end-to-end total and the hit/computed split."""
+    served = (query_end or {}).get("served", {}) or {}
+    total = (query_end or {}).get("seconds")
+    total_text = f"{total:.3f}s" if isinstance(total, (int, float)) else "?"
+    print(f"timing: {len(point_events)} points in {total_text} "
+          f"(store {served.get('store', 0)}, "
+          f"computed {served.get('computed', 0)}, "
+          f"coalesced {served.get('coalesced', 0)})", file=sys.stderr)
+    for ev in point_events:
+        secs = ev.get("seconds")
+        secs_text = (f"{secs:.6f}s" if isinstance(secs, (int, float))
+                     else "-")
+        print(f"  vlen={ev.get('vlen'):>5} l2={ev.get('l2_mb'):>3}MB  "
+              f"{str(ev.get('source')):<9} {secs_text}", file=sys.stderr)
+
+
+def cmd_loadtest(args) -> int:
+    """Drive a running service with concurrent clients and report."""
+    import asyncio
+    import json
+    from pathlib import Path
+
+    from repro.errors import ReproError
+    from repro.serve.loadtest import (
+        DEFAULT_TIMEOUT,
+        render_report_text,
+        run_loadtest,
+        run_saturation,
+    )
+
+    payload: dict = {
+        "vlens": [int(v) for v in args.vlens.split(",")],
+        "l2_mbs": [int(v) for v in args.l2_sizes.split(",")],
+        "mode": args.mode,
+    }
+    if args.cfg is not None:
+        payload["cfg"] = Path(args.cfg).read_text()
+        payload["name"] = args.name or Path(args.cfg).stem
+    elif args.network is not None:
+        payload["network"] = args.network
+    else:
+        print("error: pass a network name or --cfg FILE", file=sys.stderr)
+        return 2
+    if args.layers is not None:
+        payload["max_layers"] = args.layers
+    if args.pure_gemm:
+        payload["hybrid"] = False
+    timeout = args.timeout if args.timeout is not None else DEFAULT_TIMEOUT
+
+    try:
+        if args.sweep is not None:
+            levels = [int(v) for v in args.sweep.split(",")]
+            report = asyncio.run(run_saturation(
+                args.host, args.port, payload, levels,
+                requests_per_client=args.requests, timeout=timeout,
+            ))
+            for level in report["levels"]:
+                print(f"clients={level['clients']:>4}  "
+                      f"{level['throughput_per_s']:>8}/s  "
+                      f"server p99 {level['server_p99']}s  "
+                      f"client p99 {level['client_p99']}s  "
+                      f"failed {level['failed']}", file=sys.stderr)
+        else:
+            report = asyncio.run(run_loadtest(
+                args.host, args.port, payload,
+                clients=args.clients, requests_per_client=args.requests,
+                loop_mode=args.loop, rate=args.rate, timeout=timeout,
+            ))
+            print(render_report_text(report), file=sys.stderr)
+    except (ReproError, OSError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    text = json.dumps(report, indent=2)
+    if args.out is not None:
+        Path(args.out).write_text(text + "\n")
+        print(f"report written to {args.out}", file=sys.stderr)
+    if args.json or args.out is None:
+        print(text)
+    if args.sweep is not None:
+        exactly_once_ok = all(
+            bool(r["points"]["exactly_once"]["ok"])
+            for r in report["reports"])
+        failed = sum(r["requests"]["failed"] for r in report["reports"])
+    else:
+        exactly_once_ok = bool(report["points"]["exactly_once"]["ok"])
+        failed = report["requests"]["failed"]
+    return 0 if exactly_once_ok and not failed else 1
 
 
 def cmd_profile(args) -> int:
@@ -757,6 +875,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store-dir", default=None, metavar="DIR",
                    help="persist every computed point to DIR so the "
                         "service restarts warm")
+    p.add_argument("--trace", default=None, metavar="DIR",
+                   help="write one query_<id>/ trace directory per "
+                        "query into DIR (span trees consumable by "
+                        "'repro trace diff/top/export')")
+    p.add_argument("--access-log", default=None, metavar="FILE",
+                   help="append one JSONL access record per query "
+                        "(query_id, network_hash, point mix, wall, "
+                        "status)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -785,7 +911,55 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print a per-point progress line to stderr")
     p.add_argument("--json", action="store_true",
                    help="emit the machine-readable sweep dict")
+    p.add_argument("--timing", action="store_true",
+                   help="print per-point and total wall latency (and "
+                        "the store-hit vs computed split) to stderr "
+                        "after the query completes")
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="drive a running 'repro serve' with N concurrent clients "
+             "and emit a JSON report (throughput, /metrics latency "
+             "percentiles, hit-rate trajectory, exactly-once check)")
+    p.add_argument("network", nargs="?", choices=["vgg16", "yolov3"],
+                   help="a named network (or use --cfg)")
+    p.add_argument("--cfg", default=None, metavar="FILE",
+                   help="darknet cfg file describing a custom topology")
+    p.add_argument("--name", default=None,
+                   help="label for a --cfg topology (default: file stem)")
+    p.add_argument("--layers", type=int, default=None, metavar="N",
+                   help="truncate the network to its first N layers")
+    p.add_argument("--vlens", default="512,1024,2048,4096",
+                   help="comma-separated vector lengths in bits")
+    p.add_argument("--l2-sizes", default="1,16,64,128,256",
+                   help="comma-separated L2 sizes in MB")
+    p.add_argument("--mode", choices=["exact", "fast"], default="fast")
+    p.add_argument("--pure-gemm", action="store_true",
+                   help="baseline policy: im2col+GEMM everywhere")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8037)
+    p.add_argument("--clients", type=int, default=32,
+                   help="concurrent clients (default 32)")
+    p.add_argument("--requests", type=int, default=1, metavar="N",
+                   help="queries per client (default 1)")
+    p.add_argument("--loop", choices=["closed", "open"], default="closed",
+                   help="closed loop (clients wait for answers) or "
+                        "open loop (fixed arrival rate)")
+    p.add_argument("--rate", type=float, default=None, metavar="R",
+                   help="open-loop arrival rate in requests/second")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-request timeout in seconds "
+                        "(default: REPRO_LOADTEST_TIMEOUT or 300)")
+    p.add_argument("--sweep", default=None, metavar="N,N,...",
+                   help="saturation sweep: run once per client count "
+                        "and summarize throughput/latency per level")
+    p.add_argument("--json", action="store_true",
+                   help="print the full JSON report to stdout (a "
+                        "human digest always goes to stderr)")
+    p.add_argument("-o", "--out", default=None, metavar="FILE",
+                   help="also write the JSON report to FILE")
+    p.set_defaults(func=cmd_loadtest)
 
     p = sub.add_parser(
         "profile",

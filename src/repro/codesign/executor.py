@@ -63,7 +63,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.codesign.fastpath import profile_network
 from repro.codesign.sweep import BACKEND_EXACT, BACKEND_FAST, BACKENDS, SweepResult
@@ -280,6 +280,7 @@ def _evaluate_vlen_exact(
     variant: str,
     base_config: SystemConfig,
     collect: bool = False,
+    span_attrs: Mapping[str, Any] | None = None,
 ) -> tuple[list[tuple[int, NetworkResult, float]], dict]:
     """Evaluate one VLEN column of the grid via the exact backend.
 
@@ -316,7 +317,7 @@ def _evaluate_vlen_exact(
         return column(), {}
     local = Tracer()
     with COUNTERS.capture() as cap, tracing(local), local.span(
-        "sweep_worker", vlen=vlen, l2_mbs=list(l2_mbs)
+        "sweep_worker", vlen=vlen, l2_mbs=list(l2_mbs), **dict(span_attrs or {})
     ):
         out = column()
     return out, {"span": local.root.to_dict(), "counters": cap.delta()}
@@ -331,6 +332,7 @@ def _evaluate_vlen_fast(
     variant: str,
     base_config: SystemConfig,
     collect: bool = False,
+    span_attrs: Mapping[str, Any] | None = None,
 ) -> tuple[list[tuple[int, NetworkResult, float]], dict]:
     """Evaluate one VLEN column of the grid via the fast backend.
 
@@ -360,7 +362,7 @@ def _evaluate_vlen_fast(
         return column(), {}
     local = Tracer()
     with COUNTERS.capture() as cap, tracing(local), local.span(
-        "sweep_worker", vlen=vlen, l2_mbs=list(l2_mbs)
+        "sweep_worker", vlen=vlen, l2_mbs=list(l2_mbs), **dict(span_attrs or {})
     ):
         out = column()
     return out, {"span": local.root.to_dict(), "counters": cap.delta()}
@@ -376,6 +378,7 @@ def evaluate_column(
     base_config: SystemConfig | None = None,
     mode: str = BACKEND_EXACT,
     collect: bool = False,
+    span_attrs: Mapping[str, Any] | None = None,
 ) -> tuple[list[tuple[int, NetworkResult, float]], dict]:
     """Evaluate one VLEN column of the co-design grid — the executor's
     reusable unit of work.
@@ -403,7 +406,7 @@ def evaluate_column(
     )
     return column_fn(
         name, layers, int(vlen), tuple(int(l) for l in l2_mbs),
-        hybrid, variant, base, collect,
+        hybrid, variant, base, collect, span_attrs,
     )
 
 

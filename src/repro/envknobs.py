@@ -65,6 +65,41 @@ def env_int(
     return value
 
 
+def env_float(
+    name: str,
+    default: float,
+    minimum: float | None = None,
+) -> float:
+    """Parse a float knob from the environment.
+
+    Same policy as :func:`env_int`: unset/empty is silently the
+    default, garbage is the default with a :class:`RuntimeWarning`,
+    below-minimum clamps loudly.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw.strip())
+    except ValueError:
+        warnings.warn(
+            f"{name}={raw!r} is not a number; using the default "
+            f"({default})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    if minimum is not None and value < minimum:
+        warnings.warn(
+            f"{name}={raw!r} is below the minimum ({minimum}); "
+            f"clamping to {minimum}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return minimum
+    return value
+
+
 def env_dir(name: str) -> str | None:
     """Parse a directory-path knob from the environment.
 

@@ -9,6 +9,11 @@ The measurement substrate under every performance claim in this repo:
 - :mod:`repro.obs.counters` — the process-global
   :class:`CounterRegistry` (:data:`COUNTERS`) hot paths bump; worker
   deltas travel back with results and merge exactly.
+- :mod:`repro.obs.metrics` — the typed service metrics registry
+  (:data:`METRICS`): monotonic counters, gauges, and fixed-bucket
+  latency histograms with exact-until-capped percentiles, rendered as
+  Prometheus text exposition for ``GET /metrics`` and parsed back by
+  ``repro loadtest``.
 - :mod:`repro.obs.events` — structured events and sinks (JSONL flight
   recorder, in-memory, callback, tee); the sweep executor's progress,
   ETA and degradation warnings all flow through this layer.
@@ -83,6 +88,23 @@ from repro.obs.events import (
     read_jsonl,
     warnings_in,
 )
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricSample,
+    MetricsCapture,
+    MetricsRegistry,
+    parse_exposition,
+    percentile_from_buckets,
+    prometheus_name,
+    read_percentiles,
+    render_prometheus,
+)
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     RUN_MANIFEST_NAME,
@@ -120,6 +142,21 @@ __all__ = [
     "COUNTERS",
     "CounterRegistry",
     "CounterCapture",
+    "METRICS",
+    "MetricsRegistry",
+    "MetricsCapture",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricSample",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "prometheus_name",
+    "render_prometheus",
+    "parse_exposition",
+    "percentile_from_buckets",
+    "read_percentiles",
     "EventSink",
     "MemorySink",
     "JsonlSink",

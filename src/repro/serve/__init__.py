@@ -19,7 +19,14 @@ stdlib-only:
   event streams (:mod:`repro.obs` events are the wire format),
   in-flight point coalescing across clients, a bounded worker pool
   driving :func:`repro.codesign.executor.evaluate_column`, the HTTP
-  front-end (``repro serve``), and graceful drain-on-shutdown.
+  front-end (``repro serve``) with ``GET /metrics`` Prometheus
+  exposition, per-query trace trees and a JSONL access log, and
+  graceful drain-on-shutdown;
+- :mod:`repro.serve.loadtest` — the ``repro loadtest`` harness:
+  closed/open-loop asyncio client fleets, JSON reports with
+  server-side (``/metrics`` histogram) and client-side latency
+  percentiles, hit-rate trajectories, exactly-once verification, and
+  a saturation sweep over client counts.
 
 Results served from the store are bit-identical to a direct
 :func:`repro.codesign.codesign_sweep` call: points round-trip through
@@ -36,6 +43,14 @@ from repro.serve.protocol import (
     query_identity,
     stream_query,
 )
+from repro.serve.loadtest import (
+    RequestOutcome,
+    fetch_metrics,
+    fetch_stats,
+    render_report_text,
+    run_loadtest,
+    run_saturation,
+)
 from repro.serve.service import CodesignService, ServeServer
 from repro.serve.store import ResultStore, StoreStats
 
@@ -51,4 +66,10 @@ __all__ = [
     "StoreStats",
     "CodesignService",
     "ServeServer",
+    "RequestOutcome",
+    "run_loadtest",
+    "run_saturation",
+    "render_report_text",
+    "fetch_metrics",
+    "fetch_stats",
 ]

@@ -1,0 +1,489 @@
+"""``repro loadtest``: concurrent clients against a live ``repro serve``.
+
+The ROADMAP's serve item calls for "a proper load-test harness driving
+thousands of concurrent clients"; this module is that harness, built
+from the same stdlib asyncio primitives as the server so the only
+dependency is a reachable host:port.
+
+Two driving disciplines:
+
+- **closed loop** (default): ``clients`` coroutines each issue
+  ``requests_per_client`` queries back to back — offered load tracks
+  service capacity, the classic saturation probe.
+- **open loop**: the total request count is fired on a fixed schedule
+  (``rate`` requests/second) regardless of completions — offered load
+  is independent of the service, exposing queueing delay that a closed
+  loop hides (coordinated omission).
+
+Measurement comes from *both* sides of the wire and the report keeps
+them separate:
+
+- client-side wall latency per request (exact percentiles over every
+  sample), and
+- server-side latency percentiles computed from the delta of the
+  ``/metrics`` histogram buckets between a pre- and post-run scrape —
+  the same numbers a Prometheus ``histogram_quantile`` would give.
+
+The report also verifies the service's core consistency claim under
+concurrency: every cold grid point must be **computed exactly once**
+across all clients.  The per-event ``source`` tags give the client-side
+view; the ``serve.points.computed`` counter delta gives the server-side
+view; the run fails verification if any point was computed twice or
+the two views disagree (the harness assumes it is the only traffic
+during the run).
+
+:func:`run_saturation` repeats the closed-loop run over a ladder of
+client counts and summarizes throughput/latency per level, which is
+how you find the knee.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.envknobs import env_float
+from repro.errors import ConfigError, ObsError, ReproError
+from repro.obs.metrics import (
+    MetricFamily,
+    parse_exposition,
+    percentile_from_buckets,
+)
+from repro.serve.protocol import iter_ndjson
+
+#: Default per-request timeout in seconds (``REPRO_LOADTEST_TIMEOUT``).
+DEFAULT_TIMEOUT = env_float("REPRO_LOADTEST_TIMEOUT", 300.0, minimum=1.0)
+
+#: Prometheus-side series the report reads (post-rename, pre-suffix).
+_SERVER_HIST = "repro_serve_query_seconds"
+_SERVER_COMPUTED = "repro_serve_points_computed"
+
+_REPORT_SCHEMA = 1
+
+
+# ----------------------------------------------------------------------
+# Minimal asyncio HTTP client (Connection: close, read-to-EOF).
+# ----------------------------------------------------------------------
+async def _http_request(
+    host: str,
+    port: int,
+    method: str,
+    target: str,
+    body: bytes = b"",
+    timeout: float = DEFAULT_TIMEOUT,
+) -> tuple[int, bytes]:
+    """One HTTP/1.1 exchange; returns ``(status, body_bytes)``."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout)
+    try:
+        head = (
+            f"{method} {target} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(-1), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    sep = raw.find(b"\r\n\r\n")
+    if sep < 0:
+        raise ConfigError(
+            f"malformed HTTP response from {host}:{port} "
+            f"({len(raw)} bytes, no header terminator)"
+        )
+    status_line = raw[:sep].split(b"\r\n", 1)[0].decode("latin-1")
+    parts = status_line.split()
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ConfigError(f"malformed HTTP status line: {status_line!r}")
+    return int(parts[1]), raw[sep + 4:]
+
+
+async def fetch_metrics(
+    host: str, port: int, timeout: float = DEFAULT_TIMEOUT
+) -> dict[str, MetricFamily]:
+    """Scrape and parse ``GET /metrics``."""
+    status, body = await _http_request(
+        host, port, "GET", "/metrics", timeout=timeout)
+    if status != 200:
+        raise ConfigError(f"GET /metrics answered {status}")
+    return parse_exposition(body.decode("utf-8"))
+
+
+async def fetch_stats(
+    host: str, port: int, timeout: float = DEFAULT_TIMEOUT
+) -> dict[str, Any]:
+    """Fetch and decode ``GET /v1/stats``."""
+    status, body = await _http_request(
+        host, port, "GET", "/v1/stats", timeout=timeout)
+    if status != 200:
+        raise ConfigError(f"GET /v1/stats answered {status}")
+    doc = json.loads(body.decode("utf-8"))
+    if not isinstance(doc, dict):
+        raise ConfigError("/v1/stats did not return a JSON object")
+    return doc
+
+
+# ----------------------------------------------------------------------
+# One query from one client.
+# ----------------------------------------------------------------------
+@dataclass
+class RequestOutcome:
+    """What one client observed for one query."""
+
+    status: int = 0
+    seconds: float = 0.0
+    events: list[dict[str, Any]] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _iter_lines(raw: bytes) -> Iterator[bytes]:
+    yield from raw.split(b"\n")
+
+
+async def _run_query(
+    host: str, port: int, body: bytes, timeout: float
+) -> RequestOutcome:
+    out = RequestOutcome()
+    t0 = time.perf_counter()
+    try:
+        status, raw = await _http_request(
+            host, port, "POST", "/v1/query", body, timeout)
+        out.status = status
+        out.events = list(iter_ndjson(_iter_lines(raw)))
+    except (ReproError, OSError, asyncio.TimeoutError, ValueError) as e:
+        out.error = f"{type(e).__name__}: {e}"
+        out.seconds = time.perf_counter() - t0
+        return out
+    out.seconds = time.perf_counter() - t0
+    if status != 200:
+        out.error = f"HTTP {status}"
+    elif not out.events or out.events[-1].get("event") != "query_result":
+        tail = out.events[-1].get("event") if out.events else None
+        reason = out.events[-1].get("reason") if out.events else None
+        out.error = f"stream ended with {tail!r} ({reason})"
+    return out
+
+
+# ----------------------------------------------------------------------
+# Percentile helpers.
+# ----------------------------------------------------------------------
+def _exact_percentiles(samples: Sequence[float]) -> dict[str, float]:
+    if not samples:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    ordered = sorted(samples)
+    out: dict[str, float] = {}
+    for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+        rank = min(max(0, math.ceil(q * len(ordered)) - 1),
+                   len(ordered) - 1)
+        out[label] = round(ordered[rank], 6)
+    out["max"] = round(ordered[-1], 6)
+    return out
+
+
+def _histogram_delta(
+    before: dict[str, MetricFamily],
+    after: dict[str, MetricFamily],
+    name: str,
+) -> tuple[list[float], list[float]]:
+    """Per-bucket cumulative-count delta of one histogram family."""
+    fam_after = after.get(name)
+    if fam_after is None:
+        raise ObsError(f"scrape has no histogram family {name!r}")
+    bounds, cum_after = fam_after.histogram_cumulative()
+    fam_before = before.get(name)
+    if fam_before is None:
+        return bounds, cum_after
+    bounds_b, cum_before = fam_before.histogram_cumulative()
+    if bounds_b != bounds:
+        raise ObsError(f"histogram {name!r} changed buckets mid-run")
+    return bounds, [a - b for a, b in zip(cum_after, cum_before)]
+
+
+def _counter_delta(
+    before: dict[str, MetricFamily],
+    after: dict[str, MetricFamily],
+    name: str,
+) -> float:
+    fam_after = after.get(name)
+    if fam_after is None:
+        raise ObsError(f"scrape has no counter family {name!r}")
+    value_after = fam_after.value("_total")
+    fam_before = before.get(name)
+    if fam_before is None:
+        return value_after
+    return value_after - fam_before.value("_total")
+
+
+# ----------------------------------------------------------------------
+# The run.
+# ----------------------------------------------------------------------
+async def run_loadtest(
+    host: str,
+    port: int,
+    payload: Mapping[str, Any],
+    clients: int = 32,
+    requests_per_client: int = 1,
+    loop_mode: str = "closed",
+    rate: float | None = None,
+    timeout: float = DEFAULT_TIMEOUT,
+    sample_interval: float = 0.25,
+) -> dict[str, Any]:
+    """Drive one load test and return the JSON report dict.
+
+    Args:
+        host, port: a live ``repro serve``.
+        payload: the ``POST /v1/query`` body (one query; every client
+            sends the same one, which is exactly the regime that
+            exercises store hits and cross-client coalescing).
+        clients: concurrent client count (closed loop) or the
+            concurrency label recorded in the report (open loop).
+        requests_per_client: queries each client issues back to back.
+        loop_mode: ``"closed"`` or ``"open"``.
+        rate: open-loop arrival rate in requests/second (required for
+            ``loop_mode="open"``).
+        timeout: per-request timeout in seconds.
+        sample_interval: period of the ``/v1/stats`` hit-rate sampler.
+    """
+    if clients < 1:
+        raise ConfigError(f"loadtest needs >= 1 client, got {clients}")
+    if requests_per_client < 1:
+        raise ConfigError(
+            f"loadtest needs >= 1 request per client, got "
+            f"{requests_per_client}")
+    if loop_mode not in ("closed", "open"):
+        raise ConfigError(
+            f"unknown loop mode {loop_mode!r} (expected 'closed' or 'open')")
+    if loop_mode == "open" and (rate is None or rate <= 0):
+        raise ConfigError("open-loop mode needs a positive --rate")
+
+    status, _ = await _http_request(
+        host, port, "GET", "/v1/healthz", timeout=timeout)
+    if status != 200:
+        raise ConfigError(
+            f"no healthy service at {host}:{port} (healthz: {status})")
+
+    body = json.dumps(dict(payload)).encode("utf-8")
+    before = await fetch_metrics(host, port, timeout)
+
+    trajectory: list[dict[str, float]] = []
+    stop_sampling = asyncio.Event()
+
+    async def _sampler(t0: float) -> None:
+        while not stop_sampling.is_set():
+            try:
+                stats = await fetch_stats(host, port, timeout)
+            except (ReproError, OSError, ValueError, asyncio.TimeoutError):
+                break  # the run's own requests still tell the story
+            store = stats.get("store", {})
+            hits = float(store.get("hits", 0))
+            misses = float(store.get("misses", 0))
+            lookups = hits + misses
+            trajectory.append({
+                "t": round(time.perf_counter() - t0, 3),
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            })
+            try:
+                await asyncio.wait_for(
+                    stop_sampling.wait(), sample_interval)
+            except asyncio.TimeoutError:
+                pass
+
+    outcomes: list[RequestOutcome] = []
+
+    async def _closed_client() -> None:
+        for _ in range(requests_per_client):
+            outcomes.append(await _run_query(host, port, body, timeout))
+
+    async def _open_shot(when: float, t0: float) -> None:
+        delay = when - (time.perf_counter() - t0)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        outcomes.append(await _run_query(host, port, body, timeout))
+
+    t0 = time.perf_counter()
+    sampler = asyncio.create_task(_sampler(t0))
+    if loop_mode == "closed":
+        await asyncio.gather(*(_closed_client() for _ in range(clients)))
+    else:
+        assert rate is not None
+        total = clients * requests_per_client
+        await asyncio.gather(
+            *(_open_shot(i / rate, t0) for i in range(total)))
+    wall = time.perf_counter() - t0
+    stop_sampling.set()
+    await sampler
+
+    after = await fetch_metrics(host, port, timeout)
+    return _build_report(
+        host=host, port=port, clients=clients,
+        requests_per_client=requests_per_client, loop_mode=loop_mode,
+        rate=rate, wall=wall, outcomes=outcomes,
+        before=before, after=after, trajectory=trajectory,
+    )
+
+
+def _build_report(
+    host: str,
+    port: int,
+    clients: int,
+    requests_per_client: int,
+    loop_mode: str,
+    rate: float | None,
+    wall: float,
+    outcomes: list[RequestOutcome],
+    before: dict[str, MetricFamily],
+    after: dict[str, MetricFamily],
+    trajectory: list[dict[str, float]],
+) -> dict[str, Any]:
+    ok = [o for o in outcomes if o.ok]
+    errors = [o.error for o in outcomes if o.error is not None]
+
+    # Server-side latency: /metrics histogram bucket deltas, the same
+    # arithmetic Prometheus histogram_quantile() runs on a scrape pair.
+    bounds, cum_delta = _histogram_delta(before, after, _SERVER_HIST)
+    server_latency = {
+        label: round(percentile_from_buckets(bounds, cum_delta, q), 6)
+        for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+    }
+    server_latency["count"] = cum_delta[-1] if cum_delta else 0.0
+
+    # Point mix and exactly-once verification from the event streams.
+    served = {"store": 0, "computed": 0, "coalesced": 0}
+    computed_per_point: dict[tuple[int, int], int] = {}
+    for outcome in ok:
+        for ev in outcome.events:
+            if ev.get("event") != "point":
+                continue
+            source = str(ev.get("source"))
+            if source in served:
+                served[source] += 1
+            point = (int(ev.get("vlen", 0)), int(ev.get("l2_mb", 0)))
+            if source == "computed":
+                computed_per_point[point] = (
+                    computed_per_point.get(point, 0) + 1)
+    violations = sorted(
+        pt for pt, n in computed_per_point.items() if n > 1)
+    client_computed = sum(computed_per_point.values())
+    server_computed = _counter_delta(before, after, _SERVER_COMPUTED)
+    exactly_once = {
+        "ok": not violations and client_computed == server_computed,
+        "client_computed": client_computed,
+        "server_computed": server_computed,
+        "violations": [list(pt) for pt in violations],
+    }
+
+    final_hit_rate = trajectory[-1]["hit_rate"] if trajectory else None
+    return {
+        "schema": _REPORT_SCHEMA,
+        "config": {
+            "host": host, "port": port, "clients": clients,
+            "requests_per_client": requests_per_client,
+            "loop": loop_mode, "rate": rate,
+        },
+        "wall_seconds": round(wall, 6),
+        "requests": {
+            "total": len(outcomes),
+            "ok": len(ok),
+            "failed": len(outcomes) - len(ok),
+            "throughput_per_s": round(len(ok) / wall, 3) if wall else 0.0,
+            "errors": errors[:10],
+        },
+        "latency": {
+            "server_query_seconds": server_latency,
+            "client_seconds": _exact_percentiles(
+                [o.seconds for o in ok]),
+        },
+        "points": {**served, "exactly_once": exactly_once},
+        "hit_rate": {
+            "final": final_hit_rate,
+            "trajectory": trajectory,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Saturation sweep.
+# ----------------------------------------------------------------------
+async def run_saturation(
+    host: str,
+    port: int,
+    payload: Mapping[str, Any],
+    levels: Sequence[int],
+    requests_per_client: int = 1,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> dict[str, Any]:
+    """Closed-loop runs over a ladder of client counts.
+
+    Returns ``{"levels": [per-level summaries], "reports": [...]}``;
+    the knee is where throughput flattens while p99 keeps climbing.
+    """
+    if not levels:
+        raise ConfigError("saturation sweep needs >= 1 client level")
+    reports: list[dict[str, Any]] = []
+    summaries: list[dict[str, Any]] = []
+    for level in levels:
+        report = await run_loadtest(
+            host, port, payload, clients=int(level),
+            requests_per_client=requests_per_client, timeout=timeout,
+        )
+        reports.append(report)
+        latency = report["latency"]
+        summaries.append({
+            "clients": int(level),
+            "throughput_per_s": report["requests"]["throughput_per_s"],
+            "failed": report["requests"]["failed"],
+            "server_p50": latency["server_query_seconds"]["p50"],
+            "server_p99": latency["server_query_seconds"]["p99"],
+            "client_p99": latency["client_seconds"]["p99"],
+        })
+    return {"schema": _REPORT_SCHEMA, "levels": summaries,
+            "reports": reports}
+
+
+def render_report_text(report: dict[str, Any]) -> str:
+    """A terminal-friendly digest of one loadtest report."""
+    cfg = report["config"]
+    req = report["requests"]
+    lat = report["latency"]
+    pts = report["points"]
+    once = pts["exactly_once"]
+    lines = [
+        f"loadtest {cfg['clients']} clients x "
+        f"{cfg['requests_per_client']} requests ({cfg['loop']} loop) "
+        f"against {cfg['host']}:{cfg['port']}",
+        f"  requests   {req['ok']}/{req['total']} ok, "
+        f"{req['throughput_per_s']}/s over {report['wall_seconds']}s",
+        f"  server     p50 {lat['server_query_seconds']['p50']}s  "
+        f"p95 {lat['server_query_seconds']['p95']}s  "
+        f"p99 {lat['server_query_seconds']['p99']}s (from /metrics)",
+        f"  client     p50 {lat['client_seconds']['p50']}s  "
+        f"p99 {lat['client_seconds']['p99']}s  "
+        f"max {lat['client_seconds']['max']}s",
+        f"  points     store {pts['store']}  computed {pts['computed']}  "
+        f"coalesced {pts['coalesced']}",
+        f"  exactly-once {'OK' if once['ok'] else 'VIOLATED'} "
+        f"(client {once['client_computed']} / "
+        f"server {once['server_computed']:.0f})",
+    ]
+    if report["hit_rate"]["final"] is not None:
+        lines.append(f"  hit rate   {report['hit_rate']['final']}")
+    if req["errors"]:
+        lines.append(f"  errors     {req['errors'][:3]}")
+    return "\n".join(lines)

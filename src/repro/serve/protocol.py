@@ -45,7 +45,7 @@ from typing import Any, Iterable, Iterator, Mapping
 
 from repro.codesign.sweep import BACKEND_EXACT, BACKENDS
 from repro.conv.layer import ConvLayerSpec
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ObsError
 from repro.kernels.tuple_mult import SLIDEUP, VARIANTS
 from repro.nets import build_layers, vgg16_layers, yolov3_layers
 from repro.nets.layers import LayerSpec, MaxPoolSpec, ShortcutSpec
@@ -270,17 +270,27 @@ def encode_event(ev: Mapping[str, Any]) -> bytes:
 def iter_ndjson(stream: Iterable[bytes]) -> Iterator[dict[str, Any]]:
     """Decode an NDJSON byte stream into event dicts.
 
-    A trailing torn line (the connection died mid-write) is dropped
-    rather than raised, matching :func:`repro.obs.read_jsonl`.
+    A *trailing* torn line (the connection died mid-write) is dropped
+    rather than raised, matching :func:`repro.obs.read_jsonl`.  A torn
+    line *followed by more data* is stream corruption, not a dropped
+    connection, and raises :class:`~repro.errors.ObsError` — a consumer
+    must never silently skip frames of a live stream and present the
+    remainder as a complete answer.
     """
+    torn: str | None = None
     for line in stream:
         text = line.decode("utf-8", errors="replace").strip()
+        if torn is not None:
+            raise ObsError(
+                f"torn NDJSON frame mid-stream: {torn[:120]!r}"
+            )
         if not text:
             continue
         try:
             ev = json.loads(text)
         except ValueError:
-            return
+            torn = text
+            continue
         if isinstance(ev, dict):
             yield ev
 

@@ -31,6 +31,19 @@ Every event carries the client's ``query_id`` (stamped by a
 :func:`~repro.obs.manifest.query_manifest` pinning the query's content
 address, so any answer can be tied back to the cache entries that
 produced it.
+
+Telemetry (all observation-only):
+
+- typed ``serve.*`` / ``http.*`` metrics on :data:`repro.obs.METRICS`
+  (counters, pool gauges, latency histograms), rendered by
+  ``GET /metrics`` in Prometheus text exposition format;
+- an optional JSONL access log (``access_sink``): one ``access`` event
+  per query with its id, content address, point mix, wall time and
+  status;
+- optional per-query trace trees (``trace_dir``): each query writes a
+  ``query_<id>/`` trace directory whose ``sweep_worker`` subtrees carry
+  the ``query_id``, consumable by ``repro trace diff/top/export``
+  unchanged.
 """
 
 from __future__ import annotations
@@ -41,6 +54,7 @@ import time
 import uuid
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict
+from pathlib import Path
 from typing import Any
 
 from repro.codesign.executor import CHECKPOINT_VERSION, evaluate_column
@@ -56,7 +70,10 @@ from repro.obs.events import (
     ScopedSink,
     event,
 )
-from repro.obs.manifest import query_manifest
+from repro.obs.manifest import query_manifest, write_manifest
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, METRICS, render_prometheus
+from repro.obs.render import trace_payload
+from repro.obs.trace import Span, Tracer
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     Query,
@@ -75,18 +92,65 @@ from repro.serve.store import (
 #: What a resolved in-flight point future carries.
 _PointValue = tuple[dict[str, Any], float]
 
+# Typed serve-path metrics (see repro.obs.metrics).  Module-level
+# handles: creation is get-or-create on the process registry, and
+# METRICS.reset() zeroes values in place, so these stay valid.
+_M_QUERIES = METRICS.counter("serve.queries", "queries accepted")
+_M_QUERIES_FAILED = METRICS.counter("serve.queries_failed", "queries that raised")
+_M_REFUSED = METRICS.counter("serve.refused", "queries refused while draining")
+_M_POINTS_STORE = METRICS.counter("serve.points.store", "points answered from the store")
+_M_POINTS_COMPUTED = METRICS.counter("serve.points.computed", "points computed by this service")
+_M_POINTS_COALESCED = METRICS.counter(
+    "serve.points.coalesced", "points shared with another query's in-flight compute"
+)
+_G_OPEN = METRICS.gauge("serve.open_queries", "queries currently being answered")
+_G_INFLIGHT = METRICS.gauge("serve.inflight_points", "cold points currently being computed")
+_G_BUSY = METRICS.gauge("serve.workers.busy", "worker threads evaluating a column right now")
+_H_QUERY = METRICS.histogram("serve.query.seconds", "end-to-end query wall time")
+_H_POINT = METRICS.histogram(
+    "serve.point.seconds", "per-point service time (store lookup or compute share)"
+)
+_H_QUEUE = METRICS.histogram("serve.queue.seconds", "column wait for a worker slot")
+_H_BATCH = METRICS.histogram(
+    "serve.column.points", "points batched into one VLEN column",
+    buckets=DEFAULT_SIZE_BUCKETS,
+)
+_M_HTTP = {
+    2: METRICS.counter("http.responses.2xx", "HTTP responses with a 2xx status"),
+    4: METRICS.counter("http.responses.4xx", "HTTP responses with a 4xx status"),
+    5: METRICS.counter("http.responses.5xx", "HTTP responses with a 5xx status"),
+}
+
+
+def _count_status(status: int) -> None:
+    counter = _M_HTTP.get(status // 100)
+    if counter is not None:
+        counter.inc()
+
 
 def _column_worker(
-    query: Query, vlen: int, l2_mbs: tuple[int, ...]
-) -> list[tuple[int, NetworkResult, float]]:
-    """Evaluate one VLEN column (runs on a worker thread)."""
+    query: Query,
+    vlen: int,
+    l2_mbs: tuple[int, ...],
+    collect: bool = False,
+    query_id: str | None = None,
+) -> tuple[list[tuple[int, NetworkResult, float]], dict[str, Any]]:
+    """Evaluate one VLEN column (runs on a worker thread).
+
+    With ``collect`` the column's ``sweep_worker`` span subtree comes
+    back in ``extras`` — stamped with the ``query_id``, because ambient
+    contextvars do not cross ``run_in_executor`` — so the service can
+    graft it into the query's trace tree.
+    """
     layers: list[LayerSpec] = list(query.layers)
-    column, _ = evaluate_column(
+    column, extras = evaluate_column(
         query.network, layers, vlen, l2_mbs,
         hybrid=query.hybrid, variant=query.variant,
         base_config=query.config, mode=query.mode,
+        collect=collect,
+        span_attrs={"query_id": query_id} if query_id is not None else None,
     )
-    return column
+    return column, extras
 
 
 def _point_payload(
@@ -109,12 +173,24 @@ class CodesignService:
     Args:
         store: the content-addressed result store answering hot points.
         workers: bound on concurrently evaluating columns.
+        trace_dir: when set, every query writes a ``query_<id>/`` trace
+            directory (span tree + manifest) under it, loadable by
+            ``repro trace diff/top/export`` unchanged.
+        access_sink: when set, one structured ``access`` event is
+            emitted per query (the JSONL access log when the caller
+            hands in a :class:`~repro.obs.events.JsonlSink`).
     """
 
     def __init__(self, store: ResultStore | None = None,
-                 workers: int = 2) -> None:
+                 workers: int = 2,
+                 trace_dir: str | Path | None = None,
+                 access_sink: EventSink | None = None) -> None:
         self.store = store if store is not None else ResultStore()
         self.workers = max(1, int(workers))
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        if self.trace_dir is not None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+        self._access = access_sink
         self._pool: ThreadPoolExecutor | None = None
         self._sem = asyncio.Semaphore(self.workers)
         self._inflight: dict[str, "asyncio.Future[_PointValue]"] = {}
@@ -130,19 +206,41 @@ class CodesignService:
         return self._draining
 
     def stats(self) -> dict[str, Any]:
-        """The ``GET /v1/stats`` payload."""
+        """The ``GET /v1/stats`` payload.
+
+        The store sub-dict is one atomic
+        :meth:`~repro.serve.store.ResultStore.snapshot` — occupancy and
+        hit counters copied under a single lock, so the fields of one
+        response are mutually consistent under concurrent load.
+        """
+        _G_OPEN.set(self.open_queries)
+        _G_INFLIGHT.set(len(self._inflight))
         return {
             "workers": self.workers,
             "draining": self._draining,
             "open_queries": self.open_queries,
             "queries_served": self.queries_served,
             "inflight_points": len(self._inflight),
-            "store": {
-                "entries": len(self.store),
-                "max_bytes": self.store.max_bytes,
-                **self.store.stats.to_dict(),
+            "store": self.store.snapshot(),
+            "latency": {
+                "query_seconds": _H_QUERY.summary(),
+                "point_seconds": _H_POINT.summary(),
+                "queue_seconds": _H_QUEUE.summary(),
             },
+            "pool": {"size": self.workers, "busy": _G_BUSY.value},
         }
+
+    def render_metrics(self) -> str:
+        """The ``GET /metrics`` body (Prometheus text exposition).
+
+        Level gauges (store occupancy, open queries, in-flight points)
+        are refreshed at scrape time so the exposition reflects the
+        instant of the scrape, not the last mutation.
+        """
+        self.store.snapshot()  # refreshes store.entries / store.bytes
+        _G_OPEN.set(self.open_queries)
+        _G_INFLIGHT.set(len(self._inflight))
+        return render_prometheus(METRICS)
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
@@ -167,24 +265,87 @@ class CodesignService:
         :func:`~repro.codesign.codesign_sweep` over the same grid.
         """
         if self._draining:
+            _M_REFUSED.inc()
             raise ConfigError("service is draining (shutdown in progress)")
         qid = query_id if query_id else uuid.uuid4().hex[:12]
         scoped = ScopedSink(sink, query_id=qid)
         COUNTERS.inc("serve.queries")
+        _M_QUERIES.inc()
         self.open_queries += 1
+        _G_OPEN.set(self.open_queries)
         started = time.perf_counter()
+        nh = network_hash(query)
+        served = {SOURCE_STORE: 0, SOURCE_COMPUTED: 0, SOURCE_COALESCED: 0}
+        tracer = Tracer() if self.trace_dir is not None else None
+        status = "ok"
         try:
-            return await self._answer(query, scoped, qid, started)
+            if tracer is not None:
+                with tracer.span(
+                    "serve_query", query_id=qid, network=query.network,
+                    network_hash=nh, backend=query.mode,
+                ):
+                    return await self._answer(
+                        query, scoped, qid, started, nh, served, tracer)
+            return await self._answer(
+                query, scoped, qid, started, nh, served, None)
+        except BaseException:
+            status = "error"
+            _M_QUERIES_FAILED.inc()
+            raise
         finally:
+            wall = time.perf_counter() - started
+            _H_QUERY.observe(wall)
             self.open_queries -= 1
+            _G_OPEN.set(self.open_queries)
+            if self._access is not None:
+                self._access.emit(event(
+                    "access", query_id=qid, network=query.network,
+                    network_hash=nh, mode=query.mode,
+                    points=len(query.points),
+                    store_hits=served[SOURCE_STORE],
+                    computed=served[SOURCE_COMPUTED],
+                    coalesced=served[SOURCE_COALESCED],
+                    wall=round(wall, 6), status=status,
+                ))
+            if tracer is not None:
+                self._write_query_trace(tracer, query, qid)
+
+    def _write_query_trace(
+        self, tracer: Tracer, query: Query, qid: str
+    ) -> None:
+        """Persist one query's span tree as a ``--trace`` directory.
+
+        ``trace_dir/query_<id>/`` gets the same ``trace.json`` +
+        ``manifest.json`` pair ``repro profile --trace`` writes, so
+        ``repro trace diff/top/export`` consume it unchanged.
+        """
+        assert self.trace_dir is not None
+        qdir = self.trace_dir / f"query_{qid}"
+        qdir.mkdir(parents=True, exist_ok=True)
+        manifest = query_manifest(
+            qid, query_identity(query),
+            config=asdict(query.config), backend=query.mode,
+        )
+        write_manifest(qdir, manifest)
+        (qdir / "trace.json").write_text(
+            json.dumps(trace_payload(tracer.root, manifest)) + "\n",
+            encoding="utf-8",
+        )
 
     async def _answer(
-        self, query: Query, sink: ScopedSink, qid: str, started: float
+        self,
+        query: Query,
+        sink: ScopedSink,
+        qid: str,
+        started: float,
+        nh: str,
+        served: dict[str, int],
+        tracer: Tracer | None,
     ) -> SweepResult:
         total = len(query.points)
         sink.emit(event(
             "query_start", protocol=PROTOCOL_VERSION, network=query.network,
-            backend=query.mode, network_hash=network_hash(query),
+            backend=query.mode, network_hash=nh,
             vlens=list(query.vlens), l2_mbs=list(query.l2_mbs), points=total,
         ))
         sink.emit(event("query_manifest", manifest=query_manifest(
@@ -193,22 +354,25 @@ class CodesignService:
         )))
 
         results: dict[tuple[int, int], NetworkResult] = {}
-        served = {SOURCE_STORE: 0, SOURCE_COMPUTED: 0, SOURCE_COALESCED: 0}
         waits: list[
             tuple[int, int, "asyncio.Future[_PointValue]", str]
         ] = []
         cold: dict[int, list[int]] = {}
         for vlen, l2_mb in query.points:
             key = point_key(query, vlen, l2_mb)
+            t0 = time.perf_counter()
             payload = self.store.get(key)
             if payload is not None:
+                lookup = time.perf_counter() - t0
                 results[(vlen, l2_mb)] = NetworkResult.from_dict(
                     payload["result"])
                 served[SOURCE_STORE] += 1
                 COUNTERS.inc("serve.points_hit")
+                _M_POINTS_STORE.inc()
+                _H_POINT.observe(lookup)
                 sink.emit(event(
                     "point", vlen=vlen, l2_mb=l2_mb, source=SOURCE_STORE,
-                    done=len(results), total=total,
+                    seconds=round(lookup, 6), done=len(results), total=total,
                 ))
                 continue
             inflight = self._inflight.get(key)
@@ -225,10 +389,14 @@ class CodesignService:
                 self._inflight[point_key(query, vlen, l2_mb)] = fut
                 futs[l2_mb] = fut
                 waits.append((vlen, l2_mb, fut, SOURCE_COMPUTED))
+            _H_BATCH.observe(len(l2s))
             task = asyncio.create_task(
-                self._compute_column(query, vlen, tuple(l2s), futs))
+                self._compute_column(query, vlen, tuple(l2s), futs,
+                                     tracer=tracer, query_id=qid))
             self._tasks.add(task)
             task.add_done_callback(self._tasks.discard)
+        if cold:
+            _G_INFLIGHT.set(len(self._inflight))
 
         # Shield every await: the in-flight futures may be shared with
         # other queries, so one client vanishing must not cancel the
@@ -250,6 +418,8 @@ class CodesignService:
             served[source] += 1
             if source == SOURCE_COALESCED:
                 COUNTERS.inc("serve.points_coalesced")
+                _M_POINTS_COALESCED.inc()
+            _H_POINT.observe(seconds)
             sink.emit(event(
                 "point", vlen=vlen, l2_mb=l2_mb, source=source,
                 seconds=round(seconds, 6), done=len(results), total=total,
@@ -275,28 +445,47 @@ class CodesignService:
         vlen: int,
         l2_mbs: tuple[int, ...],
         futs: dict[int, "asyncio.Future[_PointValue]"],
+        tracer: Tracer | None = None,
+        query_id: str | None = None,
     ) -> None:
         """Run one VLEN column on the pool and resolve its point futures."""
         loop = asyncio.get_running_loop()
         keys = {l2: point_key(query, vlen, l2) for l2 in l2_mbs}
         try:
+            enqueued = time.perf_counter()
             async with self._sem:
-                column = await loop.run_in_executor(
-                    self._ensure_pool(), _column_worker, query, vlen, l2_mbs,
-                )
+                _H_QUEUE.observe(time.perf_counter() - enqueued)
+                _G_BUSY.inc()
+                try:
+                    column, extras = await loop.run_in_executor(
+                        self._ensure_pool(), _column_worker, query, vlen,
+                        l2_mbs, tracer is not None, query_id,
+                    )
+                finally:
+                    _G_BUSY.dec()
+            if tracer is not None and extras.get("span"):
+                # Ambient contextvars do not cross run_in_executor, so
+                # the worker recorded into a local tracer; graft its
+                # query_id-stamped subtree under the open serve_query
+                # span (the scheduling query's root is still open: it
+                # is awaiting these very futures).
+                tracer.attach(Span.from_dict(extras["span"]))
             for l2_mb, result, seconds in column:
                 payload = _point_payload(query, vlen, l2_mb, result)
                 self.store.put(keys[l2_mb], payload)
                 COUNTERS.inc("serve.points_computed")
+                _M_POINTS_COMPUTED.inc()
                 self._inflight.pop(keys[l2_mb], None)
                 fut = futs[l2_mb]
                 if not fut.done():
                     fut.set_result((payload, seconds))
+            _G_INFLIGHT.set(len(self._inflight))
         except BaseException as e:
             for l2_mb, fut in futs.items():
                 self._inflight.pop(keys[l2_mb], None)
                 if not fut.done():
                     fut.set_exception(e)
+            _G_INFLIGHT.set(len(self._inflight))
             if isinstance(e, asyncio.CancelledError):
                 raise
 
@@ -320,35 +509,80 @@ class CodesignService:
 # ----------------------------------------------------------------------
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
-    503: "Service Unavailable",
+    413: "Payload Too Large", 503: "Service Unavailable",
 }
+
+#: Largest request body the server will read.  A topology payload for
+#: the deepest supported networks is well under a megabyte; anything
+#: bigger is a broken client, answered 413 instead of buffered.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Prometheus text exposition content type (format 0.0.4).
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def _write_json(
     writer: asyncio.StreamWriter, status: int, payload: dict[str, Any]
 ) -> None:
     body = (json.dumps(payload) + "\n").encode("utf-8")
+    _write_body(writer, status, "application/json", body)
+
+
+def _write_text(
+    writer: asyncio.StreamWriter, status: int, text: str,
+    content_type: str = METRICS_CONTENT_TYPE,
+) -> None:
+    _write_body(writer, status, content_type, text.encode("utf-8"))
+
+
+def _write_body(
+    writer: asyncio.StreamWriter, status: int, content_type: str,
+    body: bytes,
+) -> None:
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, '')}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: close\r\n\r\n"
     )
     writer.write(head.encode("latin-1") + body)
+    _count_status(status)
+
+
+class _BadRequest(Exception):
+    """A request the server refuses to read further, with its status."""
+
+    def __init__(self, status: int, reason: str) -> None:
+        super().__init__(reason)
+        self.status = status
+        self.reason = reason
 
 
 async def _read_request(
     reader: asyncio.StreamReader,
 ) -> tuple[str, str, bytes] | None:
-    """Parse one HTTP/1.1 request (request line, headers, sized body)."""
-    line = await reader.readline()
+    """Parse one HTTP/1.1 request (request line, headers, sized body).
+
+    Oversized request/header lines (the stream reader's 64 KiB line
+    limit) and bodies beyond :data:`MAX_BODY_BYTES` raise
+    :class:`_BadRequest`, which the handler answers with a one-line
+    JSON error — never a hang, never a truncated read treated as a
+    whole request.
+    """
+    try:
+        line = await reader.readline()
+    except ValueError:
+        raise _BadRequest(400, "request line too long") from None
     parts = line.decode("latin-1").split()
     if len(parts) < 2:
         return None
     method, target = parts[0].upper(), parts[1]
     length = 0
     while True:
-        header = await reader.readline()
+        try:
+            header = await reader.readline()
+        except ValueError:
+            raise _BadRequest(400, "request header line too long") from None
         if header in (b"\r\n", b"\n", b""):
             break
         name, _, value = header.decode("latin-1").partition(":")
@@ -357,6 +591,10 @@ async def _read_request(
                 length = int(value.strip())
             except ValueError:
                 length = 0
+    if length > MAX_BODY_BYTES:
+        raise _BadRequest(
+            413, f"request body of {length} bytes exceeds the "
+            f"{MAX_BODY_BYTES}-byte cap")
     body = await reader.readexactly(length) if length > 0 else b""
     return method, target, body
 
@@ -364,10 +602,11 @@ async def _read_request(
 class ServeServer:
     """``repro serve``: the asyncio HTTP wrapper around a service.
 
-    Routes: ``GET /v1/healthz``, ``GET /v1/stats``, and
-    ``POST /v1/query`` → a ``Connection: close`` NDJSON event stream.
-    Malformed queries answer 400 with a one-line JSON error — never a
-    traceback — and a draining service answers 503.
+    Routes: ``GET /v1/healthz``, ``GET /v1/stats``, ``GET /metrics``
+    (Prometheus text exposition), and ``POST /v1/query`` → a
+    ``Connection: close`` NDJSON event stream.  Malformed queries
+    answer 400 with a one-line JSON error — never a traceback — a
+    too-large body answers 413, and a draining service answers 503.
     """
 
     def __init__(self, service: CodesignService,
@@ -405,7 +644,12 @@ class ServeServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            request = await _read_request(reader)
+            try:
+                request = await _read_request(reader)
+            except _BadRequest as bad:
+                _write_json(writer, bad.status, {"error": bad.reason})
+                await writer.drain()
+                return
             if request is not None:
                 method, target, body = request
                 await self._route(writer, method, target, body)
@@ -429,6 +673,8 @@ class ServeServer:
             })
         elif method == "GET" and target in ("/stats", "/v1/stats"):
             _write_json(writer, 200, self.service.stats())
+        elif method == "GET" and target in ("/metrics", "/v1/metrics"):
+            _write_text(writer, 200, self.service.render_metrics())
         elif method == "POST" and target == "/v1/query":
             await self._query(writer, body)
         else:
@@ -453,10 +699,20 @@ class ServeServer:
             b"Content-Type: application/x-ndjson\r\n"
             b"Connection: close\r\n\r\n"
         )
+        _count_status(200)
+
         # Events are emitted from the event-loop thread only, so the
         # synchronous write into the stream writer is safe; NDJSON lines
-        # flush with the final drain (and on backpressure).
-        sink = CallbackSink(lambda ev: writer.write(encode_event(ev)))
+        # flush with the final drain (and on backpressure).  Once the
+        # client disconnects mid-stream the events are dropped instead
+        # of buffered onto a dead transport — the computation itself
+        # keeps running (its futures may be shared with other queries)
+        # and its points still land in the store.
+        def _emit(ev: dict[str, Any]) -> None:
+            if not writer.is_closing():
+                writer.write(encode_event(ev))
+
+        sink = CallbackSink(_emit)
         try:
             await self.service.handle_query(query, sink)
         except ReproError as e:

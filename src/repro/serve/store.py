@@ -28,7 +28,13 @@ Consistency guarantees:
   in flight.
 
 Observability: ``serve.store.{hits,misses,coalesced,evictions}`` on
-the process-global :data:`repro.obs.COUNTERS`.
+the process-global :data:`repro.obs.COUNTERS`, mirrored as typed
+``store.*`` counters on :data:`repro.obs.METRICS` for ``GET /metrics``.
+Readers use :meth:`ResultStore.stats` / :meth:`ResultStore.snapshot`,
+both of which copy every field under one lock acquisition so the
+returned counters are mutually consistent (hits + misses really is the
+number of lookups, ``bytes`` matches ``entries``) even while other
+threads mutate the store.
 """
 
 from __future__ import annotations
@@ -51,6 +57,7 @@ from repro.codesign.executor import (
 )
 from repro.errors import ConfigError
 from repro.obs.counters import COUNTERS
+from repro.obs.metrics import METRICS
 from repro.serve.protocol import Query, point_key
 
 #: Default in-memory budget in MB.
@@ -60,6 +67,18 @@ DEFAULT_STORE_BUDGET_MB = 64
 SOURCE_STORE = "store"
 SOURCE_COMPUTED = "computed"
 SOURCE_COALESCED = "coalesced"
+
+# Typed mirrors of the serve.store.* counters (same increments, richer
+# consumers: /metrics exposition, loadtest hit-rate trajectories).
+_M_HITS = METRICS.counter("store.hits", "store lookups answered from memory or disk")
+_M_MISSES = METRICS.counter("store.misses", "store lookups that required a compute")
+_M_COALESCED = METRICS.counter(
+    "store.coalesced", "callers that waited on another caller's in-flight compute"
+)
+_M_EVICTIONS = METRICS.counter("store.evictions", "entries LRU-evicted over the byte budget")
+_M_DISK_HITS = METRICS.counter("store.disk_hits", "hits served by reading the durable tier")
+_G_ENTRIES = METRICS.gauge("store.entries", "resident store entries")
+_G_BYTES = METRICS.gauge("store.bytes", "resident store payload bytes")
 
 
 @dataclass
@@ -125,7 +144,35 @@ class ResultStore:
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
         self._inflight: dict[str, Future[dict[str, Any]]] = {}
-        self.stats = StoreStats()
+        self._stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> StoreStats:
+        """A mutually consistent copy of the effectiveness counters.
+
+        Copied under one lock acquisition, so the fields of the
+        returned value agree with each other — unlike reading a live
+        stats object field by field while other threads mutate it.
+        """
+        with self._lock:
+            return StoreStats(**self._stats.to_dict())
+
+    def snapshot(self) -> dict[str, int]:
+        """Atomic ``/stats`` view: occupancy + counters, one lock.
+
+        Also refreshes the ``store.entries`` / ``store.bytes`` gauges,
+        so a ``/metrics`` scrape that follows a ``/stats`` read cannot
+        disagree with it about occupancy.
+        """
+        with self._lock:
+            out = {
+                "entries": len(self._entries),
+                "max_bytes": self.max_bytes,
+                **self._stats.to_dict(),
+            }
+        _G_ENTRIES.set(out["entries"])
+        _G_BYTES.set(out["bytes"])
+        return out
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -142,20 +189,24 @@ class ResultStore:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
-                self.stats.hits += 1
+                self._stats.hits += 1
                 COUNTERS.inc("serve.store.hits")
+                _M_HITS.inc()
                 return entry.payload
         payload = self._disk_get(key)
         if payload is not None:
             with self._lock:
                 self._admit_locked(key, payload)
-                self.stats.hits += 1
-                self.stats.disk_hits += 1
+                self._stats.hits += 1
+                self._stats.disk_hits += 1
             COUNTERS.inc("serve.store.hits")
+            _M_HITS.inc()
+            _M_DISK_HITS.inc()
             return payload
         with self._lock:
-            self.stats.misses += 1
+            self._stats.misses += 1
         COUNTERS.inc("serve.store.misses")
+        _M_MISSES.inc()
         return None
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
@@ -185,8 +236,9 @@ class ResultStore:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
-                self.stats.hits += 1
+                self._stats.hits += 1
                 COUNTERS.inc("serve.store.hits")
+                _M_HITS.inc()
                 return entry.payload, SOURCE_STORE
             existing = self._inflight.get(key)
             if existing is None:
@@ -195,8 +247,9 @@ class ResultStore:
                 owner = True
             else:
                 fut = existing
-                self.stats.coalesced += 1
+                self._stats.coalesced += 1
                 COUNTERS.inc("serve.store.coalesced")
+                _M_COALESCED.inc()
         if not owner:
             return fut.result(), SOURCE_COALESCED
         # Disk fallback happens under the in-flight claim so concurrent
@@ -205,10 +258,12 @@ class ResultStore:
         if disk is not None:
             with self._lock:
                 self._admit_locked(key, disk)
-                self.stats.hits += 1
-                self.stats.disk_hits += 1
+                self._stats.hits += 1
+                self._stats.disk_hits += 1
                 self._inflight.pop(key, None)
             COUNTERS.inc("serve.store.hits")
+            _M_HITS.inc()
+            _M_DISK_HITS.inc()
             fut.set_result(disk)
             return disk, SOURCE_STORE
         try:
@@ -219,10 +274,11 @@ class ResultStore:
             fut.set_exception(e)
             raise
         with self._lock:
-            self.stats.misses += 1
+            self._stats.misses += 1
             self._admit_locked(key, payload)
             self._inflight.pop(key, None)
         COUNTERS.inc("serve.store.misses")
+        _M_MISSES.inc()
         self._disk_put(key, payload)
         fut.set_result(payload)
         return payload, SOURCE_COMPUTED
@@ -233,16 +289,17 @@ class ResultStore:
         nbytes = _payload_bytes(payload)
         old = self._entries.pop(key, None)
         if old is not None:
-            self.stats.bytes -= old.nbytes
+            self._stats.bytes -= old.nbytes
         if nbytes > self.max_bytes:
             return  # larger than the whole budget: serve pass-through
-        while self.stats.bytes + nbytes > self.max_bytes and self._entries:
+        while self._stats.bytes + nbytes > self.max_bytes and self._entries:
             _, dropped = self._entries.popitem(last=False)
-            self.stats.bytes -= dropped.nbytes
-            self.stats.evictions += 1
+            self._stats.bytes -= dropped.nbytes
+            self._stats.evictions += 1
             COUNTERS.inc("serve.store.evictions")
+            _M_EVICTIONS.inc()
         self._entries[key] = _Entry(payload, nbytes)
-        self.stats.bytes += nbytes
+        self._stats.bytes += nbytes
 
     # ------------------------------------------------------------------
     # Durable tier.

@@ -12,7 +12,7 @@ import warnings
 
 import pytest
 
-from repro.envknobs import env_dir, env_int
+from repro.envknobs import env_dir, env_float, env_int
 
 pytestmark = pytest.mark.serve
 
@@ -60,6 +60,44 @@ class TestEnvInt:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert env_int(KNOB, 7) == -3
+
+
+class TestEnvFloat:
+    def test_unset_and_empty_are_the_default_silently(self, monkeypatch):
+        monkeypatch.delenv(KNOB, raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert env_float(KNOB, 1.5) == 1.5
+        monkeypatch.setenv(KNOB, "  ")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert env_float(KNOB, 1.5) == 1.5
+
+    def test_valid_values_parse(self, monkeypatch):
+        for raw, want in (("2.5", 2.5), (" 10 ", 10.0), ("1e2", 100.0)):
+            monkeypatch.setenv(KNOB, raw)
+            assert env_float(KNOB, 1.5) == want
+
+    @pytest.mark.parametrize("raw", ["300s", "abc", "--", "1,5"])
+    def test_garbage_warns_and_falls_back(self, monkeypatch, raw):
+        monkeypatch.setenv(KNOB, raw)
+        with pytest.warns(RuntimeWarning, match=KNOB) as record:
+            assert env_float(KNOB, 1.5) == 1.5
+        assert raw in str(record[0].message), (
+            "the warning must name the bad value"
+        )
+
+    def test_below_minimum_warns_and_clamps(self, monkeypatch):
+        monkeypatch.setenv(KNOB, "0.2")
+        with pytest.warns(RuntimeWarning, match=KNOB):
+            assert env_float(KNOB, 300.0, minimum=1.0) == 1.0
+
+    def test_loadtest_timeout_knob_goes_through_this_policy(self):
+        import inspect
+
+        from repro.serve import loadtest
+        source = inspect.getsource(loadtest)
+        assert 'env_float("REPRO_LOADTEST_TIMEOUT"' in source
 
 
 class TestEnvDir:

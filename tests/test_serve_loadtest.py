@@ -1,0 +1,210 @@
+"""``repro loadtest`` acceptance: 32 clients, one cold grid, one report.
+
+The harness's acceptance contract (ISSUE 10): a closed-loop run with
+at least 32 concurrent clients against a live server must produce a
+JSON report whose latency percentiles come from the ``/metrics``
+histogram bucket deltas, and whose exactly-once verification holds —
+every cold grid point computed once across the whole fleet, client
+event streams and the server's ``serve.points.computed`` counter
+agreeing on the total.
+
+The server and the client fleet share one event loop here (the harness
+is pure asyncio), so the whole fleet runs in-process and the test
+stays deterministic.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import (
+    CodesignService,
+    ResultStore,
+    ServeServer,
+    fetch_metrics,
+    fetch_stats,
+    render_report_text,
+    run_loadtest,
+    run_saturation,
+)
+
+pytestmark = [pytest.mark.serve, pytest.mark.loadtest]
+
+PAYLOAD = {"network": "vgg16", "max_layers": 2,
+           "vlens": [512, 1024], "l2_mbs": [1, 16], "mode": "fast"}
+GRID_POINTS = 4
+
+
+def _with_server(coro_fn, workers=2):
+    """Run ``await coro_fn(host, port)`` against a fresh in-process server."""
+
+    async def main():
+        service = CodesignService(ResultStore(max_bytes=1 << 22),
+                                  workers=workers)
+        server = ServeServer(service)
+        await server.start()
+        try:
+            return await coro_fn("127.0.0.1", server.port)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+class TestClosedLoop:
+    def test_32_clients_cold_grid_exactly_once(self):
+        async def run(host, port):
+            return await run_loadtest(host, port, PAYLOAD, clients=32,
+                                      sample_interval=0.05)
+
+        report = _with_server(run)
+
+        assert report["schema"] == 1
+        assert report["config"]["clients"] == 32
+        assert report["config"]["loop"] == "closed"
+
+        req = report["requests"]
+        assert req["total"] == 32
+        assert req["ok"] == 32
+        assert req["failed"] == 0
+        assert req["errors"] == []
+        assert req["throughput_per_s"] > 0
+
+        # Server-side percentiles come from the /metrics scrape pair.
+        server = report["latency"]["server_query_seconds"]
+        assert server["count"] == 32
+        assert 0 < server["p50"] <= server["p95"] <= server["p99"]
+        client = report["latency"]["client_seconds"]
+        assert 0 < client["p50"] <= client["p95"] <= client["p99"]
+        assert client["p99"] <= client["max"]
+
+        # Point mix: 32 clients x 4 points, the cold grid computed once.
+        pts = report["points"]
+        assert pts["store"] + pts["computed"] + pts["coalesced"] == (
+            32 * GRID_POINTS)
+        assert pts["computed"] == GRID_POINTS
+
+        once = pts["exactly_once"]
+        assert once["ok"] is True
+        assert once["violations"] == []
+        assert once["client_computed"] == GRID_POINTS
+        assert once["server_computed"] == GRID_POINTS
+
+        text = render_report_text(report)
+        assert "exactly-once OK" in text
+        assert "32 clients" in text
+
+    def test_hot_rerun_is_all_store_hits(self):
+        async def run(host, port):
+            await run_loadtest(host, port, PAYLOAD, clients=8)  # warm
+            return await run_loadtest(host, port, PAYLOAD, clients=8,
+                                      sample_interval=0.02)
+
+        report = _with_server(run)
+        pts = report["points"]
+        assert pts["computed"] == 0
+        assert pts["store"] == 8 * GRID_POINTS
+        assert pts["exactly_once"]["ok"] is True
+        traj = report["hit_rate"]["trajectory"]
+        if traj:  # a fast hot run may finish between sampler ticks
+            assert report["hit_rate"]["final"] == traj[-1]["hit_rate"]
+            assert [s["t"] for s in traj] == sorted(s["t"] for s in traj)
+            assert all(set(s) == {"t", "hits", "misses", "hit_rate"}
+                       for s in traj)
+
+    def test_requests_per_client_multiplies_the_run(self):
+        async def run(host, port):
+            return await run_loadtest(host, port, PAYLOAD, clients=3,
+                                      requests_per_client=2)
+
+        report = _with_server(run)
+        assert report["requests"]["total"] == 6
+        assert report["requests"]["ok"] == 6
+        assert report["latency"]["server_query_seconds"]["count"] == 6
+
+
+class TestOpenLoop:
+    def test_open_loop_fires_on_schedule(self):
+        async def run(host, port):
+            await run_loadtest(host, port, PAYLOAD, clients=2)  # warm
+            return await run_loadtest(host, port, PAYLOAD, clients=4,
+                                      loop_mode="open", rate=100.0)
+
+        report = _with_server(run)
+        assert report["config"]["loop"] == "open"
+        assert report["config"]["rate"] == 100.0
+        assert report["requests"]["ok"] == 4
+        assert report["points"]["exactly_once"]["ok"] is True
+
+
+class TestSaturation:
+    def test_ladder_summarizes_each_level(self):
+        async def run(host, port):
+            return await run_saturation(host, port, PAYLOAD, levels=[2, 4])
+
+        result = _with_server(run)
+        assert [s["clients"] for s in result["levels"]] == [2, 4]
+        assert len(result["reports"]) == 2
+        for summary in result["levels"]:
+            assert summary["failed"] == 0
+            assert summary["throughput_per_s"] > 0
+            assert summary["server_p99"] >= summary["server_p50"]
+        # Level 1 computes the cold grid; level 2 is all store hits.
+        assert result["reports"][0]["points"]["computed"] == GRID_POINTS
+        assert result["reports"][1]["points"]["computed"] == 0
+
+
+class TestScrapeHelpers:
+    def test_fetch_metrics_and_stats_agree_on_the_store(self):
+        """/metrics counter *deltas* track this server's /v1/stats.
+
+        The metrics registry is process-global (it outlives any one
+        store), so the comparison is delta-based: hits gained across a
+        hot run must equal the store's own hit counter gain.
+        """
+
+        async def run(host, port):
+            await run_loadtest(host, port, PAYLOAD, clients=2)  # warm
+            before_m = await fetch_metrics(host, port)
+            before_s = await fetch_stats(host, port)
+            await run_loadtest(host, port, PAYLOAD, clients=2)  # all hot
+            after_m = await fetch_metrics(host, port)
+            after_s = await fetch_stats(host, port)
+            return before_m, before_s, after_m, after_s
+
+        before_m, before_s, after_m, after_s = _with_server(run)
+        metric_gain = (after_m["repro_store_hits"].value("_total")
+                       - before_m["repro_store_hits"].value("_total"))
+        stats_gain = (after_s["store"]["hits"] - before_s["store"]["hits"])
+        assert metric_gain == stats_gain == 2 * GRID_POINTS
+        # The entries gauge is refreshed at scrape time from this store.
+        assert after_m["repro_store_entries"].value() == (
+            after_s["store"]["entries"])
+
+
+class TestValidation:
+    def test_bad_arguments_raise_before_any_traffic(self):
+        async def no_server_needed(coro):
+            with pytest.raises(ConfigError):
+                await coro
+
+        for bad in (
+            run_loadtest("127.0.0.1", 1, PAYLOAD, clients=0),
+            run_loadtest("127.0.0.1", 1, PAYLOAD, requests_per_client=0),
+            run_loadtest("127.0.0.1", 1, PAYLOAD, loop_mode="bursty"),
+            run_loadtest("127.0.0.1", 1, PAYLOAD, loop_mode="open"),
+            run_loadtest("127.0.0.1", 1, PAYLOAD, loop_mode="open",
+                         rate=0),
+            run_saturation("127.0.0.1", 1, PAYLOAD, levels=[]),
+        ):
+            asyncio.run(no_server_needed(bad))
+
+    def test_unreachable_service_fails_loudly(self):
+        async def run():
+            # A port from the ephemeral range with nothing listening.
+            with pytest.raises((ConfigError, OSError, asyncio.TimeoutError)):
+                await run_loadtest("127.0.0.1", 1, PAYLOAD, clients=1,
+                                   timeout=5)
+
+        asyncio.run(run())

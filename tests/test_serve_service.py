@@ -17,7 +17,8 @@ import pytest
 from repro.codesign import SweepResult, codesign_sweep
 from repro.errors import ConfigError
 from repro.nets import vgg16_layers
-from repro.obs import COUNTERS, MemorySink
+from repro.obs import COUNTERS, MemorySink, parse_exposition
+from repro.obs.analytics import load_trace
 from repro.serve import (
     CodesignService,
     Query,
@@ -226,6 +227,160 @@ class TestHttpSurface:
             assert "error" in json.loads(body)
             assert "Traceback" not in body
         assert "alexnet" in json.loads(results["bad_query"][1])["error"]
+
+
+class TestTelemetry:
+    """The observability surface: /metrics, enriched /stats, access
+    log, per-query trace trees.  All observation-only — the query
+    answers around them are pinned bit-exact by TestEndToEnd."""
+
+    def test_metrics_endpoint_smoke(self):
+        """Tier-1 smoke: scrape parses and the core families are live."""
+        service = CodesignService(ResultStore(max_bytes=1 << 22), workers=2)
+        server = ServeServer(service)
+        out = {}
+        payload = dict(PAYLOAD, mode="fast", vlens=[512], l2_mbs=[1])
+
+        async def main():
+            await server.start()
+
+            def client():
+                list(stream_query("127.0.0.1", server.port, payload,
+                                  timeout=300))
+                conn = http.client.HTTPConnection(
+                    "127.0.0.1", server.port, timeout=30)
+                conn.request("GET", "/metrics")
+                resp = conn.getresponse()
+                out["content_type"] = resp.getheader("Content-Type")
+                out["body"] = resp.read().decode("utf-8")
+                conn.close()
+
+            await _drive_threads([threading.Thread(target=client)])
+            await server.stop()
+
+        _run(main())
+        assert out["content_type"] == (
+            "text/plain; version=0.0.4; charset=utf-8")
+        families = parse_exposition(out["body"])
+        for name, kind in (
+            ("repro_serve_queries", "counter"),
+            ("repro_serve_points_computed", "counter"),
+            ("repro_store_hits", "counter"),
+            ("repro_store_misses", "counter"),
+            ("repro_serve_query_seconds", "histogram"),
+            ("repro_serve_point_seconds", "histogram"),
+            ("repro_serve_queue_seconds", "histogram"),
+            ("repro_serve_column_points", "histogram"),
+            ("repro_serve_open_queries", "gauge"),
+            ("repro_serve_workers_busy", "gauge"),
+            ("repro_store_entries", "gauge"),
+            ("repro_http_responses_2xx", "counter"),
+        ):
+            assert name in families, f"scrape missing family {name}"
+            assert families[name].kind == kind
+        # The registry is process-global, so assert liveness not totals.
+        assert families["repro_serve_queries"].value("_total") >= 1
+        bounds, cum = families[
+            "repro_serve_query_seconds"].histogram_cumulative()
+        assert cum == sorted(cum), "histogram buckets must be cumulative"
+        assert bounds[-1] == float("inf")
+        assert families["repro_serve_query_seconds"].value(
+            "_count") == cum[-1]
+
+    def test_stats_carries_latency_and_pool_blocks(self):
+        service = CodesignService(ResultStore(max_bytes=1 << 22), workers=3)
+        payload = dict(PAYLOAD, mode="fast", vlens=[512], l2_mbs=[1])
+        _run(service.handle_query(Query.from_payload(payload), MemorySink()))
+        stats = service.stats()
+        # The store block is one atomic snapshot (single lock) — the
+        # occupancy and counter fields arrive together.
+        assert set(stats["store"]) >= {
+            "entries", "bytes", "max_bytes", "hits", "misses",
+            "evictions", "coalesced", "disk_hits"}
+        assert stats["store"]["entries"] == 1
+        for hist in ("query_seconds", "point_seconds", "queue_seconds"):
+            summary = stats["latency"][hist]
+            assert set(summary) == {
+                "count", "sum", "exact", "p50", "p95", "p99"}
+        assert stats["latency"]["query_seconds"]["count"] >= 1
+        assert stats["pool"] == {"size": 3, "busy": 0.0}
+
+    def test_store_hit_points_carry_lookup_seconds(self):
+        service = CodesignService(ResultStore(max_bytes=1 << 22))
+        payload = dict(PAYLOAD, mode="fast", vlens=[512], l2_mbs=[1])
+        query = Query.from_payload(payload)
+        _run(service.handle_query(query, MemorySink()))
+        sink = MemorySink()
+        _run(service.handle_query(query, sink))
+        point, = (e for e in sink.events if e["event"] == "point")
+        assert point["source"] == "store"
+        assert 0 <= point["seconds"] < 1.0, (
+            "store-hit points must report their lookup latency "
+            "(repro query --timing reads this field)"
+        )
+
+    def test_access_log_and_query_trace_tree(self, tmp_path):
+        access = MemorySink()
+        service = CodesignService(
+            ResultStore(max_bytes=1 << 22), workers=2,
+            trace_dir=tmp_path / "traces", access_sink=access)
+        payload = dict(PAYLOAD, mode="fast", vlens=[512], l2_mbs=[1, 16])
+        query = Query.from_payload(payload)
+        _run(service.handle_query(query, MemorySink(), query_id="qt1"))
+        _run(service.handle_query(query, MemorySink(), query_id="qt2"))
+
+        # Access log: one event per query, full field set, honest mix.
+        assert [e["query_id"] for e in access.events] == ["qt1", "qt2"]
+        cold, hot = access.events
+        for ev in (cold, hot):
+            assert ev["event"] == "access"
+            assert set(ev) >= {
+                "query_id", "network", "network_hash", "mode", "points",
+                "store_hits", "computed", "coalesced", "wall", "status"}
+            assert ev["status"] == "ok"
+            assert ev["points"] == 2
+            assert ev["wall"] > 0
+        assert cold["computed"] == 2 and cold["store_hits"] == 0
+        assert hot["store_hits"] == 2 and hot["computed"] == 0
+
+        # Trace trees: one query_<id>/ dir each, loadable by the
+        # repro trace toolchain, sweep_worker subtree stamped with the
+        # scheduling query's id.
+        for qid in ("qt1", "qt2"):
+            loaded = load_trace(tmp_path / "traces" / f"query_{qid}")
+            assert loaded.span.name == "serve_query"
+            assert loaded.span.attrs["query_id"] == qid
+            assert loaded.manifest is not None
+            assert loaded.manifest["query_id"] == qid
+        cold_root = load_trace(tmp_path / "traces" / "query_qt1").span
+        workers = [s for s in cold_root.children if s.name == "sweep_worker"]
+        assert len(workers) == 1, "the cold column computes under qt1"
+        assert workers[0].attrs["query_id"] == "qt1"
+        hot_root = load_trace(tmp_path / "traces" / "query_qt2").span
+        assert hot_root.children == [], "a pure store-hit query spawns none"
+
+    def test_failed_query_is_logged_with_error_status(self):
+        class Boom(Exception):
+            pass
+
+        def explode(*a, **k):
+            raise Boom("kernel fell over")
+
+        access = MemorySink()
+        service = CodesignService(
+            ResultStore(max_bytes=1 << 22), access_sink=access)
+        payload = dict(PAYLOAD, mode="fast", vlens=[512], l2_mbs=[1])
+        real = service_mod.evaluate_column
+        service_mod.evaluate_column = explode
+        try:
+            with pytest.raises(Boom):
+                _run(service.handle_query(
+                    Query.from_payload(payload), MemorySink()))
+        finally:
+            service_mod.evaluate_column = real
+        ev, = access.events
+        assert ev["status"] == "error"
+        assert ev["computed"] == 0
 
 
 class TestShutdown:

@@ -105,8 +105,8 @@ class TestStoreBasics:
         assert store.get(key) == _payload()
         assert key in store
         assert len(store) == 1
-        assert store.stats.misses == 1
-        assert store.stats.hits == 1
+        assert store.stats().misses == 1
+        assert store.stats().hits == 1
 
     def test_put_validates_schema(self):
         store = ResultStore(max_bytes=1 << 20)
@@ -121,9 +121,9 @@ class TestStoreBasics:
         store = ResultStore(max_bytes=3 * size)
         for i in range(5):
             store.put(f"k{i}", _payload(l2_mb=i, filler=filler))
-            assert store.stats.bytes <= store.max_bytes
+            assert store.stats().bytes <= store.max_bytes
         assert len(store) == 3
-        assert store.stats.evictions == 2
+        assert store.stats().evictions == 2
         # LRU: the two oldest are gone, the three newest remain.
         assert store.get("k0") is None and store.get("k1") is None
         for i in (2, 3, 4):
@@ -144,7 +144,7 @@ class TestStoreBasics:
         store = ResultStore(max_bytes=64)
         store.put("big", _payload(filler="x" * 500))
         assert len(store) == 0
-        assert store.stats.bytes == 0
+        assert store.stats().bytes == 0
 
 
 class TestExactlyOnce:
@@ -177,7 +177,7 @@ class TestExactlyOnce:
                   for s in (SOURCE_COMPUTED, SOURCE_COALESCED, SOURCE_STORE)}
         assert counts[SOURCE_COMPUTED] == 1
         assert counts[SOURCE_COALESCED] + counts[SOURCE_STORE] == 7
-        assert store.stats.coalesced == counts[SOURCE_COALESCED]
+        assert store.stats().coalesced == counts[SOURCE_COALESCED]
 
     def test_failed_compute_propagates_and_leaves_key_absent(self):
         store = ResultStore(max_bytes=1 << 20)
@@ -210,7 +210,7 @@ class TestDurableTier:
         store.put("k", _payload())
         reborn = ResultStore(max_bytes=1 << 20, directory=tmp_path)
         assert reborn.get("k") == _payload()
-        assert reborn.stats.disk_hits == 1
+        assert reborn.stats().disk_hits == 1
 
     def test_eviction_keeps_disk_copy(self, tmp_path):
         filler = "x" * 200
@@ -218,9 +218,9 @@ class TestDurableTier:
         store = ResultStore(max_bytes=size, directory=tmp_path)
         store.put("a", _payload(l2_mb=1, filler=filler))
         store.put("b", _payload(l2_mb=2, filler=filler))  # evicts a
-        assert store.stats.evictions == 1
+        assert store.stats().evictions == 1
         assert store.get("a") == _payload(l2_mb=1, filler=filler)
-        assert store.stats.disk_hits == 1
+        assert store.stats().disk_hits == 1
 
     def test_torn_disk_entry_is_never_trusted(self, tmp_path):
         store = ResultStore(max_bytes=1 << 20, directory=tmp_path)

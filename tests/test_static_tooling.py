@@ -44,6 +44,7 @@ STRICT_OBS_MODULES = [
     "repro.obs.attribution",
     "repro.obs.baseline",
     "repro.obs.export",
+    "repro.obs.metrics",
 ]
 
 #: The strict-mypy slice of repro.sim: the batched cache engine, the
@@ -102,6 +103,10 @@ def test_pyproject_configures_coverage_and_markers():
     assert "traceio:" in text
     assert "dsl:" in text
     assert "serve:" in text
+    assert "loadtest:" in text, (
+        "the loadtest marker must be registered so `-m 'not loadtest'` "
+        "can skip the concurrent-client runs"
+    )
 
 
 def test_pyproject_holds_serve_layer_strict():
@@ -202,5 +207,6 @@ def test_ruff_clean_on_serve_layer():
     if shutil.which("ruff") is None:
         pytest.skip("ruff not installed (dev extra)")
     proc = _run(["ruff", "check", str(REPO / "src" / "repro" / "serve"),
-                 str(REPO / "src" / "repro" / "envknobs.py")])
+                 str(REPO / "src" / "repro" / "envknobs.py"),
+                 str(REPO / "src" / "repro" / "obs" / "metrics.py")])
     assert proc.returncode == 0, proc.stdout + proc.stderr
